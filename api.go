@@ -1,0 +1,266 @@
+package rundown
+
+import (
+	"repro/internal/casper"
+	"repro/internal/core"
+	"repro/internal/enable"
+	"repro/internal/executive"
+	"repro/internal/granule"
+	"repro/internal/paxlang"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Core scheduling types.
+type (
+	// Phase describes one parallel computational phase: its granule
+	// count, per-granule cost and work functions, optional serial action,
+	// and the enablement mapping to the following phase.
+	Phase = core.Phase
+	// Program is an ordered sequence of phases.
+	Program = core.Program
+	// Options configures the overlap scheduler (grain, overlap on/off,
+	// split policies, priority rules, management costs).
+	Options = core.Options
+	// Scheduler is the PAX-style phase-overlap scheduler state machine.
+	Scheduler = core.Scheduler
+	// Task is a contiguous granule run dispatched to a worker.
+	Task = core.Task
+	// Cost is an abstract amount of computation in management units.
+	Cost = core.Cost
+	// MgmtCosts prices the executive operations.
+	MgmtCosts = core.MgmtCosts
+	// Stats counts scheduler management operations.
+	Stats = core.Stats
+	// GranuleID identifies a granule within a phase.
+	GranuleID = granule.ID
+	// PhaseID identifies a phase within a program.
+	PhaseID = granule.PhaseID
+	// CostFn gives a granule's virtual execution cost.
+	CostFn = core.CostFn
+	// WorkFn performs a granule's real computation.
+	WorkFn = core.WorkFn
+)
+
+// Scheduler policy options.
+const (
+	// SplitDemand splits descriptions when an idle worker appears.
+	SplitDemand = core.SplitDemand
+	// SplitPre splits descriptions at phase activation.
+	SplitPre = core.SplitPre
+	// SuccSplitInline splits queued successor descriptions on the
+	// dispatch path.
+	SuccSplitInline = core.SuccSplitInline
+	// SuccSplitDeferred queues successor splitting for executive idle time.
+	SuccSplitDeferred = core.SuccSplitDeferred
+	// IdentityConflictQueue implements identity overlap with PAX conflict
+	// queues.
+	IdentityConflictQueue = core.IdentityConflictQueue
+	// IdentityTable implements identity overlap with enablement counters.
+	IdentityTable = core.IdentityTable
+)
+
+// Enablement mapping types.
+type (
+	// Mapping declares the enablement relation between adjacent phases.
+	Mapping = enable.Spec
+	// MappingKind identifies a mapping form (universal, identity, ...).
+	MappingKind = enable.Kind
+	// Footprint declares a granule's shared-data accesses.
+	Footprint = enable.Footprint
+	// Effect names one shared array element access.
+	Effect = enable.Effect
+	// AccessFn returns a granule's footprint.
+	AccessFn = enable.AccessFn
+)
+
+// Mapping kinds.
+const (
+	// KindNull permits no overlap.
+	KindNull = enable.Null
+	// KindUniversal permits total overlap.
+	KindUniversal = enable.Universal
+	// KindIdentity enables successor granule i when current granule i
+	// completes.
+	KindIdentity = enable.Identity
+	// KindForward enables successor IMAP(p) when current p completes.
+	KindForward = enable.ForwardIndirect
+	// KindReverse enables successor r when all of Requires(r) complete.
+	KindReverse = enable.ReverseIndirect
+	// KindSeam is the structured stencil (checkerboard) mapping.
+	KindSeam = enable.Seam
+)
+
+// Mapping constructors.
+var (
+	// Null declares that no overlap is possible.
+	Null = enable.NewNull
+	// Universal declares total phase independence.
+	Universal = enable.NewUniversal
+	// Identity declares the direct mapping I = I.
+	Identity = enable.NewIdentity
+	// Forward declares a forward indirect mapping from a function.
+	Forward = enable.NewForward
+	// ForwardIMAP declares a forward indirect mapping from an IMAP array.
+	ForwardIMAP = enable.NewForwardIMAP
+	// Reverse declares a reverse indirect mapping from a requirements
+	// function.
+	Reverse = enable.NewReverse
+	// ReverseIMAP declares a reverse indirect mapping from an IMAP array
+	// with a fixed fan.
+	ReverseIMAP = enable.NewReverseIMAP
+	// Seam declares a stencil-neighbour mapping.
+	Seam = enable.NewSeam
+)
+
+// NewProgram builds and validates a program.
+func NewProgram(phases ...*Phase) (*Program, error) { return core.NewProgram(phases...) }
+
+// NewScheduler builds a scheduler for driving manually (most callers use
+// Simulate or Execute instead).
+func NewScheduler(p *Program, opt Options) (*Scheduler, error) { return core.New(p, opt) }
+
+// DefaultCosts returns the reference management cost calibration.
+func DefaultCosts() MgmtCosts { return core.DefaultCosts() }
+
+// FreeCosts returns a zero-cost management model for policy studies.
+func FreeCosts() MgmtCosts { return core.FreeCosts() }
+
+// Simulation.
+type (
+	// SimConfig parameterizes the discrete-event machine model.
+	SimConfig = sim.Config
+	// SimResult aggregates a simulation run.
+	SimResult = sim.Result
+	// PhaseTrace records one phase's schedule within a run.
+	PhaseTrace = sim.PhaseTrace
+	// MgmtModel selects where executive computation runs.
+	MgmtModel = sim.MgmtModel
+)
+
+// Executive resource models.
+const (
+	// StealsWorker runs the executive on one of the P processors (the
+	// paper's UNIVAC model).
+	StealsWorker = sim.StealsWorker
+	// Dedicated gives the executive its own processor.
+	Dedicated = sim.Dedicated
+)
+
+// Simulate runs prog on the deterministic discrete-event machine model.
+func Simulate(prog *Program, opt Options, cfg SimConfig) (*SimResult, error) {
+	return sim.Run(prog, opt, cfg)
+}
+
+// Execution on goroutines.
+type (
+	// ExecConfig parameterizes the goroutine executive.
+	ExecConfig = executive.Config
+	// ExecReport aggregates a goroutine run's measurements.
+	ExecReport = executive.Report
+)
+
+// Execute runs prog's Work functions on real goroutine workers with a
+// serial manager.
+func Execute(prog *Program, opt Options, cfg ExecConfig) (*ExecReport, error) {
+	return executive.Run(prog, opt, cfg)
+}
+
+// Verification and inference over access footprints.
+
+// Parallel is the paper's logical predicate PARALLEL(x, y) over declared
+// footprints.
+func Parallel(x, y Footprint) bool { return enable.Parallel(x, y) }
+
+// Verify checks a declared mapping against the paper's overlap-correctness
+// condition (exhaustive; use reduced sizes).
+func Verify(m *Mapping, pred AccessFn, nPred int, succ AccessFn, nSucc int) error {
+	return enable.Verify(m, pred, nPred, succ, nSucc)
+}
+
+// Infer classifies a phase pair's enablement relation from footprints,
+// returning the simplest sound mapping.
+func Infer(pred AccessFn, nPred int, succ AccessFn, nSucc int) (MappingKind, *Mapping) {
+	return enable.Infer(pred, nPred, succ, nSucc)
+}
+
+// PAX language.
+type (
+	// PaxFile is a parsed PAX-language source.
+	PaxFile = paxlang.File
+	// PaxRegistry binds phase names to Go implementations.
+	PaxRegistry = paxlang.Registry
+	// PaxResult is an interpreted program plus its dispatch log.
+	PaxResult = paxlang.Result
+	// PaxOptions bounds interpretation.
+	PaxOptions = paxlang.Options
+	// PaxPhaseImpl is one phase's Go-side behaviour.
+	PaxPhaseImpl = paxlang.PhaseImpl
+)
+
+// ParsePax parses PAX-language source.
+func ParsePax(src string) (*PaxFile, error) { return paxlang.Parse(src) }
+
+// CheckPax statically checks a parsed source.
+func CheckPax(f *PaxFile) error { return paxlang.Check(f) }
+
+// InterpretPax executes the control program into a runnable Program,
+// enforcing the paper's successor interlock.
+func InterpretPax(f *PaxFile, reg *PaxRegistry, opt PaxOptions) (*PaxResult, error) {
+	return paxlang.Interpret(f, reg, opt)
+}
+
+// Workloads.
+type (
+	// CasperPhase is one entry of the PAX/CASPER phase census.
+	CasperPhase = workload.CasperPhase
+	// CasperConfig materializes the census into a program.
+	CasperConfig = workload.CasperConfig
+	// Pipeline is the mini-CFD numeric pipeline exercising every mapping.
+	Pipeline = casper.Pipeline
+	// Grid is the red/black SOR potential grid.
+	Grid = casper.Grid
+	// IdealCheckerboard is the paper's idealized checkerboard arithmetic.
+	IdealCheckerboard = casper.IdealCheckerboard
+)
+
+// Census returns the paper's 22-phase PAX/CASPER mapping census.
+func Census() []CasperPhase { return workload.Census() }
+
+// CasperProgram materializes the census into a runnable program.
+func CasperProgram(cfg CasperConfig) (*Program, error) { return workload.CasperProgram(cfg) }
+
+// Chain builds a linear program with one mapping kind between phases.
+func Chain(kind MappingKind, phases, granules int, cost CostFn, seed uint64) (*Program, error) {
+	return workload.Chain(kind, phases, granules, cost, seed)
+}
+
+// Cost models.
+var (
+	// UnitCost charges one unit per granule.
+	UnitCost = workload.UnitCost
+	// FixedCost charges a constant per granule.
+	FixedCost = workload.FixedCost
+	// UniformCost charges a deterministic pseudo-random cost in [lo, hi].
+	UniformCost = workload.UniformCost
+	// BimodalCost mixes fast and slow granules.
+	BimodalCost = workload.BimodalCost
+	// ConditionalSkip models conditionally-skipped computations.
+	ConditionalSkip = workload.ConditionalSkip
+)
+
+// NewPipeline allocates the mini-CFD pipeline over n points.
+func NewPipeline(n int) (*Pipeline, error) { return casper.NewPipeline(n) }
+
+// NewGrid builds an SOR potential grid.
+func NewGrid(n int, omega float64, boundary func(i, j int) float64) (*Grid, error) {
+	return casper.NewGrid(n, omega, boundary)
+}
+
+// HotEdgeBoundary is the canonical SOR test boundary condition.
+func HotEdgeBoundary(n int) func(i, j int) float64 { return casper.HotEdgeBoundary(n) }
+
+// NewIdealCheckerboard builds the paper's idealized checkerboard model.
+func NewIdealCheckerboard(n int) (*IdealCheckerboard, error) {
+	return casper.NewIdealCheckerboard(n)
+}

@@ -1,0 +1,163 @@
+package rundown_test
+
+// One benchmark per experiment E1..E8 (see DESIGN.md section 4): each runs
+// the experiment at Quick scale and reports its headline metric so `go test
+// -bench=. -benchmem` regenerates the shape of every quantitative claim in
+// the paper. cmd/experiments prints the full tables; EXPERIMENTS.md records
+// the Full-scale numbers.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	rundown "repro"
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string, metric func(t *experiments.Table) (string, float64)) {
+	var spec experiments.Spec
+	for _, s := range experiments.All() {
+		if s.ID == id {
+			spec = s
+		}
+	}
+	if spec.Run == nil {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = spec.Run(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if metric != nil && tbl != nil {
+		name, v := metric(tbl)
+		b.ReportMetric(v, name)
+	}
+}
+
+func cellF(tbl *experiments.Table, row, col int) float64 {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(tbl.Rows[row][col], "%"), 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// BenchmarkE1MappingCensus regenerates the PAX/CASPER enablement-mapping
+// census (6/9/4/2/1 phases; 266/551/262/78/31 lines; 68% simply
+// overlappable) and the footprint-based pipeline classification.
+func BenchmarkE1MappingCensus(b *testing.B) {
+	benchExperiment(b, "E1", func(t *experiments.Table) (string, float64) {
+		return "universal-phases", cellF(t, 0, 1)
+	})
+}
+
+// BenchmarkE2CheckerboardRundown regenerates the paper's worked rundown
+// example (524 computations/processor, 288 left over, 712 idle) and the
+// seam-mapping recovery.
+func BenchmarkE2CheckerboardRundown(b *testing.B) {
+	benchExperiment(b, "E2", func(t *experiments.Table) (string, float64) {
+		return "barrier-utilization", cellF(t, 0, 7)
+	})
+}
+
+// BenchmarkE3MappingSweep regenerates the rundown-recovery-by-mapping-kind
+// sweep (universal/identity best, indirect at executive cost, null zero).
+func BenchmarkE3MappingSweep(b *testing.B) {
+	benchExperiment(b, "E3", func(t *experiments.Table) (string, float64) {
+		return "universal-gain-%", cellF(t, 1, 3)
+	})
+}
+
+// BenchmarkE4TaskRatio regenerates the paper's two-tasks-per-processor
+// outset condition.
+func BenchmarkE4TaskRatio(b *testing.B) {
+	benchExperiment(b, "E4", func(t *experiments.Table) (string, float64) {
+		return "util-at-2-tasks", cellF(t, 1, 3)
+	})
+}
+
+// BenchmarkE5MgmtRatio regenerates the computation-to-management ratio
+// sweep (the paper's "neighborhood of 200").
+func BenchmarkE5MgmtRatio(b *testing.B) {
+	benchExperiment(b, "E5", func(t *experiments.Table) (string, float64) {
+		return "coarse-grain-ratio", cellF(t, len(t.Rows)-1, 4)
+	})
+}
+
+// BenchmarkE6SplitPolicies regenerates the executive control-strategy
+// comparison (demand/inline vs deferred vs presplit vs released-ahead).
+func BenchmarkE6SplitPolicies(b *testing.B) {
+	benchExperiment(b, "E6", func(t *experiments.Table) (string, float64) {
+		return "presplit-utilization", cellF(t, 3, 2)
+	})
+}
+
+// BenchmarkE7CompositeMapCost regenerates the composite-map-cost study
+// (inline self-defeat vs deferred+cancel bounded loss).
+func BenchmarkE7CompositeMapCost(b *testing.B) {
+	benchExperiment(b, "E7", func(t *experiments.Table) (string, float64) {
+		return "deferred-best-gain-%", cellF(t, 4, 5)
+	})
+}
+
+// BenchmarkE8EndToEnd regenerates the end-to-end CASPER-profile
+// barrier-vs-overlap comparison.
+func BenchmarkE8EndToEnd(b *testing.B) {
+	benchExperiment(b, "E8", func(t *experiments.Table) (string, float64) {
+		return "gain-%-at-8-procs", cellF(t, 0, 3)
+	})
+}
+
+// BenchmarkExecutiveSORSweep measures the real goroutine executive on the
+// red/black SOR workload with seam overlap (wall-clock, not virtual time).
+func BenchmarkExecutiveSORSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := rundown.NewGrid(96, 1.3, rundown.HotEdgeBoundary(96))
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := g.SORProgram(4, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rundown.Execute(prog, rundown.Options{
+			Grain: 256, Overlap: true, Costs: rundown.DefaultCosts(),
+		}, rundown.ExecConfig{Workers: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures discrete-event simulator speed on a
+// large identity chain (events per second drive all experiment runtimes).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	prog, err := rundown.Chain(rundown.KindIdentity, 4, 16384, rundown.UnitCost(), 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rundown.Simulate(prog, rundown.Options{
+			Grain: 64, Overlap: true, Costs: rundown.DefaultCosts(),
+		}, rundown.SimConfig{Procs: 64, Mgmt: rundown.StealsWorker})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Sched.Dispatches), "tasks")
+		}
+	}
+}
+
+// BenchmarkE9JobStreams regenerates the introduction's batching-vs-overlap
+// trade-off (batch raises utilization but lengthens each job).
+func BenchmarkE9JobStreams(b *testing.B) {
+	benchExperiment(b, "E9", func(t *experiments.Table) (string, float64) {
+		return "overlap-utilization", cellF(t, 2, 4)
+	})
+}

@@ -1,0 +1,57 @@
+// Command experiments regenerates every quantitative claim of Jones (1986)
+// — the E1..E8 experiment suite indexed in DESIGN.md — and prints the
+// result tables. EXPERIMENTS.md is produced from this tool's -md output at
+// -scale full.
+//
+// Usage:
+//
+//	experiments [-scale quick|full] [-only E3] [-md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment sizing: quick or full")
+	only := flag.String("only", "", "run a single experiment (e.g. E3)")
+	md := flag.Bool("md", false, "emit markdown tables instead of aligned text")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (quick|full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	ran := 0
+	for _, spec := range experiments.All() {
+		if *only != "" && spec.ID != *only {
+			continue
+		}
+		ran++
+		tbl, err := spec.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", spec.ID, err)
+			os.Exit(1)
+		}
+		if *md {
+			fmt.Println(tbl.Markdown())
+		} else {
+			fmt.Println(tbl.Format())
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no experiment matches %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,126 @@
+// Command rundownsim runs one discrete-event simulation of a phase chain
+// or the CASPER profile under configurable scheduling policy, and prints
+// utilization, makespan, the computation-to-management ratio, per-phase
+// rundown windows, and optionally an ASCII Gantt chart and utilization
+// sparkline.
+//
+// Examples:
+//
+//	rundownsim -mapping identity -phases 4 -granules 4096 -procs 64 -overlap
+//	rundownsim -casper -procs 32 -overlap -gantt
+//	rundownsim -mapping seam -granules 8192 -procs 128 -overlap -grain 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	rundown "repro"
+	"repro/internal/enable"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		mapping   = flag.String("mapping", "identity", "mapping kind: null|universal|identity|forward|reverse|seam")
+		phases    = flag.Int("phases", 3, "number of phases in the chain")
+		granules  = flag.Int("granules", 4096, "granules per phase")
+		procs     = flag.Int("procs", 32, "processor count")
+		grain     = flag.Int("grain", 0, "granules per task (0 = 2 tasks/processor default)")
+		overlap   = flag.Bool("overlap", false, "enable phase overlap")
+		elevate   = flag.Bool("elevate", true, "elevate enabling granules for indirect mappings")
+		released  = flag.Bool("released-ahead", false, "release successor work ahead of current work (PAX conflict priority)")
+		presplit  = flag.Bool("presplit", false, "pre-split descriptions at activation")
+		inline    = flag.Bool("inline-maps", false, "build composite maps inline (the paper's warned-about strategy)")
+		dedicated = flag.Bool("dedicated", false, "dedicated executive processor (default: steals a worker)")
+		costLo    = flag.Int64("cost-lo", 100, "minimum granule cost")
+		costHi    = flag.Int64("cost-hi", 400, "maximum granule cost")
+		seed      = flag.Uint64("seed", 1986, "workload seed")
+		casper    = flag.Bool("casper", false, "run the CASPER 22-phase census profile instead of a chain")
+		cycles    = flag.Int("cycles", 1, "CASPER profile cycles")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart (small runs only)")
+		curve     = flag.Bool("curve", true, "print a utilization sparkline")
+	)
+	flag.Parse()
+
+	var (
+		prog *rundown.Program
+		err  error
+	)
+	if *casper {
+		prog, err = rundown.CasperProgram(rundown.CasperConfig{
+			GranulesPerLine: (*granules + 1187) / 1188,
+			Cycles:          *cycles,
+			Cost:            rundown.UniformCost(rundown.Cost(*costLo), rundown.Cost(*costHi), *seed),
+			SerialCost:      100,
+			Seed:            *seed,
+		})
+	} else {
+		var kind rundown.MappingKind
+		kind, err = enable.ParseKind(*mapping)
+		if err == nil {
+			prog, err = rundown.Chain(kind, *phases, *granules,
+				rundown.UniformCost(rundown.Cost(*costLo), rundown.Cost(*costHi), *seed), *seed)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rundownsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	opt := rundown.Options{
+		Grain:         *grain,
+		Overlap:       *overlap,
+		Elevate:       *elevate,
+		ReleasedAhead: *released,
+		InlineMaps:    *inline,
+		Costs:         rundown.DefaultCosts(),
+	}
+	if *presplit {
+		opt.Split = rundown.SplitPre
+	}
+	model := rundown.StealsWorker
+	if *dedicated {
+		model = rundown.Dedicated
+	}
+	res, err := rundown.Simulate(prog, opt, rundown.SimConfig{
+		Procs: *procs, Mgmt: model, Gantt: *gantt,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rundownsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("phases=%d granules=%d procs=%d workers=%d overlap=%v\n",
+		len(prog.Phases), prog.TotalGranules(), res.Procs, res.Workers, *overlap)
+	fmt.Printf("makespan            %d\n", res.Makespan)
+	fmt.Printf("compute units       %d\n", res.ComputeUnits)
+	fmt.Printf("management units    %d\n", res.MgmtUnits)
+	fmt.Printf("serial units        %d\n", res.SerialUnits)
+	fmt.Printf("idle units          %d\n", res.IdleUnits)
+	fmt.Printf("utilization         %s\n", metrics.FormatPercent(res.Utilization))
+	fmt.Printf("worker utilization  %s\n", metrics.FormatPercent(res.WorkerUtilization))
+	fmt.Printf("compute:management  %.1f\n", res.MgmtRatio)
+	fmt.Printf("dispatches=%d splits=%d releases=%d elevations=%d deferred=%d\n",
+		res.Sched.Dispatches, res.Sched.Splits, res.Sched.Releases,
+		res.Sched.Elevations, res.Sched.DeferredItems)
+
+	fmt.Println("\nper-phase:")
+	for i, pt := range res.Phases {
+		rd := "-"
+		if pt.RundownStart >= 0 {
+			rd = fmt.Sprint(pt.RundownStart)
+		}
+		fmt.Printf("  %2d %-24s window=[%d,%d] rundown-at=%s idle=%d overlap-fill=%d\n",
+			i, pt.Name, pt.Start, pt.End, rd, pt.IdleUnits, pt.OverlapUnits)
+	}
+
+	if *curve {
+		fmt.Printf("\nutilization curve (bucket=%d):\n%s\n",
+			res.Timeline.BucketWidth(), metrics.Sparkline(res.Timeline.Curve()))
+	}
+	if *gantt && res.Gantt != nil {
+		fmt.Printf("\n%s", res.Gantt.Render(100))
+	}
+}

@@ -1,0 +1,35 @@
+// Package rundown is a Go reproduction of W. H. Jones, "Increasing
+// Processor Utilization During Parallel Computation Rundown" (NASA
+// TM-87349, ICPP 1986).
+//
+// The paper observes that phase-structured parallel programs waste
+// processors while a phase drains (computational rundown), and that in
+// most practical cases portions of the *next* phase become correctly
+// computable before the current phase finishes. It taxonomizes the
+// enablement mappings between phases (universal, identity, null, forward
+// indirect, reverse indirect), reports their frequency in a real parallel
+// Navier-Stokes code (PAX/CASPER), proposes language constructs, and
+// sketches executive control strategies.
+//
+// This package is the public facade over the reproduction:
+//
+//   - Phase/Program describe phase-structured computations with declared
+//     enablement mappings (Universal, Identity, Null, Forward, Reverse,
+//     Seam);
+//   - Simulate runs a program on a deterministic discrete-event model of a
+//     P-processor machine with a serial executive, reporting utilization,
+//     makespan and the computation-to-management ratio;
+//   - Execute runs a program on real goroutine workers with a serial
+//     manager, executing the phases' Work functions;
+//   - ParsePax/InterpretPax accept the paper's PAX-style control language
+//     (DEFINE PHASE / DISPATCH / ENABLE, branch lookahead, interlock
+//     verification);
+//   - Verify checks a declared mapping against granule access footprints
+//     using the paper's PARALLEL(x, y) condition, and Infer classifies a
+//     phase pair's mapping from footprints alone;
+//   - Census and CasperProgram expose the paper's 22-phase PAX/CASPER
+//     profile for experiments.
+//
+// The experiment harness reproducing every quantitative claim of the paper
+// lives in cmd/experiments; see DESIGN.md and EXPERIMENTS.md.
+package rundown

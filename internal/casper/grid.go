@@ -1,0 +1,208 @@
+// Package casper is the reproduction's stand-in for CASPER, the Combined
+// Aerodynamic and Structural Dynamic Problem Emulating Routines (NASA
+// TP-2418) — the parallel Navier-Stokes workload whose phase census the
+// paper reports. The original is unavailable, so this package provides real
+// numerical workloads with the same scheduling structure:
+//
+//   - a red/black (checkerboard) successive over-relaxation solver for the
+//     potential-field problem, the paper's running example, including the
+//     "foreseen" seam mapping between the colour phases;
+//   - a multi-phase mini-CFD pipeline exercising every enablement-mapping
+//     kind with real arithmetic and a serial reference for bit-identical
+//     equivalence checks;
+//   - idealized checkerboard phase programs for the paper's 1024x1024 /
+//     1000-processor rundown arithmetic (experiment E2).
+package casper
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/enable"
+	"repro/internal/granule"
+)
+
+// Grid is an n x n potential grid solved by red/black successive
+// over-relaxation with Dirichlet boundaries. Interior points are coloured
+// by (i+j) parity; each colour's interior points form one parallel phase,
+// granule = one point update ("nominally, the time for four additions and
+// a divide").
+type Grid struct {
+	N     int
+	Omega float64
+	Phi   []float64
+
+	// colour c tables: points[c][k] is the flattened position i*N+j of
+	// granule k; index[pos] is the granule index of pos within its
+	// colour's phase (-1 for boundary).
+	points [2][]int32
+	index  []int32
+}
+
+// NewGrid builds an n x n grid (n >= 3) with relaxation factor omega,
+// boundary condition phi = boundary(i, j) on the rim and zero inside.
+func NewGrid(n int, omega float64, boundary func(i, j int) float64) (*Grid, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("casper: grid side %d too small", n)
+	}
+	g := &Grid{N: n, Omega: omega, Phi: make([]float64, n*n), index: make([]int32, n*n)}
+	for p := range g.index {
+		g.index[p] = -1
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == 0 || j == 0 || i == n-1 || j == n-1 {
+				if boundary != nil {
+					g.Phi[i*n+j] = boundary(i, j)
+				}
+				continue
+			}
+			c := (i + j) % 2
+			g.index[i*n+j] = int32(len(g.points[c]))
+			g.points[c] = append(g.points[c], int32(i*n+j))
+		}
+	}
+	return g, nil
+}
+
+// ColorCount returns the number of interior points of colour c.
+func (g *Grid) ColorCount(c int) int { return len(g.points[c]) }
+
+// Position returns the flattened position of granule k of colour c.
+func (g *Grid) Position(c int, k granule.ID) int { return int(g.points[c][k]) }
+
+// update applies one SOR update at flattened position p.
+func (g *Grid) update(p int) {
+	n := g.N
+	sum := g.Phi[p-1] + g.Phi[p+1] + g.Phi[p-n] + g.Phi[p+n]
+	g.Phi[p] = (1-g.Omega)*g.Phi[p] + g.Omega*0.25*sum
+}
+
+// SweepWork returns the work function for the colour-c phase: granule k
+// relaxes its point using the four neighbours.
+func (g *Grid) SweepWork(c int) core.WorkFn {
+	pts := g.points[c]
+	return func(k granule.ID) { g.update(int(pts[k])) }
+}
+
+// SerialSweep relaxes every colour-c point in index order (the reference
+// implementation for equivalence tests).
+func (g *Grid) SerialSweep(c int) {
+	for _, p := range g.points[c] {
+		g.update(int(p))
+	}
+}
+
+// SeamSpec returns the enablement mapping from the colour-c phase to the
+// following colour-(1-c) phase: a point is enabled when the interior
+// neighbours it reads (and that read it) have been relaxed. This is the
+// paper's checkerboard observation: "if all the odd locations adjacent to a
+// particular even location have been updated ... the new value for that
+// particular even location ... can be correctly computed", and the
+// seam-mapping extension the paper forecasts but defers.
+func (g *Grid) SeamSpec(c int) *enable.Spec {
+	n := g.N
+	next := 1 - c
+	nextPts := g.points[next]
+	return enable.NewSeam(func(r granule.ID) []granule.ID {
+		p := int(nextPts[r])
+		var reqs []granule.ID
+		for _, q := range [4]int{p - 1, p + 1, p - n, p + n} {
+			if idx := g.index[q]; idx >= 0 {
+				reqs = append(reqs, granule.ID(idx))
+			}
+		}
+		return reqs
+	})
+}
+
+// Footprint returns the access footprint of granule k of colour c, for
+// mapping verification: the update writes its own point and reads the four
+// neighbours (plus itself).
+func (g *Grid) Footprint(c int) enable.AccessFn {
+	pts := g.points[c]
+	n := g.N
+	return func(k granule.ID) enable.Footprint {
+		p := int(pts[k])
+		return enable.Footprint{
+			Reads: []enable.Effect{
+				{Var: "phi", Idx: p}, {Var: "phi", Idx: p - 1}, {Var: "phi", Idx: p + 1},
+				{Var: "phi", Idx: p - n}, {Var: "phi", Idx: p + n},
+			},
+			Writes: []enable.Effect{{Var: "phi", Idx: p}},
+		}
+	}
+}
+
+// Residual returns the max-norm Laplace residual over interior points.
+func (g *Grid) Residual() float64 {
+	n := g.N
+	var worst float64
+	for c := 0; c < 2; c++ {
+		for _, p32 := range g.points[c] {
+			p := int(p32)
+			r := math.Abs(0.25*(g.Phi[p-1]+g.Phi[p+1]+g.Phi[p-n]+g.Phi[p+n]) - g.Phi[p])
+			if r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
+
+// SORProgram builds the phase program for `sweeps` red/black iterations on
+// the grid. With seam=true, adjacent colour phases carry the seam mapping
+// (overlappable); otherwise they carry null mappings (strict barriers).
+// The red phase of sweep s+1 is seam-enabled by the black phase of sweep s
+// as well: the same neighbour relation applies in both directions.
+func (g *Grid) SORProgram(sweeps int, seam bool) (*core.Program, error) {
+	if sweeps < 1 {
+		return nil, fmt.Errorf("casper: need at least one sweep")
+	}
+	var phases []*core.Phase
+	for s := 0; s < sweeps; s++ {
+		for c := 0; c < 2; c++ {
+			color := c
+			name := fmt.Sprintf("sweep%d-%s", s, []string{"red", "black"}[c])
+			ph := &core.Phase{
+				Name:     name,
+				Granules: g.ColorCount(color),
+				Work:     g.SweepWork(color),
+			}
+			phases = append(phases, ph)
+		}
+	}
+	if seam {
+		for i := 0; i < len(phases)-1; i++ {
+			c := i % 2
+			phases[i].Enable = g.SeamSpec(c)
+		}
+	}
+	return core.NewProgram(phases...)
+}
+
+// SolveSerial runs `sweeps` serial red/black sweeps on a fresh grid with
+// the same boundary and returns it (reference for equivalence tests).
+func SolveSerial(n int, omega float64, boundary func(i, j int) float64, sweeps int) (*Grid, error) {
+	g, err := NewGrid(n, omega, boundary)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < sweeps; s++ {
+		g.SerialSweep(0)
+		g.SerialSweep(1)
+	}
+	return g, nil
+}
+
+// HotEdgeBoundary is the canonical test boundary: 1.0 along the top edge,
+// 0 elsewhere.
+func HotEdgeBoundary(n int) func(i, j int) float64 {
+	return func(i, j int) float64 {
+		if i == 0 {
+			return 1.0
+		}
+		return 0
+	}
+}

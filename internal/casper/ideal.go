@@ -1,0 +1,98 @@
+package casper
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/enable"
+	"repro/internal/granule"
+)
+
+// IdealCheckerboard reproduces the paper's idealized checkerboard
+// arithmetic: an n x n periodic grid has n*n/2 computations per colour
+// phase, each of definite unit cost. For n = 1024 this is the paper's
+// worked example — 2**20 grid points, 524,288 individual computations per
+// phase; on 1000 processors that is 524 computations each with 288 left
+// over, leaving 712 processors idle while the final 288 are carried out.
+type IdealCheckerboard struct {
+	N int
+}
+
+// NewIdealCheckerboard validates n (even, >= 2).
+func NewIdealCheckerboard(n int) (*IdealCheckerboard, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("casper: ideal checkerboard needs even n >= 2, got %d", n)
+	}
+	return &IdealCheckerboard{N: n}, nil
+}
+
+// PhaseGranules returns the computations per colour phase: n*n/2.
+func (ic *IdealCheckerboard) PhaseGranules() int { return ic.N * ic.N / 2 }
+
+// Leftover returns the paper's distribution arithmetic for p processors:
+// each processor receives `each` computations and `left` remain; during the
+// final wave `idle` processors have nothing to do.
+func (ic *IdealCheckerboard) Leftover(p int) (each, left, idle int) {
+	g := ic.PhaseGranules()
+	each = g / p
+	left = g % p
+	idle = p - left
+	if left == 0 {
+		idle = 0
+	}
+	return each, left, idle
+}
+
+// position maps colour c granule k to torus coordinates (i, j).
+func (ic *IdealCheckerboard) position(c int, k granule.ID) (i, j int) {
+	half := ic.N / 2
+	i = int(k) / half
+	j = 2*(int(k)%half) + (i+c)%2
+	return i, j
+}
+
+// indexOf maps torus coordinates to the granule index within colour c.
+func (ic *IdealCheckerboard) indexOf(c, i, j int) granule.ID {
+	half := ic.N / 2
+	return granule.ID(i*half + (j-(i+c)%2)/2)
+}
+
+// SeamSpec is the periodic (torus) neighbour mapping from the colour-c
+// phase to the colour-(1-c) phase.
+func (ic *IdealCheckerboard) SeamSpec(c int) *enable.Spec {
+	n := ic.N
+	next := 1 - c
+	return enable.NewSeam(func(r granule.ID) []granule.ID {
+		i, j := ic.position(next, r)
+		return []granule.ID{
+			ic.indexOf(c, (i+1)%n, j),
+			ic.indexOf(c, (i-1+n)%n, j),
+			ic.indexOf(c, i, (j+1)%n),
+			ic.indexOf(c, i, (j-1+n)%n),
+		}
+	})
+}
+
+// Program builds the ideal phase program for `sweeps` red/black iterations:
+// unit-cost granules, no work functions (pure scheduling). With seam=true
+// colour phases are seam-mapped; otherwise strict barriers (null).
+func (ic *IdealCheckerboard) Program(sweeps int, seam bool) (*core.Program, error) {
+	if sweeps < 1 {
+		return nil, fmt.Errorf("casper: need at least one sweep")
+	}
+	var phases []*core.Phase
+	for s := 0; s < sweeps; s++ {
+		for c := 0; c < 2; c++ {
+			phases = append(phases, &core.Phase{
+				Name:     fmt.Sprintf("sweep%d-%s", s, []string{"red", "black"}[c]),
+				Granules: ic.PhaseGranules(),
+			})
+		}
+	}
+	if seam {
+		for i := 0; i < len(phases)-1; i++ {
+			phases[i].Enable = ic.SeamSpec(i % 2)
+		}
+	}
+	return core.NewProgram(phases...)
+}

@@ -1,0 +1,185 @@
+package casper
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/enable"
+	"repro/internal/granule"
+)
+
+// Pipeline is a six-phase mini-CFD computation that exercises every
+// enablement-mapping kind of the paper with real arithmetic:
+//
+//	power-compression --universal--> interp-matrix   (no shared data)
+//	interp-matrix     --identity --> smooth           (s[i] reads m[i])
+//	smooth            --reverse  --> residual-gather  (r[j] sums several s)
+//	residual-gather   --null     --> scatter          (serial norm decision)
+//	scatter           --forward  --> final            (b[fmap[p]] then b[i])
+//
+// The phase pair power-compression -> interp-matrix mirrors the paper's
+// "change over from power of compression computations to interpolator
+// matrix generation" universal example; the gather and scatter phases are
+// the paper's reverse and forward IMAP fragments with real sums.
+type Pipeline struct {
+	N    int // size of the point-wise phases
+	NR   int // gather phase size = N/2
+	Q    []float64
+	M    []float64
+	S    []float64
+	R    []float64
+	B    []float64
+	Out  []float64
+	FMap []granule.ID // permutation: scatter granule p writes B[FMap[p]]
+
+	// Norm is computed by the serial decision action between gather and
+	// scatter (the paper's null-mapping cause).
+	Norm float64
+}
+
+// NewPipeline allocates a pipeline over n points (n >= 4, even).
+func NewPipeline(n int) (*Pipeline, error) {
+	if n < 4 || n%2 != 0 {
+		return nil, fmt.Errorf("casper: pipeline needs even n >= 4, got %d", n)
+	}
+	p := &Pipeline{
+		N: n, NR: n / 2,
+		Q: make([]float64, n), M: make([]float64, n), S: make([]float64, n),
+		R: make([]float64, n/2), B: make([]float64, n), Out: make([]float64, n),
+		FMap: make([]granule.ID, n),
+	}
+	// Deterministic non-identity permutation: multiply by an odd stride
+	// coprime with n... simplest robust choice: reverse-with-rotation.
+	for i := 0; i < n; i++ {
+		p.FMap[i] = granule.ID((n - 1 - i + n/2) % n)
+	}
+	return p, nil
+}
+
+// gatherSources returns the smooth-phase granules summed by gather row j:
+// {j, (j+1) mod NR, j+NR}. Row j and row j-1 share a source, so the
+// relation is genuinely non-functional (reverse indirect, not forward).
+func (p *Pipeline) gatherSources(j granule.ID) []granule.ID {
+	return []granule.ID{j, (j + 1) % granule.ID(p.NR), j + granule.ID(p.NR)}
+}
+
+// decide is the serial action between gather and scatter: a norm reduction
+// and a decision only the (serial) executive can take.
+func (p *Pipeline) decide() {
+	var norm float64
+	for _, v := range p.R {
+		norm += math.Abs(v)
+	}
+	p.Norm = norm
+}
+
+// Program builds the runnable phase program with the declared mappings.
+func (p *Pipeline) Program() (*core.Program, error) {
+	n, nr := p.N, p.NR
+	return core.NewProgram(
+		&core.Phase{
+			Name: "power-compression", Granules: n,
+			Work:   func(g granule.ID) { p.Q[g] = math.Sqrt(float64(g)+1.0) * 1.5 },
+			Enable: enable.NewUniversal(),
+			Lines:  45,
+		},
+		&core.Phase{
+			Name: "interp-matrix", Granules: n,
+			Work:   func(g granule.ID) { p.M[g] = 1.0 / (float64(g) + 2.0) },
+			Enable: enable.NewIdentity(),
+			Lines:  62,
+		},
+		&core.Phase{
+			Name: "smooth", Granules: n,
+			Work:   func(g granule.ID) { p.S[g] = p.M[g]*2.0 + float64(g)*0.25 },
+			Enable: enable.NewReverse(p.gatherSources),
+			Lines:  61,
+		},
+		&core.Phase{
+			Name: "residual-gather", Granules: nr,
+			Work: func(g granule.ID) {
+				src := p.gatherSources(g)
+				p.R[g] = p.S[src[0]] + p.S[src[1]] + p.S[src[2]]
+			},
+			Lines: 39,
+		},
+		&core.Phase{
+			Name: "scatter", Granules: n,
+			SerialBefore: p.decide, SerialCost: core.Cost(nr),
+			Work: func(g granule.ID) {
+				p.B[p.FMap[g]] = p.R[int(g)%nr] + float64(g)*0.125
+			},
+			Enable: enable.NewForwardIMAP(p.FMap),
+			Lines:  31,
+		},
+		&core.Phase{
+			Name: "final", Granules: n,
+			Work:  func(g granule.ID) { p.Out[g] = p.B[g]*2.0 + p.S[g] },
+			Lines: 66,
+		},
+	)
+}
+
+// RunSerial executes the whole pipeline sequentially (the reference).
+func (p *Pipeline) RunSerial() {
+	for g := 0; g < p.N; g++ {
+		p.Q[g] = math.Sqrt(float64(g)+1.0) * 1.5
+	}
+	for g := 0; g < p.N; g++ {
+		p.M[g] = 1.0 / (float64(g) + 2.0)
+	}
+	for g := 0; g < p.N; g++ {
+		p.S[g] = p.M[g]*2.0 + float64(g)*0.25
+	}
+	for j := 0; j < p.NR; j++ {
+		src := p.gatherSources(granule.ID(j))
+		p.R[j] = p.S[src[0]] + p.S[src[1]] + p.S[src[2]]
+	}
+	p.decide()
+	for g := 0; g < p.N; g++ {
+		p.B[p.FMap[g]] = p.R[g%p.NR] + float64(g)*0.125
+	}
+	for g := 0; g < p.N; g++ {
+		p.Out[g] = p.B[g]*2.0 + p.S[g]
+	}
+}
+
+// Footprints returns the declared access footprints of each phase, aligned
+// with Program()'s phases, for mapping verification and classification.
+func (p *Pipeline) Footprints() []enable.AccessFn {
+	nr := p.NR
+	return []enable.AccessFn{
+		func(g granule.ID) enable.Footprint {
+			return enable.Footprint{Writes: []enable.Effect{{Var: "Q", Idx: int(g)}}}
+		},
+		func(g granule.ID) enable.Footprint {
+			return enable.Footprint{Writes: []enable.Effect{{Var: "M", Idx: int(g)}}}
+		},
+		func(g granule.ID) enable.Footprint {
+			return enable.Footprint{
+				Reads:  []enable.Effect{{Var: "M", Idx: int(g)}},
+				Writes: []enable.Effect{{Var: "S", Idx: int(g)}},
+			}
+		},
+		func(g granule.ID) enable.Footprint {
+			fp := enable.Footprint{Writes: []enable.Effect{{Var: "R", Idx: int(g)}}}
+			for _, s := range p.gatherSources(g) {
+				fp.Reads = append(fp.Reads, enable.Effect{Var: "S", Idx: int(s)})
+			}
+			return fp
+		},
+		func(g granule.ID) enable.Footprint {
+			return enable.Footprint{
+				Reads:  []enable.Effect{{Var: "R", Idx: int(g) % nr}},
+				Writes: []enable.Effect{{Var: "B", Idx: int(p.FMap[g])}},
+			}
+		},
+		func(g granule.ID) enable.Footprint {
+			return enable.Footprint{
+				Reads:  []enable.Effect{{Var: "B", Idx: int(g)}, {Var: "S", Idx: int(g)}},
+				Writes: []enable.Effect{{Var: "Out", Idx: int(g)}},
+			}
+		},
+	}
+}

@@ -1,0 +1,71 @@
+// Package core implements the primary contribution of Jones (1986): a
+// phase-overlap scheduler that releases enabled successor-phase granules
+// during the rundown of the current phase.
+//
+// The scheduler is a pure state machine: it has no notion of time and no
+// concurrency of its own. A driver owns it and calls
+//
+//	Start  -> NextTask* -> Complete* -> ... -> Done
+//
+// Every management action returns its cost in abstract management units.
+// The discrete-event simulator (internal/sim) charges those units to a
+// serial management server in virtual time — modelling the PAX executive on
+// the UNIVAC 1100, where "executive computation was done at the direct
+// expense of worker computation" — while the goroutine executive
+// (internal/executive) simply performs them under the serial manager lock
+// and measures wall-clock time.
+package core
+
+// Cost is an abstract amount of management (executive) computation, in the
+// same virtual units as granule execution costs. One unit is roughly "one
+// trivial granule" of work.
+type Cost int64
+
+// MgmtCosts prices the executive operations of the PAX-style scheduler.
+// All values are in abstract units; DefaultCosts provides a calibration in
+// which a typical mid-1980s managerial executive lands near the paper's
+// observed computation-to-management ratio of ~200 for CASPER-like grains.
+type MgmtCosts struct {
+	// Dispatch is charged per NextTask call that hands out a task
+	// (queue pop, worker assignment bookkeeping).
+	Dispatch Cost
+	// Split is charged per description split operation.
+	Split Cost
+	// Merge is charged per task completion for merging the completed
+	// description back into the phase's completed-set bookkeeping.
+	Merge Cost
+	// Complete is the fixed part of completion processing for one task.
+	Complete Cost
+	// PerEnable is charged per enablement-counter touch during
+	// completion processing.
+	PerEnable Cost
+	// MapEntry is charged per composite-granule-map entry generated when
+	// an indirect mapping's table is built.
+	MapEntry Cost
+	// MapChunk bounds how much map-construction work the executive does
+	// per idle step, so a large composite-map build never monopolizes the
+	// serial executive (the paper's incremental work-ahead). <= 0 builds
+	// in one step.
+	MapChunk Cost
+	// Elevate is charged per description manipulated while elevating the
+	// priority of enabling current-phase granules.
+	Elevate Cost
+}
+
+// DefaultCosts returns the reference calibration used by the experiments.
+func DefaultCosts() MgmtCosts {
+	return MgmtCosts{
+		Dispatch:  1,
+		Split:     1,
+		Merge:     1,
+		Complete:  2,
+		PerEnable: 1,
+		MapEntry:  1,
+		MapChunk:  64,
+		Elevate:   1,
+	}
+}
+
+// FreeCosts returns a zero-cost management model, useful for tests that
+// check scheduling order independent of overhead.
+func FreeCosts() MgmtCosts { return MgmtCosts{} }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/granule"
+	"repro/internal/queue"
+)
+
+// Task is a contiguous run of granules of one phase handed to a worker.
+type Task struct {
+	// ID is unique within a scheduler run and identifies the dispatch.
+	ID int
+	// Phase indexes the program phase the granules belong to.
+	Phase granule.PhaseID
+	// Run is the half-open granule range to execute.
+	Run granule.Range
+}
+
+func (t Task) String() string {
+	return fmt.Sprintf("task#%d phase=%d run=%v", t.ID, t.Phase, t.Run)
+}
+
+// desc is a PAX computation description: one (or more) granules of one
+// phase, described as a contiguous collection that the executive splits
+// apart "as necessary to produce conveniently sized tasks for workers".
+//
+// A desc lives in exactly one place at a time: the waiting computation
+// queue (node attached), the conflict ring of another desc (cnode
+// attached), or in flight as a dispatched task.
+type desc struct {
+	phase granule.PhaseID
+	run   granule.Range
+	class queue.Class
+
+	// node links the desc into the waiting computation queue.
+	node *queue.Node[*desc]
+	// conflict is the desc's queue head for the double circularly-linked
+	// list of computable-but-conflicting descriptions — here, identity-
+	// mapped successor descriptions enabled by this desc's completion.
+	conflict queue.Ring[*desc]
+	// cnode links the desc into another desc's conflict ring.
+	cnode *queue.Node[*desc]
+}
+
+func newDesc(phase granule.PhaseID, run granule.Range) *desc {
+	d := &desc{phase: phase, run: run}
+	d.node = queue.NewNode(d)
+	d.cnode = queue.NewNode(d)
+	return d
+}
+
+func (d *desc) String() string {
+	return fmt.Sprintf("desc{phase=%d run=%v class=%v}", d.phase, d.run, d.class)
+}
+
+// attachSuccessor queues s on d's conflict ring.
+func (d *desc) attachSuccessor(s *desc) {
+	d.conflict.PushBack(s.cnode)
+}
+
+// detachAll removes and returns all successor descs queued on d.
+func (d *desc) detachAll() []*desc {
+	var out []*desc
+	d.conflict.Drain(func(s *desc) { out = append(out, s) })
+	return out
+}

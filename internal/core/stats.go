@@ -1,0 +1,70 @@
+package core
+
+// Stats counts the management operations a scheduler run performed and the
+// management cost charged for them, by category. The simulator turns these
+// costs into virtual time on the management server; the ratio of total
+// granule cost to total management cost is the paper's computation-to-
+// management ratio (observed "in the neighborhood of 200" for PAX/CASPER).
+type Stats struct {
+	Dispatches    int64 // tasks handed to workers
+	Splits        int64 // description split operations
+	Merges        int64 // completion merges
+	Completions   int64 // task completions processed
+	EnableTouches int64 // enablement counters touched
+	TableBuilds   int64 // composite-map/table constructions
+	TableEntries  int64 // composite-map entries generated
+	Releases      int64 // successor descriptions released to the queue
+	Elevations    int64 // descriptions manipulated for priority elevation
+	DeferredItems int64 // successor-splitting management tasks queued
+	CatchUps      int64 // late-table catch-up completions processed
+
+	// Cost charged to the management resource, by source.
+	DispatchCost Cost
+	SplitCost    Cost
+	CompleteCost Cost
+	TableCost    Cost
+	ElevateCost  Cost
+	DeferredCost Cost
+	SerialCost   Cost
+}
+
+// MgmtCost sums every management cost category (excluding serial actions,
+// which the paper treats as algorithm content rather than overhead; use
+// TotalCost for the sum including serial).
+func (s Stats) MgmtCost() Cost {
+	return s.DispatchCost + s.SplitCost + s.CompleteCost + s.TableCost +
+		s.ElevateCost + s.DeferredCost
+}
+
+// TotalCost sums management and serial cost.
+func (s Stats) TotalCost() Cost { return s.MgmtCost() + s.SerialCost }
+
+// PhaseState is the lifecycle of a phase inside the scheduler.
+type PhaseState uint8
+
+const (
+	// PhaseUnstarted: not yet activated; no granule may be dispatched.
+	PhaseUnstarted PhaseState = iota
+	// PhaseOverlapped: activated early by the overlap machinery; enabled
+	// granules may be dispatched while the predecessor still runs.
+	PhaseOverlapped
+	// PhaseCurrent: the oldest incomplete phase.
+	PhaseCurrent
+	// PhaseComplete: all granules completed.
+	PhaseComplete
+)
+
+func (ps PhaseState) String() string {
+	switch ps {
+	case PhaseUnstarted:
+		return "unstarted"
+	case PhaseOverlapped:
+		return "overlapped"
+	case PhaseCurrent:
+		return "current"
+	case PhaseComplete:
+		return "complete"
+	default:
+		return "invalid"
+	}
+}

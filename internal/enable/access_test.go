@@ -1,0 +1,229 @@
+package enable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/granule"
+)
+
+// Footprint helpers mirroring the paper's Fortran fragments.
+
+// copyAB: first phase B(I)=A(I) — reads A[i], writes B[i].
+func copyAB(g granule.ID) Footprint {
+	return Footprint{
+		Reads:  []Effect{{Var: "A", Idx: int(g)}},
+		Writes: []Effect{{Var: "B", Idx: int(g)}},
+	}
+}
+
+// copyDC: second phase D(I)=C(I) — disjoint arrays from copyAB: universal.
+func copyDC(g granule.ID) Footprint {
+	return Footprint{
+		Reads:  []Effect{{Var: "C", Idx: int(g)}},
+		Writes: []Effect{{Var: "D", Idx: int(g)}},
+	}
+}
+
+// copyCB: second phase C(I)=B(I) — reads what copyAB wrote: identity.
+func copyCB(g granule.ID) Footprint {
+	return Footprint{
+		Reads:  []Effect{{Var: "B", Idx: int(g)}},
+		Writes: []Effect{{Var: "C", Idx: int(g)}},
+	}
+}
+
+func TestParallelPredicate(t *testing.T) {
+	a := Footprint{Reads: []Effect{{"X", 1}}, Writes: []Effect{{"Y", 1}}}
+	b := Footprint{Reads: []Effect{{"X", 1}}, Writes: []Effect{{"Z", 1}}}
+	if !Parallel(a, b) {
+		t.Error("read-read sharing should be parallel")
+	}
+	c := Footprint{Reads: []Effect{{"Y", 1}}}
+	if Parallel(a, c) {
+		t.Error("write-read conflict not detected")
+	}
+	d := Footprint{Writes: []Effect{{"Y", 1}}}
+	if Parallel(a, d) {
+		t.Error("write-write conflict not detected")
+	}
+	e := Footprint{Writes: []Effect{{"X", 1}}}
+	if Parallel(a, e) {
+		t.Error("read-write conflict not detected")
+	}
+	if !Parallel(Footprint{}, a) || !Parallel(a, Footprint{}) {
+		t.Error("empty footprint should be parallel with anything")
+	}
+	// Same index different array: no conflict.
+	f := Footprint{Writes: []Effect{{"Q", 1}}}
+	if !Parallel(a, f) {
+		t.Error("different arrays conflated")
+	}
+}
+
+func TestConflictsIdentityChain(t *testing.T) {
+	deps := Conflicts(copyAB, 4, copyCB, 4)
+	for r, qs := range deps {
+		if len(qs) != 1 || int(qs[0]) != r {
+			t.Fatalf("deps[%d] = %v, want [%d]", r, qs, r)
+		}
+	}
+}
+
+func TestInferUniversal(t *testing.T) {
+	kind, spec := Infer(copyAB, 6, copyDC, 6)
+	if kind != Universal || spec.Kind != Universal {
+		t.Fatalf("Infer = %v", kind)
+	}
+}
+
+func TestInferIdentity(t *testing.T) {
+	kind, _ := Infer(copyAB, 6, copyCB, 6)
+	if kind != Identity {
+		t.Fatalf("Infer = %v, want identity", kind)
+	}
+}
+
+func TestInferForward(t *testing.T) {
+	// Paper's forward fragment: phase 1 writes B(IMAP(I)); phase 2 reads B(I).
+	imap := []granule.ID{3, 1, 4, 0}
+	phase1 := func(g granule.ID) Footprint {
+		return Footprint{
+			Reads:  []Effect{{Var: "A", Idx: int(imap[g])}},
+			Writes: []Effect{{Var: "B", Idx: int(imap[g])}},
+		}
+	}
+	phase2 := func(g granule.ID) Footprint {
+		return Footprint{
+			Reads:  []Effect{{Var: "B", Idx: int(g)}},
+			Writes: []Effect{{Var: "C", Idx: int(g)}},
+		}
+	}
+	kind, spec := Infer(phase1, 4, phase2, 5)
+	if kind != ForwardIndirect {
+		t.Fatalf("Infer = %v, want forward-indirect", kind)
+	}
+	if err := Verify(spec, phase1, 4, phase2, 5); err != nil {
+		t.Fatalf("inferred forward spec fails verification: %v", err)
+	}
+	got := spec.Forward(0)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Forward(0) = %v, want [3]", got)
+	}
+}
+
+func TestInferReverse(t *testing.T) {
+	// Paper's reverse fragment: phase 2 granule r reads A(IMAP(j,r)) for
+	// several j — multiple predecessors per successor, not functional.
+	imap := [][]granule.ID{{0, 1}, {1, 2}, {0, 3}}
+	phase1 := func(g granule.ID) Footprint {
+		return Footprint{Writes: []Effect{{Var: "A", Idx: int(g)}}}
+	}
+	phase2 := func(g granule.ID) Footprint {
+		fp := Footprint{Writes: []Effect{{Var: "B", Idx: int(g)}}}
+		for _, src := range imap[g] {
+			fp.Reads = append(fp.Reads, Effect{Var: "A", Idx: int(src)})
+		}
+		return fp
+	}
+	kind, spec := Infer(phase1, 4, phase2, 3)
+	if kind != ReverseIndirect {
+		t.Fatalf("Infer = %v, want reverse-indirect", kind)
+	}
+	if err := Verify(spec, phase1, 4, phase2, 3); err != nil {
+		t.Fatalf("inferred reverse spec fails verification: %v", err)
+	}
+	reqs := spec.Requires(2)
+	if len(reqs) != 2 || reqs[0] != 0 || reqs[1] != 3 {
+		t.Fatalf("Requires(2) = %v, want [0 3]", reqs)
+	}
+}
+
+func TestVerifyRejectsUnsoundMapping(t *testing.T) {
+	// Declared universal, but phase 2 reads what phase 1 writes.
+	err := Verify(NewUniversal(), copyAB, 4, copyCB, 4)
+	if err == nil {
+		t.Fatal("unsound universal mapping not rejected")
+	}
+	// Declared identity on a shifted dependence: r reads B[r+1].
+	shifted := func(g granule.ID) Footprint {
+		return Footprint{
+			Reads:  []Effect{{Var: "B", Idx: int(g) + 1}},
+			Writes: []Effect{{Var: "C", Idx: int(g)}},
+		}
+	}
+	if err := Verify(NewIdentity(), copyAB, 5, shifted, 4); err == nil {
+		t.Fatal("unsound identity mapping not rejected")
+	}
+	// Null always verifies (declares no overlap).
+	if err := Verify(NewNull(), copyAB, 4, copyCB, 4); err != nil {
+		t.Fatalf("null mapping should verify: %v", err)
+	}
+	// nil spec treated as null.
+	if err := Verify(nil, copyAB, 4, copyCB, 4); err != nil {
+		t.Fatalf("nil spec should verify as null: %v", err)
+	}
+}
+
+func TestVerifyAcceptsSoundMappings(t *testing.T) {
+	if err := Verify(NewUniversal(), copyAB, 4, copyDC, 4); err != nil {
+		t.Errorf("universal: %v", err)
+	}
+	if err := Verify(NewIdentity(), copyAB, 4, copyCB, 4); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	// Over-approximation is sound: reverse mapping that requires extra
+	// granules still verifies.
+	over := NewReverse(func(r granule.ID) []granule.ID {
+		return []granule.ID{r, (r + 1) % 4}
+	})
+	if err := Verify(over, copyAB, 4, copyCB, 4); err != nil {
+		t.Errorf("over-approximate reverse: %v", err)
+	}
+}
+
+// TestQuickInferredMappingsVerify: for random single-assignment phase
+// pairs, the inferred mapping always passes Verify, and a Table built from
+// it releases successor granules only after all their dependences complete.
+func TestQuickInferredMappingsVerify(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%12 + 2
+		rng := rand.New(rand.NewSource(seed))
+		// Phase 1 writes A[perm(i)], phase 2 reads a random subset of A.
+		perm := rng.Perm(n)
+		reads := make([][]int, n)
+		for r := range reads {
+			k := rng.Intn(3)
+			for j := 0; j < k; j++ {
+				reads[r] = append(reads[r], rng.Intn(n))
+			}
+		}
+		phase1 := func(g granule.ID) Footprint {
+			return Footprint{Writes: []Effect{{Var: "A", Idx: perm[g]}}}
+		}
+		phase2 := func(g granule.ID) Footprint {
+			fp := Footprint{Writes: []Effect{{Var: "B", Idx: int(g)}}}
+			for _, idx := range reads[g] {
+				fp.Reads = append(fp.Reads, Effect{Var: "A", Idx: idx})
+			}
+			return fp
+		}
+		kind, spec := Infer(phase1, n, phase2, n)
+		if err := Verify(spec, phase1, n, phase2, n); err != nil {
+			t.Logf("inferred %v failed verify: %v", kind, err)
+			return false
+		}
+		_, err := Build(spec, n, n)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEffectString(t *testing.T) {
+	if s := (Effect{Var: "A", Idx: 3}).String(); s != "A[3]" {
+		t.Errorf("Effect.String = %q", s)
+	}
+}

@@ -1,0 +1,59 @@
+package enable
+
+import "fmt"
+
+// Counter is the paper's all-of enablement mechanism for successor-phase
+// subsets: "during completion processing, a status bit (set when the
+// current-phase granules were identified and split into individual
+// descriptions) can be checked and, if it is set, an enablement counter
+// decremented. When the enablement counter reaches zero, it can be taken as
+// a signal that the successor-phase granules are computable."
+//
+// The successor subset cannot be queued on any single current-phase
+// description "since it is enabled not by the completion of any one such
+// granule but by the completion of all the identified granules" — hence the
+// counter. The zero Counter is unarmed; Arm it before use.
+type Counter struct {
+	remaining int
+	armed     bool // the paper's status bit
+	fired     bool
+}
+
+// Arm sets the status bit and initializes the counter to n outstanding
+// completions. Arming with n <= 0 fires immediately on the first Check.
+func (c *Counter) Arm(n int) {
+	c.remaining = n
+	c.armed = true
+	c.fired = false
+}
+
+// Armed reports the status bit.
+func (c *Counter) Armed() bool { return c.armed }
+
+// Remaining reports the outstanding completion count.
+func (c *Counter) Remaining() int { return c.remaining }
+
+// Dec records one completion of an identified current-phase granule. It
+// returns true exactly once: when the counter reaches zero, signalling that
+// the successor-phase subset is computable. Dec on an unarmed counter is a
+// no-op returning false (the status bit is clear, so completion processing
+// skips it).
+func (c *Counter) Dec() bool {
+	if !c.armed || c.fired {
+		return false
+	}
+	c.remaining--
+	if c.remaining <= 0 {
+		c.fired = true
+		c.armed = false
+		return true
+	}
+	return false
+}
+
+// Fired reports whether the counter has already signalled.
+func (c *Counter) Fired() bool { return c.fired }
+
+func (c *Counter) String() string {
+	return fmt.Sprintf("Counter{armed:%v remaining:%d fired:%v}", c.armed, c.remaining, c.fired)
+}

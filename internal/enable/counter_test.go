@@ -1,0 +1,86 @@
+package enable
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasic(t *testing.T) {
+	var c Counter
+	if c.Armed() || c.Fired() {
+		t.Fatal("zero counter should be unarmed and unfired")
+	}
+	if c.Dec() {
+		t.Fatal("Dec on unarmed counter fired")
+	}
+	c.Arm(3)
+	if !c.Armed() || c.Remaining() != 3 {
+		t.Fatalf("after Arm: %v", c.String())
+	}
+	if c.Dec() || c.Dec() {
+		t.Fatal("fired before reaching zero")
+	}
+	if !c.Dec() {
+		t.Fatal("did not fire at zero")
+	}
+	if !c.Fired() || c.Armed() {
+		t.Fatalf("after firing: %v", c.String())
+	}
+	if c.Dec() {
+		t.Fatal("fired twice")
+	}
+}
+
+func TestCounterArmZero(t *testing.T) {
+	var c Counter
+	c.Arm(0)
+	if !c.Dec() {
+		t.Fatal("Arm(0) should fire on first Dec")
+	}
+}
+
+func TestCounterRearm(t *testing.T) {
+	var c Counter
+	c.Arm(1)
+	if !c.Dec() {
+		t.Fatal("no fire")
+	}
+	c.Arm(2)
+	if c.Fired() || !c.Armed() || c.Remaining() != 2 {
+		t.Fatalf("rearm: %v", c.String())
+	}
+	c.Dec()
+	if !c.Dec() {
+		t.Fatal("rearmed counter did not fire")
+	}
+}
+
+func TestCounterString(t *testing.T) {
+	var c Counter
+	c.Arm(2)
+	if s := c.String(); !strings.Contains(s, "remaining:2") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// TestCounterQuickFiresExactlyOnce: an armed counter fires exactly once
+// regardless of how many extra Decs arrive.
+func TestCounterQuickFiresExactlyOnce(t *testing.T) {
+	f := func(nRaw uint8, extraRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		extra := int(extraRaw) % 20
+		var c Counter
+		c.Arm(n)
+		fires := 0
+		for i := 0; i < n+extra; i++ {
+			if c.Dec() {
+				fires++
+			}
+		}
+		return fires == 1 && c.Fired()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package enable
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		Null:            "null",
+		Universal:       "universal",
+		Identity:        "identity",
+		ForwardIndirect: "forward-indirect",
+		ReverseIndirect: "reverse-indirect",
+		Seam:            "seam",
+		Kind(200):       "Kind(200)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"null": Null, "NULL": Null,
+		"universal": Universal, "UNIVERSAL": Universal,
+		"identity": Identity, "direct": Identity, "IDENTITY": Identity, "DIRECT": Identity,
+		"forward-indirect": ForwardIndirect, "forward": ForwardIndirect, "FORWARD": ForwardIndirect,
+		"reverse-indirect": ReverseIndirect, "reverse": ReverseIndirect, "REVERSE": ReverseIndirect,
+		"seam": Seam, "SEAM": Seam,
+	}
+	for s, want := range cases {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) did not fail")
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if Null.Overlappable() {
+		t.Error("Null should not be overlappable")
+	}
+	for _, k := range []Kind{Universal, Identity, ForwardIndirect, ReverseIndirect, Seam} {
+		if !k.Overlappable() {
+			t.Errorf("%v should be overlappable", k)
+		}
+	}
+	if !Universal.Simple() || !Identity.Simple() {
+		t.Error("universal/identity should be simple")
+	}
+	if ForwardIndirect.Simple() || Null.Simple() {
+		t.Error("forward/null should not be simple")
+	}
+	for _, k := range []Kind{ForwardIndirect, ReverseIndirect, Seam} {
+		if !k.Indirect() {
+			t.Errorf("%v should be indirect", k)
+		}
+	}
+	if Universal.Indirect() || Identity.Indirect() || Null.Indirect() {
+		t.Error("simple/null kinds must not be indirect")
+	}
+	if len(Kinds()) != NumKinds {
+		t.Errorf("Kinds() has %d entries, want %d", len(Kinds()), NumKinds)
+	}
+}

@@ -1,0 +1,130 @@
+package enable
+
+import (
+	"fmt"
+
+	"repro/internal/granule"
+)
+
+// ForwardFn maps a completed current-phase granule to the successor
+// granules it enables (the paper's forward information selection map; a
+// single-valued IMAP yields one-element slices). It must be pure.
+type ForwardFn func(p granule.ID) []granule.ID
+
+// RequiresFn maps a successor granule to the current-phase granules that
+// must all complete before it is enabled (the paper's reverse mapping "from
+// desired second phase granule to required first phase granules"). It must
+// be pure.
+type RequiresFn func(r granule.ID) []granule.ID
+
+// Spec declares the enablement relation from one phase to its successor.
+// Construct Specs with the NewXxx constructors, which enforce that the
+// mapping functions required by each kind are present.
+type Spec struct {
+	Kind Kind
+	// Forward is consulted for ForwardIndirect specs.
+	Forward ForwardFn
+	// Requires is consulted for ReverseIndirect and Seam specs.
+	Requires RequiresFn
+}
+
+// NewNull returns the mapping that forbids overlap.
+func NewNull() *Spec { return &Spec{Kind: Null} }
+
+// NewUniversal returns the mapping that permits total overlap.
+func NewUniversal() *Spec { return &Spec{Kind: Universal} }
+
+// NewIdentity returns the direct mapping I = I.
+func NewIdentity() *Spec { return &Spec{Kind: Identity} }
+
+// NewForward returns a forward indirect mapping driven by f.
+func NewForward(f ForwardFn) *Spec {
+	if f == nil {
+		panic("enable: NewForward requires a map function")
+	}
+	return &Spec{Kind: ForwardIndirect, Forward: f}
+}
+
+// NewForwardIMAP adapts a single-valued integer map (the paper's
+// IMAP array) into a forward indirect mapping: completing current granule p
+// enables successor granule imap[p].
+func NewForwardIMAP(imap []granule.ID) *Spec {
+	return NewForward(func(p granule.ID) []granule.ID {
+		if int(p) >= len(imap) {
+			return nil
+		}
+		return []granule.ID{imap[p]}
+	})
+}
+
+// NewReverse returns a reverse indirect mapping driven by requires.
+func NewReverse(requires RequiresFn) *Spec {
+	if requires == nil {
+		panic("enable: NewReverse requires a map function")
+	}
+	return &Spec{Kind: ReverseIndirect, Requires: requires}
+}
+
+// NewReverseIMAP adapts the paper's second Fortran fragment: successor
+// granule r sums A(IMAP(j, r)) for j in 0..fan-1, so it requires the
+// current-phase granules imap[r*fan : (r+1)*fan].
+func NewReverseIMAP(imap []granule.ID, fan int) *Spec {
+	if fan <= 0 {
+		panic("enable: NewReverseIMAP fan must be positive")
+	}
+	return NewReverse(func(r granule.ID) []granule.ID {
+		lo := int(r) * fan
+		hi := lo + fan
+		if lo >= len(imap) {
+			return nil
+		}
+		if hi > len(imap) {
+			hi = len(imap)
+		}
+		return imap[lo:hi]
+	})
+}
+
+// NewSeam returns the structured stencil mapping: successor granule r
+// requires the current-phase granules returned by neighbours(r).
+func NewSeam(neighbours RequiresFn) *Spec {
+	if neighbours == nil {
+		panic("enable: NewSeam requires a neighbour function")
+	}
+	return &Spec{Kind: Seam, Requires: neighbours}
+}
+
+// Validate checks that the spec's functions, evaluated over nPred current
+// granules and nSucc successor granules, stay in range. It returns the
+// first out-of-range reference found.
+func (s *Spec) Validate(nPred, nSucc int) error {
+	switch s.Kind {
+	case Null, Universal, Identity:
+		return nil
+	case ForwardIndirect:
+		if s.Forward == nil {
+			return fmt.Errorf("enable: %v spec missing Forward function", s.Kind)
+		}
+		for p := 0; p < nPred; p++ {
+			for _, r := range s.Forward(granule.ID(p)) {
+				if r < 0 || int(r) >= nSucc {
+					return fmt.Errorf("enable: forward map sends %d to %d, outside successor [0,%d)", p, r, nSucc)
+				}
+			}
+		}
+		return nil
+	case ReverseIndirect, Seam:
+		if s.Requires == nil {
+			return fmt.Errorf("enable: %v spec missing Requires function", s.Kind)
+		}
+		for r := 0; r < nSucc; r++ {
+			for _, p := range s.Requires(granule.ID(r)) {
+				if p < 0 || int(p) >= nPred {
+					return fmt.Errorf("enable: requires map for %d names %d, outside predecessor [0,%d)", r, p, nPred)
+				}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("enable: invalid kind %v", s.Kind)
+}

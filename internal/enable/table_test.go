@@ -1,0 +1,351 @@
+package enable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/granule"
+)
+
+func collectEnabled(t *Table, p granule.ID) []granule.ID {
+	var out []granule.ID
+	t.Complete(p, func(r granule.ID) { out = append(out, r) })
+	return out
+}
+
+func TestBuildUniversal(t *testing.T) {
+	tab, err := Build(NewUniversal(), 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ReadyAtStart().Len() != 7 || tab.Pending() != 0 {
+		t.Fatalf("universal: ready=%d pending=%d", tab.ReadyAtStart().Len(), tab.Pending())
+	}
+	if got := collectEnabled(tab, 3); got != nil {
+		t.Fatalf("universal Complete enabled %v", got)
+	}
+}
+
+func TestBuildNull(t *testing.T) {
+	tab, err := Build(NewNull(), 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ReadyAtStart().Len() != 0 || tab.Pending() != 7 {
+		t.Fatalf("null: ready=%d pending=%d", tab.ReadyAtStart().Len(), tab.Pending())
+	}
+	if got := collectEnabled(tab, 3); got != nil {
+		t.Fatalf("null Complete enabled %v", got)
+	}
+	tabNil, err := Build(nil, 4, 4)
+	if err != nil || tabNil.Kind() != Null {
+		t.Fatalf("nil spec: %v %v", tabNil.Kind(), err)
+	}
+}
+
+func TestBuildIdentity(t *testing.T) {
+	tab, err := Build(NewIdentity(), 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Successor granules 5..7 have no dependence: ready at start.
+	if !tab.ReadyAtStart().ContainsRange(granule.R(5, 8)) || tab.ReadyAtStart().Len() != 3 {
+		t.Fatalf("identity readyAtStart = %v", tab.ReadyAtStart())
+	}
+	if tab.Pending() != 5 {
+		t.Fatalf("identity pending = %d", tab.Pending())
+	}
+	for p := granule.ID(0); p < 5; p++ {
+		got := collectEnabled(tab, p)
+		if len(got) != 1 || got[0] != p {
+			t.Fatalf("identity Complete(%d) = %v", p, got)
+		}
+	}
+	if tab.Pending() != 0 {
+		t.Fatalf("identity pending after all = %d", tab.Pending())
+	}
+}
+
+func TestBuildIdentityShortSuccessor(t *testing.T) {
+	tab, err := Build(NewIdentity(), 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ReadyAtStart().Len() != 0 || tab.Pending() != 5 {
+		t.Fatalf("ready=%v pending=%d", tab.ReadyAtStart(), tab.Pending())
+	}
+	if got := collectEnabled(tab, 6); got != nil {
+		t.Fatalf("Complete(6) beyond successor = %v", got)
+	}
+	if got := collectEnabled(tab, 2); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Complete(2) = %v", got)
+	}
+}
+
+func TestBuildForward(t *testing.T) {
+	// imap: p -> p/2 (two preds per successor granule).
+	imap := []granule.ID{0, 0, 1, 1, 2, 2}
+	tab, err := Build(NewForwardIMAP(imap), 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// successor 3 has no enabler: ready at start.
+	if !tab.ReadyAtStart().Contains(3) || tab.ReadyAtStart().Len() != 1 {
+		t.Fatalf("forward readyAtStart = %v", tab.ReadyAtStart())
+	}
+	if tab.Pending() != 3 {
+		t.Fatalf("forward pending = %d", tab.Pending())
+	}
+	if got := collectEnabled(tab, 0); got != nil {
+		t.Fatalf("first of two completions enabled %v", got)
+	}
+	if got := collectEnabled(tab, 1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("second completion = %v", got)
+	}
+	if tab.BuildCost() != int64(len(imap))*CostPerEntry {
+		t.Fatalf("forward build cost = %d", tab.BuildCost())
+	}
+}
+
+func TestBuildReverse(t *testing.T) {
+	// successor r requires current granules {r, r+1}.
+	spec := NewReverse(func(r granule.ID) []granule.ID {
+		return []granule.ID{r, r + 1}
+	})
+	tab, err := Build(spec, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Pending() != 4 || tab.ReadyAtStart().Len() != 0 {
+		t.Fatalf("reverse pending=%d ready=%v", tab.Pending(), tab.ReadyAtStart())
+	}
+	// Complete 0..4 in order; successor r fires when r+1 completes.
+	fired := map[granule.ID]bool{}
+	for p := granule.ID(0); p < 5; p++ {
+		for _, r := range collectEnabled(tab, p) {
+			fired[r] = true
+		}
+		if p >= 1 && !fired[p-1] {
+			t.Fatalf("successor %d not fired after completing %d", p-1, p)
+		}
+	}
+	if len(fired) != 4 || tab.Pending() != 0 {
+		t.Fatalf("fired=%v pending=%d", fired, tab.Pending())
+	}
+}
+
+func TestBuildReverseDuplicateRequirements(t *testing.T) {
+	spec := NewReverse(func(r granule.ID) []granule.ID {
+		return []granule.ID{0, 0, 0} // duplicates must count once
+	})
+	tab, err := Build(spec, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectEnabled(tab, 0)
+	if len(got) != 2 {
+		t.Fatalf("duplicate reqs: Complete(0) enabled %v", got)
+	}
+}
+
+func TestBuildSeam(t *testing.T) {
+	spec := NewSeam(func(r granule.ID) []granule.ID {
+		var out []granule.ID
+		if r > 0 {
+			out = append(out, r-1)
+		}
+		out = append(out, r)
+		if int(r) < 3 {
+			out = append(out, r+1)
+		}
+		return out
+	})
+	tab, err := Build(spec, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Kind() != Seam || tab.Pending() != 4 {
+		t.Fatalf("seam: kind=%v pending=%d", tab.Kind(), tab.Pending())
+	}
+	// Completing 0,1 enables successor 0 only.
+	if got := collectEnabled(tab, 0); got != nil {
+		t.Fatalf("seam early enable %v", got)
+	}
+	if got := collectEnabled(tab, 1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("seam Complete(1) = %v", got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(NewForwardIMAP([]granule.ID{99}), 1, 4); err == nil {
+		t.Error("out-of-range forward map not rejected")
+	}
+	bad := NewReverse(func(r granule.ID) []granule.ID { return []granule.ID{-1} })
+	if _, err := Build(bad, 4, 4); err == nil {
+		t.Error("negative requirement not rejected")
+	}
+	if _, err := Build(NewUniversal(), -1, 4); err == nil {
+		t.Error("negative nPred not rejected")
+	}
+	if _, err := Build(&Spec{Kind: Kind(99)}, 2, 2); err == nil {
+		t.Error("invalid kind not rejected")
+	}
+	if _, err := Build(&Spec{Kind: ForwardIndirect}, 2, 2); err == nil {
+		t.Error("forward spec without function not rejected")
+	}
+	if _, err := Build(&Spec{Kind: ReverseIndirect}, 2, 2); err == nil {
+		t.Error("reverse spec without function not rejected")
+	}
+}
+
+func TestSpecConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"NewForward(nil)":       func() { NewForward(nil) },
+		"NewReverse(nil)":       func() { NewReverse(nil) },
+		"NewSeam(nil)":          func() { NewSeam(nil) },
+		"NewReverseIMAP(fan<1)": func() { NewReverseIMAP(nil, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCompleteRange(t *testing.T) {
+	tab, err := Build(NewIdentity(), 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enabled := granule.NewSet()
+	touched := tab.CompleteRange(granule.R(2, 6), enabled)
+	if touched != 4 || enabled.Len() != 4 || !enabled.ContainsRange(granule.R(2, 6)) {
+		t.Fatalf("CompleteRange: touched=%d enabled=%v", touched, enabled)
+	}
+}
+
+func TestPredsFor(t *testing.T) {
+	// Reverse: r requires {2r, 2r+1}.
+	spec := NewReverse(func(r granule.ID) []granule.ID {
+		return []granule.ID{2 * r, 2*r + 1}
+	})
+	tab, err := Build(spec, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, scanned := tab.PredsFor(granule.NewSet(granule.R(1, 3))) // successors 1,2
+	if preds.Len() != 4 || !preds.ContainsRange(granule.R(2, 6)) {
+		t.Fatalf("PredsFor = %v (scanned %d)", preds, scanned)
+	}
+	if scanned == 0 {
+		t.Fatal("PredsFor reported zero scan cost for indirect mapping")
+	}
+
+	idTab, _ := Build(NewIdentity(), 8, 8)
+	preds, _ = idTab.PredsFor(granule.NewSet(granule.R(5, 7)))
+	if preds.Len() != 2 || !preds.ContainsRange(granule.R(5, 7)) {
+		t.Fatalf("identity PredsFor = %v", preds)
+	}
+
+	uniTab, _ := Build(NewUniversal(), 8, 8)
+	preds, scanned = uniTab.PredsFor(granule.NewSet(granule.R(0, 8)))
+	if !preds.Empty() || scanned != 0 {
+		t.Fatalf("universal PredsFor = %v scanned=%d", preds, scanned)
+	}
+}
+
+// TestTableQuickExactlyOnce: for random indirect mappings, running every
+// predecessor completion exactly once releases every successor granule
+// exactly once, with no early release.
+func TestTableQuickExactlyOnce(t *testing.T) {
+	f := func(seed int64, nPredRaw, nSuccRaw uint8, reverse bool) bool {
+		nPred := int(nPredRaw)%30 + 1
+		nSucc := int(nSuccRaw)%30 + 1
+		rng := rand.New(rand.NewSource(seed))
+
+		var spec *Spec
+		requires := make([][]granule.ID, nSucc)
+		if reverse {
+			for r := 0; r < nSucc; r++ {
+				k := rng.Intn(4)
+				for j := 0; j < k; j++ {
+					requires[r] = append(requires[r], granule.ID(rng.Intn(nPred)))
+				}
+			}
+			spec = NewReverse(func(r granule.ID) []granule.ID { return requires[r] })
+		} else {
+			imap := make([]granule.ID, nPred)
+			for p := range imap {
+				imap[p] = granule.ID(rng.Intn(nSucc))
+				requires[imap[p]] = append(requires[imap[p]], granule.ID(p))
+			}
+			spec = NewForwardIMAP(imap)
+		}
+
+		tab, err := Build(spec, nPred, nSucc)
+		if err != nil {
+			return false
+		}
+		released := make(map[granule.ID]int)
+		tab.ReadyAtStart().Each(func(r granule.ID) { released[r]++ })
+
+		order := rng.Perm(nPred)
+		done := make(map[granule.ID]bool)
+		for _, pi := range order {
+			p := granule.ID(pi)
+			done[p] = true
+			tab.Complete(p, func(r granule.ID) {
+				released[r]++
+				// No early release: all requirements of r must be done.
+				seen := map[granule.ID]bool{}
+				for _, q := range requires[r] {
+					if seen[q] {
+						continue
+					}
+					seen[q] = true
+					if !done[q] {
+						t.Logf("early release of %d before %d", r, q)
+						released[r] = -1000
+					}
+				}
+			})
+		}
+		for r := 0; r < nSucc; r++ {
+			if released[granule.ID(r)] != 1 {
+				return false
+			}
+		}
+		return tab.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildReverse(b *testing.B) {
+	const n = 1024
+	spec := NewReverse(func(r granule.ID) []granule.ID {
+		return []granule.ID{r, (r + 1) % n, (r + 7) % n}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(spec, n, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompleteIdentity(b *testing.B) {
+	const n = 4096
+	for i := 0; i < b.N; i++ {
+		tab, _ := Build(NewIdentity(), n, n)
+		for p := granule.ID(0); p < n; p++ {
+			tab.Complete(p, func(granule.ID) {})
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package executive runs a core.Scheduler on real goroutines: a pool of
+// worker goroutines executes granule work functions while a mutex-guarded
+// scheduler plays the role of the serial PAX executive. Every scheduler
+// interaction happens under the manager lock, exactly serializing
+// management the way the single UNIVAC executive did; the time spent inside
+// the lock is measured as management time, so the paper's computation-to-
+// management ratio can be observed on real hardware.
+package executive
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/granule"
+)
+
+// Config parameterizes an executive run.
+type Config struct {
+	// Workers is the number of worker goroutines (>=1). Unlike the
+	// simulator, the executive has no separate management processor: the
+	// manager runs inline on whichever worker needs it, under the lock.
+	Workers int
+}
+
+// Report aggregates a run's measurements.
+type Report struct {
+	// Wall is the elapsed wall-clock time of the run.
+	Wall time.Duration
+	// Compute is the summed time workers spent executing granule work.
+	Compute time.Duration
+	// Mgmt is the summed time spent inside scheduler calls (dispatch,
+	// completion processing, deferred management) under the manager lock.
+	Mgmt time.Duration
+	// Idle is the summed time workers spent parked waiting for work.
+	Idle time.Duration
+	// Tasks is the number of tasks executed.
+	Tasks int64
+	// MgmtRatio is Compute/Mgmt — the paper's computation-to-management
+	// ratio (0 when Mgmt is 0).
+	MgmtRatio float64
+	// Utilization is Compute / (Workers * Wall).
+	Utilization float64
+	// Sched holds the scheduler's operation counts.
+	Sched core.Stats
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("wall=%v compute=%v mgmt=%v idle=%v tasks=%d ratio=%.1f util=%.3f",
+		r.Wall, r.Compute, r.Mgmt, r.Idle, r.Tasks, r.MgmtRatio, r.Utilization)
+}
+
+// Run executes prog on cfg.Workers goroutines with scheduler options opt.
+// It returns when every phase has completed.
+func Run(prog *core.Program, opt core.Options, cfg Config) (*Report, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("executive: need at least 1 worker")
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = cfg.Workers
+	}
+	sched, err := core.New(prog, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &engine{
+		sched:   sched,
+		prog:    prog,
+		workers: cfg.Workers,
+	}
+	e.cond = sync.NewCond(&e.mu)
+
+	start := time.Now()
+	e.mu.Lock()
+	m0 := time.Now()
+	sched.Start()
+	e.mgmt += time.Since(m0)
+	e.mu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go func() {
+			defer wg.Done()
+			e.worker()
+		}()
+	}
+	wg.Wait()
+
+	if e.err != nil {
+		return nil, e.err
+	}
+
+	wall := time.Since(start)
+	rep := &Report{
+		Wall:    wall,
+		Compute: e.compute,
+		Mgmt:    e.mgmt,
+		Idle:    e.idle,
+		Tasks:   e.tasks,
+		Sched:   sched.Stats(),
+	}
+	if e.mgmt > 0 {
+		rep.MgmtRatio = float64(e.compute) / float64(e.mgmt)
+	}
+	if wall > 0 {
+		rep.Utilization = float64(e.compute) / (float64(cfg.Workers) * float64(wall))
+	}
+	return rep, nil
+}
+
+type engine struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	sched   *core.Scheduler
+	prog    *core.Program
+	workers int
+
+	// Accumulators, guarded by mu.
+	compute time.Duration
+	mgmt    time.Duration
+	idle    time.Duration
+	tasks   int64
+	err     error
+	waiting int
+}
+
+// worker is the goroutine body: ask the serial manager for work, execute
+// it, report completion, park when nothing is ready.
+func (e *engine) worker() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.err != nil {
+			return
+		}
+		m0 := time.Now()
+		task, _, ok := e.sched.NextTask()
+		e.mgmt += time.Since(m0)
+
+		if ok {
+			work := e.prog.Phases[task.Phase].Work
+			e.mu.Unlock()
+
+			c0 := time.Now()
+			workErr := e.execute(work, task)
+			dur := time.Since(c0)
+
+			e.mu.Lock()
+			if workErr != nil {
+				if e.err == nil {
+					e.err = workErr
+				}
+				e.cond.Broadcast()
+				return
+			}
+			e.compute += dur
+			e.tasks++
+			m1 := time.Now()
+			func() {
+				defer func() {
+					if r := recover(); r != nil && e.err == nil {
+						e.err = fmt.Errorf("executive: completion processing panicked: %v", r)
+					}
+				}()
+				e.sched.Complete(task)
+			}()
+			e.mgmt += time.Since(m1)
+			e.cond.Broadcast()
+			continue
+		}
+
+		if e.sched.Done() {
+			e.cond.Broadcast()
+			return
+		}
+
+		// Idle executive moment: absorb deferred successor-splitting
+		// management tasks before parking.
+		if e.sched.HasDeferred() {
+			m1 := time.Now()
+			_, _ = e.sched.DeferredMgmt()
+			e.mgmt += time.Since(m1)
+			e.cond.Broadcast()
+			continue
+		}
+
+		// Park until a completion or release makes work available. If
+		// every worker is parked with nothing in flight, the scheduler
+		// has stalled — a bug its liveness guarantees should prevent;
+		// fail loudly instead of deadlocking.
+		if e.waiting+1 == e.workers && e.sched.InFlight() == 0 {
+			e.err = fmt.Errorf("executive: stalled at phase %d: all workers idle, nothing in flight",
+				e.sched.CurrentPhase())
+			e.cond.Broadcast()
+			return
+		}
+		i0 := time.Now()
+		e.waiting++
+		e.cond.Wait()
+		e.waiting--
+		e.idle += time.Since(i0)
+	}
+}
+
+// execute runs the work function over the task's granules (outside the
+// manager lock). A nil work function is a pure scheduling run. Panics in
+// user work are captured and surfaced as run errors rather than tearing
+// down the whole process.
+func (e *engine) execute(work core.WorkFn, task core.Task) (err error) {
+	if work == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("executive: work panicked in %v: %v", task, r)
+		}
+	}()
+	task.Run.Each(func(g granule.ID) { work(g) })
+	return nil
+}

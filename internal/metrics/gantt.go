@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span is one labelled busy interval on a Gantt row.
+type Span struct {
+	T0, T1 int64
+	Label  rune // one character identifying the work (e.g. phase letter)
+}
+
+// Gantt records per-processor busy spans for small runs and renders them as
+// an ASCII chart — one row per processor, one column per time cell.
+type Gantt struct {
+	rows [][]Span
+}
+
+// NewGantt creates a chart with procs rows.
+func NewGantt(procs int) *Gantt {
+	return &Gantt{rows: make([][]Span, procs)}
+}
+
+// Add records a span on processor proc.
+func (g *Gantt) Add(proc int, t0, t1 int64, label rune) {
+	if proc < 0 || proc >= len(g.rows) || t1 <= t0 {
+		return
+	}
+	g.rows[proc] = append(g.rows[proc], Span{T0: t0, T1: t1, Label: label})
+}
+
+// Rows returns the number of processor rows.
+func (g *Gantt) Rows() int { return len(g.rows) }
+
+// End returns the latest span end.
+func (g *Gantt) End() int64 {
+	var end int64
+	for _, row := range g.rows {
+		for _, s := range row {
+			if s.T1 > end {
+				end = s.T1
+			}
+		}
+	}
+	return end
+}
+
+// Render draws the chart with at most maxCols time columns; longer
+// horizons are scaled down. Idle cells are '.', management-free rendering:
+// the majority label of each cell wins.
+func (g *Gantt) Render(maxCols int) string {
+	end := g.End()
+	if end == 0 || maxCols <= 0 {
+		return ""
+	}
+	cell := (end + int64(maxCols) - 1) / int64(maxCols)
+	if cell < 1 {
+		cell = 1
+	}
+	cols := int((end + cell - 1) / cell)
+	var b strings.Builder
+	fmt.Fprintf(&b, "time: 1 col = %d units, horizon = %d\n", cell, end)
+	for p, row := range g.rows {
+		line := make([]rune, cols)
+		fill := make([]int64, cols)
+		for i := range line {
+			line[i] = '.'
+		}
+		sorted := append([]Span(nil), row...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].T0 < sorted[j].T0 })
+		for _, s := range sorted {
+			for c := s.T0 / cell; c*cell < s.T1 && int(c) < cols; c++ {
+				lo := c * cell
+				hi := lo + cell
+				if s.T0 > lo {
+					lo = s.T0
+				}
+				if s.T1 < hi {
+					hi = s.T1
+				}
+				if hi-lo > fill[c] {
+					fill[c] = hi - lo
+					line[c] = s.Label
+				}
+			}
+		}
+		fmt.Fprintf(&b, "p%02d |%s|\n", p, string(line))
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+// Package metrics collects and renders utilization data for simulator and
+// executive runs: bucketed busy-time timelines, per-processor accounting,
+// and ASCII Gantt charts for small runs.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline accumulates busy time into fixed-width virtual-time buckets so
+// utilization curves stay O(buckets) regardless of event count.
+type Timeline struct {
+	procs  int
+	width  int64
+	busy   []int64 // worker compute per bucket
+	mgmt   []int64 // management busy per bucket
+	end    int64
+	byProc []int64 // total compute per processor
+}
+
+// NewTimeline creates a timeline for procs processors with the given bucket
+// width (virtual units; minimum 1).
+func NewTimeline(procs int, bucketWidth int64) *Timeline {
+	if bucketWidth < 1 {
+		bucketWidth = 1
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	return &Timeline{procs: procs, width: bucketWidth, byProc: make([]int64, procs)}
+}
+
+// Procs returns the processor count.
+func (tl *Timeline) Procs() int { return tl.procs }
+
+// BucketWidth returns the bucket width in virtual units.
+func (tl *Timeline) BucketWidth() int64 { return tl.width }
+
+func (tl *Timeline) addInterval(dst *[]int64, t0, t1 int64) {
+	if t1 <= t0 {
+		return
+	}
+	if t1 > tl.end {
+		tl.end = t1
+	}
+	b0 := t0 / tl.width
+	b1 := (t1 - 1) / tl.width
+	for int64(len(*dst)) <= b1 {
+		*dst = append(*dst, 0)
+	}
+	if b0 == b1 {
+		(*dst)[b0] += t1 - t0
+		return
+	}
+	(*dst)[b0] += (b0+1)*tl.width - t0
+	for b := b0 + 1; b < b1; b++ {
+		(*dst)[b] += tl.width
+	}
+	(*dst)[b1] += t1 - b1*tl.width
+}
+
+// AddBusy records processor proc computing during [t0, t1).
+func (tl *Timeline) AddBusy(proc int, t0, t1 int64) {
+	if proc >= 0 && proc < tl.procs && t1 > t0 {
+		tl.byProc[proc] += t1 - t0
+	}
+	tl.addInterval(&tl.busy, t0, t1)
+}
+
+// AddMgmt records the management resource busy during [t0, t1).
+func (tl *Timeline) AddMgmt(t0, t1 int64) {
+	tl.addInterval(&tl.mgmt, t0, t1)
+}
+
+// SetEnd extends the recorded horizon to t (e.g. the makespan).
+func (tl *Timeline) SetEnd(t int64) {
+	if t > tl.end {
+		tl.end = t
+	}
+}
+
+// End returns the recorded horizon.
+func (tl *Timeline) End() int64 { return tl.end }
+
+// BusyTotal returns total worker compute units recorded.
+func (tl *Timeline) BusyTotal() int64 {
+	var s int64
+	for _, b := range tl.busy {
+		s += b
+	}
+	return s
+}
+
+// MgmtTotal returns total management units recorded.
+func (tl *Timeline) MgmtTotal() int64 {
+	var s int64
+	for _, b := range tl.mgmt {
+		s += b
+	}
+	return s
+}
+
+// ByProc returns per-processor compute totals (a copy).
+func (tl *Timeline) ByProc() []int64 {
+	out := make([]int64, len(tl.byProc))
+	copy(out, tl.byProc)
+	return out
+}
+
+// Utilization returns aggregate compute utilization: busy/(procs*end).
+func (tl *Timeline) Utilization() float64 {
+	if tl.end == 0 {
+		return 0
+	}
+	return float64(tl.BusyTotal()) / (float64(tl.procs) * float64(tl.end))
+}
+
+// Curve returns the per-bucket compute utilization in [0,1]. The last
+// bucket is normalized by the partial width up to End.
+func (tl *Timeline) Curve() []float64 {
+	if tl.end == 0 {
+		return nil
+	}
+	nb := (tl.end + tl.width - 1) / tl.width
+	out := make([]float64, nb)
+	for i := int64(0); i < nb; i++ {
+		w := tl.width
+		if (i+1)*tl.width > tl.end {
+			w = tl.end - i*tl.width
+		}
+		var b int64
+		if int(i) < len(tl.busy) {
+			b = tl.busy[i]
+		}
+		out[i] = float64(b) / (float64(tl.procs) * float64(w))
+	}
+	return out
+}
+
+// MgmtCurve returns the per-bucket management utilization relative to one
+// management server.
+func (tl *Timeline) MgmtCurve() []float64 {
+	if tl.end == 0 {
+		return nil
+	}
+	nb := (tl.end + tl.width - 1) / tl.width
+	out := make([]float64, nb)
+	for i := int64(0); i < nb; i++ {
+		w := tl.width
+		if (i+1)*tl.width > tl.end {
+			w = tl.end - i*tl.width
+		}
+		var b int64
+		if int(i) < len(tl.mgmt) {
+			b = tl.mgmt[i]
+		}
+		out[i] = float64(b) / float64(w)
+	}
+	return out
+}
+
+// Sparkline renders values (each in [0,1]) as a compact unicode bar string,
+// for quick terminal inspection of utilization curves.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ramp := []rune(" ▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range values {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		idx := int(v * float64(len(ramp)-1))
+		b.WriteRune(ramp[idx])
+	}
+	return b.String()
+}
+
+// FormatPercent renders a fraction as "97.3%".
+func FormatPercent(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTimelineBasics(t *testing.T) {
+	tl := NewTimeline(2, 10)
+	tl.AddBusy(0, 0, 10)
+	tl.AddBusy(1, 0, 5)
+	tl.AddMgmt(5, 8)
+	tl.SetEnd(10)
+	if tl.BusyTotal() != 15 || tl.MgmtTotal() != 3 {
+		t.Fatalf("busy=%d mgmt=%d", tl.BusyTotal(), tl.MgmtTotal())
+	}
+	if got := tl.Utilization(); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.75", got)
+	}
+	by := tl.ByProc()
+	if by[0] != 10 || by[1] != 5 {
+		t.Errorf("byProc = %v", by)
+	}
+	if tl.Procs() != 2 || tl.BucketWidth() != 10 || tl.End() != 10 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestTimelineBucketSpanning(t *testing.T) {
+	tl := NewTimeline(1, 4)
+	tl.AddBusy(0, 2, 11) // spans buckets 0 (2 units), 1 (4), 2 (3)
+	curve := tl.Curve()
+	want := []float64{0.5, 1.0, 1.0} // last bucket partial width 3: 3/3
+	if len(curve) != 3 {
+		t.Fatalf("curve = %v", curve)
+	}
+	for i := range want {
+		if math.Abs(curve[i]-want[i]) > 1e-9 {
+			t.Errorf("curve[%d] = %v, want %v", i, curve[i], want[i])
+		}
+	}
+}
+
+func TestTimelineMgmtCurve(t *testing.T) {
+	tl := NewTimeline(3, 5)
+	tl.AddMgmt(0, 5)
+	tl.SetEnd(10)
+	mc := tl.MgmtCurve()
+	if len(mc) != 2 || math.Abs(mc[0]-1.0) > 1e-9 || mc[1] != 0 {
+		t.Errorf("mgmt curve = %v", mc)
+	}
+}
+
+func TestTimelineDegenerate(t *testing.T) {
+	tl := NewTimeline(0, 0) // clamped to 1 proc, width 1
+	if tl.Procs() != 1 || tl.BucketWidth() != 1 {
+		t.Error("clamping failed")
+	}
+	tl.AddBusy(5, 0, 3) // out-of-range proc: counted in buckets, not byProc
+	if tl.Utilization() == 0 {
+		t.Error("interval dropped")
+	}
+	if c := (&Timeline{procs: 1, width: 1}).Curve(); c != nil {
+		t.Error("empty curve not nil")
+	}
+	tl.AddBusy(0, 5, 5) // empty interval ignored
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 0.5, 1, -1, 2})
+	if s == "" || len([]rune(s)) != 5 {
+		t.Errorf("sparkline = %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline")
+	}
+}
+
+func TestFormatPercent(t *testing.T) {
+	if FormatPercent(0.973) != "97.3%" {
+		t.Errorf("FormatPercent = %q", FormatPercent(0.973))
+	}
+}
+
+func TestGantt(t *testing.T) {
+	g := NewGantt(2)
+	g.Add(0, 0, 10, 'A')
+	g.Add(0, 10, 20, 'B')
+	g.Add(1, 0, 5, 'A')
+	g.Add(1, 12, 20, 'B')
+	g.Add(-1, 0, 5, 'X') // ignored
+	g.Add(0, 5, 5, 'X')  // empty ignored
+	if g.Rows() != 2 || g.End() != 20 {
+		t.Fatalf("rows=%d end=%d", g.Rows(), g.End())
+	}
+	out := g.Render(20)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") || !strings.Contains(out, ".") {
+		t.Errorf("render missing labels/idle:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Errorf("render lines = %d", len(lines))
+	}
+	if (&Gantt{}).Render(10) != "" {
+		t.Error("empty gantt should render empty")
+	}
+}
+
+func TestGanttScaling(t *testing.T) {
+	g := NewGantt(1)
+	g.Add(0, 0, 1000, 'A')
+	out := g.Render(10)
+	if out == "" || strings.Count(out, "A") > 12 {
+		t.Errorf("scaled render wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,166 @@
+package paxlang
+
+import "repro/internal/enable"
+
+// Node is any AST node with a source position.
+type Node interface{ NodePos() Pos }
+
+type base struct{ pos Pos }
+
+func (b base) NodePos() Pos { return b.pos }
+
+// Expr is an integer expression.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	base
+	Val int64
+}
+
+// VarRef references a SET variable.
+type VarRef struct {
+	base
+	Name string
+}
+
+// BinOp is a binary arithmetic operation: + - * /.
+type BinOp struct {
+	base
+	Op   Kind // PLUS, MINUS, STAR, SLASH
+	L, R Expr
+}
+
+// ModCall is MOD(a, b) (the paper writes IMOD).
+type ModCall struct {
+	base
+	A, B Expr
+}
+
+func (*IntLit) exprNode()  {}
+func (*VarRef) exprNode()  {}
+func (*BinOp) exprNode()   {}
+func (*ModCall) exprNode() {}
+
+// Cond is a Fortran-style relational condition.
+type Cond struct {
+	base
+	Op   string // EQ NE LT GT LE GE
+	L, R Expr
+}
+
+// Stmt is a statement.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// EnableItem is one "phase-name/MAPPING=option" entry.
+type EnableItem struct {
+	base
+	Phase   string
+	Mapping enable.Kind
+}
+
+// ClauseMode distinguishes the paper's ENABLE clause forms on DISPATCH.
+type ClauseMode uint8
+
+const (
+	// ClauseInline is "ENABLE/MAPPING=option" — simple and explicit, but
+	// with "no interlock between this phase and the next".
+	ClauseInline ClauseMode = iota
+	// ClauseList is "ENABLE [phase/MAPPING=option ...]" — names the
+	// successors so the executive can verify them.
+	ClauseList
+	// ClauseBranchIndependent is "ENABLE/BRANCHINDEPENDENT [...]": the
+	// following conditional branch does not depend on this phase's
+	// results, so the executive may preprocess it and overlap whichever
+	// named successor is actually dispatched.
+	ClauseBranchIndependent
+	// ClauseBranchDependent is "ENABLE/BRANCHDEPENDENT": the branch
+	// depends on this phase's results; no overlap is possible.
+	ClauseBranchDependent
+)
+
+func (m ClauseMode) String() string {
+	switch m {
+	case ClauseInline:
+		return "inline"
+	case ClauseList:
+		return "list"
+	case ClauseBranchIndependent:
+		return "branch-independent"
+	case ClauseBranchDependent:
+		return "branch-dependent"
+	default:
+		return "invalid"
+	}
+}
+
+// EnableClause is the ENABLE part of a DISPATCH statement.
+type EnableClause struct {
+	base
+	Mode    ClauseMode
+	Mapping enable.Kind  // ClauseInline
+	Items   []EnableItem // ClauseList, ClauseBranchIndependent
+}
+
+// DefineStmt declares a phase to the management system, optionally with
+// define-time enablement declarations (the paper's final construct form).
+type DefineStmt struct {
+	base
+	Name     string
+	Granules Expr
+	Cost     Expr // optional per-granule cost (nil = unit)
+	Lines    int  // optional census weight
+	Serial   Expr // optional serial-action cost before this phase
+	Enables  []EnableItem
+}
+
+// DispatchStmt invokes a phase for actual computations.
+type DispatchStmt struct {
+	base
+	Phase  string
+	Clause *EnableClause // optional
+}
+
+// SetStmt assigns a control variable.
+type SetStmt struct {
+	base
+	Var   string
+	Value Expr
+}
+
+// IfStmt is "IF (cond) THEN GO TO label".
+type IfStmt struct {
+	base
+	Cond   *Cond
+	Target string
+}
+
+// GotoStmt is "GO TO label" / "GOTO label".
+type GotoStmt struct {
+	base
+	Target string
+}
+
+// LabelStmt is "label:".
+type LabelStmt struct {
+	base
+	Name string
+}
+
+func (*DefineStmt) stmtNode()   {}
+func (*DispatchStmt) stmtNode() {}
+func (*SetStmt) stmtNode()      {}
+func (*IfStmt) stmtNode()       {}
+func (*GotoStmt) stmtNode()     {}
+func (*LabelStmt) stmtNode()    {}
+
+// File is a parsed source file.
+type File struct {
+	Stmts []Stmt
+}

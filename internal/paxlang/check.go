@@ -1,0 +1,62 @@
+package paxlang
+
+import "fmt"
+
+// Check performs static semantic analysis of a parsed file without
+// executing it: every GO TO target must be a defined label, labels must be
+// unique, DEFINE names must be unique, and every DISPATCH or ENABLE item
+// must reference a phase DEFINEd somewhere in the file.
+func Check(f *File) error {
+	labels := map[string]Pos{}
+	defines := map[string]Pos{}
+	for _, st := range f.Stmts {
+		switch s := st.(type) {
+		case *LabelStmt:
+			if prev, ok := labels[s.Name]; ok {
+				return errf(s.NodePos(), "duplicate label %q (first at %v)", s.Name, prev)
+			}
+			labels[s.Name] = s.NodePos()
+		case *DefineStmt:
+			if prev, ok := defines[s.Name]; ok {
+				return errf(s.NodePos(), "duplicate DEFINE PHASE %q (first at %v)", s.Name, prev)
+			}
+			defines[s.Name] = s.NodePos()
+		}
+	}
+	checkRef := func(pos Pos, name, what string) error {
+		if _, ok := defines[name]; !ok {
+			return errf(pos, "%s references undefined phase %q", what, name)
+		}
+		return nil
+	}
+	for _, st := range f.Stmts {
+		switch s := st.(type) {
+		case *DefineStmt:
+			for _, it := range s.Enables {
+				if err := checkRef(it.NodePos(), it.Phase, fmt.Sprintf("ENABLE list of %q", s.Name)); err != nil {
+					return err
+				}
+			}
+		case *DispatchStmt:
+			if err := checkRef(s.NodePos(), s.Phase, "DISPATCH"); err != nil {
+				return err
+			}
+			if s.Clause != nil {
+				for _, it := range s.Clause.Items {
+					if err := checkRef(it.NodePos(), it.Phase, "ENABLE clause"); err != nil {
+						return err
+					}
+				}
+			}
+		case *IfStmt:
+			if _, ok := labels[s.Target]; !ok {
+				return errf(s.NodePos(), "IF targets undefined label %q", s.Target)
+			}
+		case *GotoStmt:
+			if _, ok := labels[s.Target]; !ok {
+				return errf(s.NodePos(), "GO TO targets undefined label %q", s.Target)
+			}
+		}
+	}
+	return nil
+}

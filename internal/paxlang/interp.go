@@ -1,0 +1,472 @@
+package paxlang
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/enable"
+	"repro/internal/granule"
+	"repro/internal/workload"
+)
+
+// PhaseImpl binds a DEFINEd phase name to Go-side behaviour. All fields are
+// optional: a nil Work is a pure scheduling phase, a nil Cost falls back to
+// the COST expression (or unit cost), and SerialBefore augments the SERIAL
+// cost declared in the source.
+type PhaseImpl struct {
+	Work         core.WorkFn
+	Cost         core.CostFn
+	SerialBefore func()
+}
+
+// Registry resolves phase implementations and indirect-mapping functions
+// for a source file.
+type Registry struct {
+	// Impls maps phase names to implementations.
+	Impls map[string]PhaseImpl
+	// IndirectSpec supplies Forward/Requires functions for FORWARD,
+	// REVERSE and SEAM mapping options between the named phases. When
+	// nil, deterministic pseudo-random information selection maps are
+	// generated (the paper's IRAND() setup), seeded by Seed.
+	IndirectSpec func(kind enable.Kind, pred, succ string, nPred, nSucc int) (*enable.Spec, error)
+	// Seed drives the default generated maps.
+	Seed uint64
+}
+
+// Options bounds interpretation.
+type Options struct {
+	// MaxSteps limits interpreter steps (default 1 << 20).
+	MaxSteps int
+	// MaxDispatches limits the executed phase count (default 1 << 16).
+	MaxDispatches int
+}
+
+// Dispatch records one executed DISPATCH for diagnostics.
+type Dispatch struct {
+	Phase    string
+	Instance string
+	Pos      Pos
+	// Mapping is the enablement kind applied from this phase to the NEXT
+	// dispatched phase (Null for the last dispatch).
+	Mapping enable.Kind
+	// Verified reports whether the mapping came from a successor-naming
+	// clause the executive could check (the paper's interlock) rather
+	// than an unverified inline option.
+	Verified bool
+}
+
+// Result is the outcome of interpretation: a runnable linear program plus
+// the dispatch log.
+type Result struct {
+	Program    *core.Program
+	Dispatches []Dispatch
+}
+
+// Interpret executes the control program, resolving branches and the
+// enablement clauses into a linear core.Program. It enforces the paper's
+// interlock: a successor-naming ENABLE clause whose named phases do not
+// include the actually-dispatched next phase is an error.
+func Interpret(f *File, reg *Registry, opt Options) (*Result, error) {
+	if err := Check(f); err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		reg = &Registry{}
+	}
+	if opt.MaxSteps <= 0 {
+		opt.MaxSteps = 1 << 20
+	}
+	if opt.MaxDispatches <= 0 {
+		opt.MaxDispatches = 1 << 16
+	}
+
+	in := &interp{
+		file: f,
+		reg:  reg,
+		opt:  opt,
+		vars: map[string]int64{},
+		defs: map[string]*phaseDef{},
+		lbl:  map[string]int{},
+	}
+	for i, st := range f.Stmts {
+		if l, ok := st.(*LabelStmt); ok {
+			in.lbl[l.Name] = i
+		}
+	}
+	if err := in.run(); err != nil {
+		return nil, err
+	}
+	return in.finish()
+}
+
+// phaseDef is an executed DEFINE PHASE.
+type phaseDef struct {
+	name     string
+	granules int
+	cost     core.Cost // 0 = unit
+	lines    int
+	serial   core.Cost
+	enables  []EnableItem
+	uses     int
+}
+
+// pendingEnable carries the enablement declaration of the previous dispatch
+// until the next dispatch identifies the successor.
+type pendingEnable struct {
+	clause  *EnableClause // nil: fall back to define-time list
+	defList []EnableItem
+	pos     Pos
+	from    string
+}
+
+type interp struct {
+	file *File
+	reg  *Registry
+	opt  Options
+
+	vars map[string]int64
+	defs map[string]*phaseDef
+	lbl  map[string]int
+
+	phases     []*core.Phase
+	defOf      []*phaseDef // aligned with phases
+	dispatches []Dispatch
+	pending    *pendingEnable
+}
+
+func (in *interp) run() error {
+	pc := 0
+	steps := 0
+	for pc < len(in.file.Stmts) {
+		steps++
+		if steps > in.opt.MaxSteps {
+			return errf(in.file.Stmts[pc].NodePos(), "interpreter exceeded %d steps (infinite loop?)", in.opt.MaxSteps)
+		}
+		switch s := in.file.Stmts[pc].(type) {
+		case *LabelStmt:
+			pc++
+		case *SetStmt:
+			v, err := in.eval(s.Value)
+			if err != nil {
+				return err
+			}
+			in.vars[s.Var] = v
+			pc++
+		case *GotoStmt:
+			pc = in.lbl[s.Target]
+		case *IfStmt:
+			ok, err := in.cond(s.Cond)
+			if err != nil {
+				return err
+			}
+			if ok {
+				pc = in.lbl[s.Target]
+			} else {
+				pc++
+			}
+		case *DefineStmt:
+			if err := in.define(s); err != nil {
+				return err
+			}
+			pc++
+		case *DispatchStmt:
+			if err := in.dispatch(s); err != nil {
+				return err
+			}
+			pc++
+		default:
+			return errf(s.NodePos(), "internal: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func (in *interp) define(s *DefineStmt) error {
+	if _, ok := in.defs[s.Name]; ok {
+		return errf(s.NodePos(), "phase %q already defined", s.Name)
+	}
+	g, err := in.eval(s.Granules)
+	if err != nil {
+		return err
+	}
+	if g < 0 {
+		return errf(s.NodePos(), "phase %q granule count %d is negative", s.Name, g)
+	}
+	d := &phaseDef{name: s.Name, granules: int(g), lines: s.Lines, enables: s.Enables}
+	if s.Cost != nil {
+		c, err := in.eval(s.Cost)
+		if err != nil {
+			return err
+		}
+		if c < 1 {
+			return errf(s.NodePos(), "phase %q cost %d must be positive", s.Name, c)
+		}
+		d.cost = core.Cost(c)
+	}
+	if s.Serial != nil {
+		c, err := in.eval(s.Serial)
+		if err != nil {
+			return err
+		}
+		if c < 0 {
+			return errf(s.NodePos(), "phase %q serial cost %d is negative", s.Name, c)
+		}
+		d.serial = core.Cost(c)
+	}
+	in.defs[s.Name] = d
+	return nil
+}
+
+func (in *interp) dispatch(s *DispatchStmt) error {
+	if len(in.phases) >= in.opt.MaxDispatches {
+		return errf(s.NodePos(), "program exceeds %d dispatches", in.opt.MaxDispatches)
+	}
+	def, ok := in.defs[s.Phase]
+	if !ok {
+		return errf(s.NodePos(), "DISPATCH of phase %q before its DEFINE", s.Phase)
+	}
+
+	// Resolve the mapping declared by the PREVIOUS dispatch now that the
+	// successor's identity is known.
+	if in.pending != nil {
+		kind, verified, err := in.resolvePending(s)
+		if err != nil {
+			return err
+		}
+		if err := in.wirePair(kind, def, s.NodePos()); err != nil {
+			return err
+		}
+		in.dispatches[len(in.dispatches)-1].Mapping = kind
+		in.dispatches[len(in.dispatches)-1].Verified = verified
+	}
+
+	instance := def.name
+	if def.uses > 0 {
+		instance = fmt.Sprintf("%s#%d", def.name, def.uses)
+	}
+	def.uses++
+
+	impl := in.reg.Impls[def.name]
+	ph := &core.Phase{
+		Name:         instance,
+		Granules:     def.granules,
+		Lines:        def.lines,
+		Work:         impl.Work,
+		SerialBefore: impl.SerialBefore,
+		SerialCost:   def.serial,
+	}
+	switch {
+	case impl.Cost != nil:
+		ph.Cost = impl.Cost
+	case def.cost > 0:
+		ph.Cost = workload.FixedCost(def.cost)
+	}
+	in.phases = append(in.phases, ph)
+	in.defOf = append(in.defOf, def)
+	in.dispatches = append(in.dispatches, Dispatch{
+		Phase: def.name, Instance: instance, Pos: s.NodePos(), Mapping: enable.Null,
+	})
+	in.pending = &pendingEnable{
+		clause:  s.Clause,
+		defList: def.enables,
+		pos:     s.NodePos(),
+		from:    def.name,
+	}
+	return nil
+}
+
+// resolvePending determines the mapping kind between the previous dispatch
+// and the one now being executed, enforcing the successor interlock.
+func (in *interp) resolvePending(next *DispatchStmt) (enable.Kind, bool, error) {
+	p := in.pending
+	in.pending = nil
+	if p.clause != nil {
+		switch p.clause.Mode {
+		case ClauseInline:
+			// "Simple and explicit; however, it leaves the door wide
+			// open to user mistakes" — accepted without verification.
+			return p.clause.Mapping, false, nil
+		case ClauseList, ClauseBranchIndependent:
+			for _, it := range p.clause.Items {
+				if it.Phase == next.Phase {
+					return it.Mapping, true, nil
+				}
+			}
+			return 0, false, errf(next.NodePos(),
+				"interlock: phase %q is not a declared successor of %q (declared: %s)",
+				next.Phase, p.from, enableNames(p.clause.Items))
+		case ClauseBranchDependent:
+			// The branch depends on the phase's results; its successor
+			// cannot be overlapped.
+			return enable.Null, true, nil
+		}
+	}
+	// Fall back to the define-time ENABLE list.
+	for _, it := range p.defList {
+		if it.Phase == next.Phase {
+			return it.Mapping, true, nil
+		}
+	}
+	return enable.Null, false, nil
+}
+
+func enableNames(items []EnableItem) string {
+	s := ""
+	for i, it := range items {
+		if i > 0 {
+			s += ", "
+		}
+		s += it.Phase
+	}
+	return s
+}
+
+// wirePair installs the enablement spec on the previously dispatched phase.
+func (in *interp) wirePair(kind enable.Kind, succ *phaseDef, pos Pos) error {
+	prev := in.phases[len(in.phases)-1]
+	prevDef := in.defOf[len(in.defOf)-1]
+	if kind == enable.Null {
+		prev.Enable = nil
+		return nil
+	}
+	if succ.serial > 0 || in.reg.Impls[succ.name].SerialBefore != nil {
+		return errf(pos,
+			"phase %q declares a serial action; the mapping from %q must be NULL, not %v",
+			succ.name, prevDef.name, kind)
+	}
+	switch kind {
+	case enable.Universal:
+		prev.Enable = enable.NewUniversal()
+	case enable.Identity:
+		prev.Enable = enable.NewIdentity()
+	default:
+		spec, err := in.indirectSpec(kind, prevDef, succ)
+		if err != nil {
+			return errf(pos, "building %v mapping %q -> %q: %v", kind, prevDef.name, succ.name, err)
+		}
+		prev.Enable = spec
+	}
+	return nil
+}
+
+func (in *interp) indirectSpec(kind enable.Kind, pred, succ *phaseDef) (*enable.Spec, error) {
+	if in.reg.IndirectSpec != nil {
+		return in.reg.IndirectSpec(kind, pred.name, succ.name, pred.granules, succ.granules)
+	}
+	seed := in.reg.Seed ^ uint64(len(in.phases))*0x9e3779b97f4a7c15
+	switch kind {
+	case enable.ForwardIndirect:
+		return enable.NewForwardIMAP(workload.RandomIMap(pred.granules, max(succ.granules, 1), seed)), nil
+	case enable.ReverseIndirect:
+		const fan = 2
+		return enable.NewReverseIMAP(workload.RandomIMap(succ.granules*fan, max(pred.granules, 1), seed), fan), nil
+	case enable.Seam:
+		n := pred.granules
+		return enable.NewSeam(func(r granule.ID) []granule.ID {
+			var reqs []granule.ID
+			for _, q := range []granule.ID{r - 1, r, r + 1} {
+				if q >= 0 && int(q) < n {
+					reqs = append(reqs, q)
+				}
+			}
+			return reqs
+		}), nil
+	default:
+		return nil, fmt.Errorf("unsupported mapping kind %v", kind)
+	}
+}
+
+func (in *interp) finish() (*Result, error) {
+	if len(in.phases) == 0 {
+		return nil, fmt.Errorf("pax: program dispatched no phases")
+	}
+	prog, err := core.NewProgram(in.phases...)
+	if err != nil {
+		return nil, fmt.Errorf("pax: %w", err)
+	}
+	return &Result{Program: prog, Dispatches: in.dispatches}, nil
+}
+
+func (in *interp) eval(e Expr) (int64, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Val, nil
+	case *VarRef:
+		v, ok := in.vars[x.Name]
+		if !ok {
+			return 0, errf(x.NodePos(), "undefined variable %q", x.Name)
+		}
+		return v, nil
+	case *BinOp:
+		l, err := in.eval(x.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := in.eval(x.R)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case PLUS:
+			return l + r, nil
+		case MINUS:
+			return l - r, nil
+		case STAR:
+			return l * r, nil
+		case SLASH:
+			if r == 0 {
+				return 0, errf(x.NodePos(), "division by zero")
+			}
+			return l / r, nil
+		}
+		return 0, errf(x.NodePos(), "internal: bad operator")
+	case *ModCall:
+		a, err := in.eval(x.A)
+		if err != nil {
+			return 0, err
+		}
+		b, err := in.eval(x.B)
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return 0, errf(x.NodePos(), "MOD by zero")
+		}
+		return a % b, nil
+	default:
+		return 0, errf(e.NodePos(), "internal: unknown expression %T", e)
+	}
+}
+
+func (in *interp) cond(c *Cond) (bool, error) {
+	l, err := in.eval(c.L)
+	if err != nil {
+		return false, err
+	}
+	r, err := in.eval(c.R)
+	if err != nil {
+		return false, err
+	}
+	switch c.Op {
+	case "EQ":
+		return l == r, nil
+	case "NE":
+		return l != r, nil
+	case "LT":
+		return l < r, nil
+	case "GT":
+		return l > r, nil
+	case "LE":
+		return l <= r, nil
+	case "GE":
+		return l >= r, nil
+	}
+	return false, errf(c.NodePos(), "internal: bad relop %q", c.Op)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

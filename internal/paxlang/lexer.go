@@ -1,0 +1,125 @@
+package paxlang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Error is a positioned source error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("pax:%v: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes source. Comments run from '!' or '#' to end of line; blank
+// lines are collapsed. Keywords are case-insensitive (the paper's fragments
+// are upper case); identifiers keep their spelling.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	lines := strings.Split(src, "\n")
+	for li, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, "!#"); i >= 0 {
+			line = line[:i]
+		}
+		col := 0
+		emitted := false
+		for col < len(line) {
+			c := line[col]
+			pos := Pos{Line: li + 1, Col: col + 1}
+			switch {
+			case c == ' ' || c == '\t' || c == '\r':
+				col++
+			case c >= '0' && c <= '9':
+				j := col
+				for j < len(line) && line[j] >= '0' && line[j] <= '9' {
+					j++
+				}
+				v, err := strconv.ParseInt(line[col:j], 10, 64)
+				if err != nil {
+					return nil, errf(pos, "bad integer %q", line[col:j])
+				}
+				toks = append(toks, Token{Kind: INT, Text: line[col:j], Val: v, Pos: pos})
+				col = j
+				emitted = true
+			case isIdentStart(c):
+				j := col
+				for j < len(line) && isIdentPart(line[j]) {
+					j++
+				}
+				word := line[col:j]
+				if k, ok := keywords[strings.ToUpper(word)]; ok {
+					toks = append(toks, Token{Kind: k, Text: word, Pos: pos})
+				} else {
+					toks = append(toks, Token{Kind: IDENT, Text: word, Pos: pos})
+				}
+				col = j
+				emitted = true
+			case c == '.':
+				// Fortran relational operator .XX.
+				if col+3 < len(line) && line[col+3] == '.' {
+					op := strings.ToUpper(line[col+1 : col+3])
+					switch op {
+					case "EQ", "NE", "LT", "GT", "LE", "GE":
+						toks = append(toks, Token{Kind: RELOP, Text: op, Pos: pos})
+						col += 4
+						emitted = true
+						continue
+					}
+				}
+				return nil, errf(pos, "unexpected '.' (expected .EQ. .NE. .LT. .GT. .LE. .GE.)")
+			default:
+				var k Kind
+				switch c {
+				case '[':
+					k = LBRACK
+				case ']':
+					k = RBRACK
+				case '(':
+					k = LPAREN
+				case ')':
+					k = RPAREN
+				case '/':
+					k = SLASH
+				case '=':
+					k = EQUALS
+				case ',':
+					k = COMMA
+				case ':':
+					k = COLON
+				case '+':
+					k = PLUS
+				case '-':
+					k = MINUS
+				case '*':
+					k = STAR
+				default:
+					return nil, errf(pos, "unexpected character %q", string(c))
+				}
+				toks = append(toks, Token{Kind: k, Text: string(c), Pos: pos})
+				col++
+				emitted = true
+			}
+		}
+		if emitted {
+			toks = append(toks, Token{Kind: EOL, Pos: Pos{Line: li + 1, Col: len(line) + 1}})
+		}
+	}
+	toks = append(toks, Token{Kind: EOF, Pos: Pos{Line: len(lines) + 1, Col: 1}})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

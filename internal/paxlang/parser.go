@@ -1,0 +1,447 @@
+package paxlang
+
+import (
+	"repro/internal/enable"
+)
+
+// Parse lexes and parses source into a File.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.file()
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) peek() Token { return p.toks[p.i+1] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.i]
+	if t.Kind != EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) accept(k Kind) (Token, bool) {
+	if p.cur().Kind == k {
+		return p.next(), true
+	}
+	return Token{}, false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if t, ok := p.accept(k); ok {
+		return t, nil
+	}
+	return Token{}, errf(p.cur().Pos, "expected %v, found %v", k, p.cur())
+}
+
+func (p *parser) skipEOL() {
+	for p.cur().Kind == EOL {
+		p.next()
+	}
+}
+
+func (p *parser) endOfStmt() error {
+	switch p.cur().Kind {
+	case EOL:
+		p.next()
+		return nil
+	case EOF:
+		return nil
+	default:
+		return errf(p.cur().Pos, "unexpected %v at end of statement", p.cur())
+	}
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	for {
+		p.skipEOL()
+		if p.cur().Kind == EOF {
+			return f, nil
+		}
+		st, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Stmts = append(f.Stmts, st)
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case DEFINE:
+		return p.defineStmt()
+	case DISPATCH:
+		return p.dispatchStmt()
+	case SET:
+		return p.setStmt()
+	case IF:
+		return p.ifStmt()
+	case GO, GOTO:
+		return p.gotoStmt()
+	case IDENT:
+		if p.peek().Kind == COLON {
+			lbl := p.next()
+			p.next() // colon
+			// A label may share a line with the following statement or
+			// stand alone.
+			return &LabelStmt{base: base{pos: lbl.Pos}, Name: lbl.Text}, nil
+		}
+		return nil, errf(t.Pos, "unexpected identifier %q (labels need ':', statements start with a keyword)", t.Text)
+	default:
+		return nil, errf(t.Pos, "unexpected %v at start of statement", t)
+	}
+}
+
+// defineStmt := DEFINE PHASE ident GRANULES expr [COST expr] [LINES int]
+//
+//	[SERIAL expr] [ENABLE '[' item+ ']']
+//
+// The ENABLE list may continue over following lines until ']'.
+func (p *parser) defineStmt() (Stmt, error) {
+	d := &DefineStmt{base: base{pos: p.cur().Pos}}
+	p.next() // DEFINE
+	if _, err := p.expect(PHASE); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name.Text
+	if _, err := p.expect(GRANULES); err != nil {
+		return nil, err
+	}
+	if d.Granules, err = p.expr(); err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case COST:
+			p.next()
+			if d.Cost, err = p.expr(); err != nil {
+				return nil, err
+			}
+		case LINES:
+			p.next()
+			n, err := p.expect(INT)
+			if err != nil {
+				return nil, err
+			}
+			d.Lines = int(n.Val)
+		case SERIAL:
+			p.next()
+			if d.Serial, err = p.expr(); err != nil {
+				return nil, err
+			}
+		case ENABLE:
+			p.next()
+			items, err := p.enableList()
+			if err != nil {
+				return nil, err
+			}
+			d.Enables = items
+		default:
+			return d, p.endOfStmt()
+		}
+	}
+}
+
+// enableList := '[' (item EOL*)+ ']' ; item := ident '/' MAPPING '=' ident
+func (p *parser) enableList() ([]EnableItem, error) {
+	if _, err := p.expect(LBRACK); err != nil {
+		return nil, err
+	}
+	var items []EnableItem
+	for {
+		p.skipEOL()
+		if _, ok := p.accept(RBRACK); ok {
+			if len(items) == 0 {
+				return nil, errf(p.cur().Pos, "empty ENABLE list")
+			}
+			return items, nil
+		}
+		item, err := p.enableItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+	}
+}
+
+func (p *parser) enableItem() (EnableItem, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return EnableItem{}, err
+	}
+	if _, err := p.expect(SLASH); err != nil {
+		return EnableItem{}, err
+	}
+	if _, err := p.expect(MAPPING); err != nil {
+		return EnableItem{}, err
+	}
+	if _, err := p.expect(EQUALS); err != nil {
+		return EnableItem{}, err
+	}
+	opt, err := p.expect(IDENT)
+	if err != nil {
+		return EnableItem{}, err
+	}
+	kind, err := enable.ParseKind(opt.Text)
+	if err != nil {
+		return EnableItem{}, errf(opt.Pos, "unknown mapping option %q", opt.Text)
+	}
+	return EnableItem{base: base{pos: name.Pos}, Phase: name.Text, Mapping: kind}, nil
+}
+
+// dispatchStmt := DISPATCH ident [ENABLE clause]
+func (p *parser) dispatchStmt() (Stmt, error) {
+	d := &DispatchStmt{base: base{pos: p.cur().Pos}}
+	p.next() // DISPATCH
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d.Phase = name.Text
+	// The ENABLE clause may start on the same or the following line (the
+	// paper writes it on a continuation line).
+	if p.cur().Kind == EOL && p.peek().Kind == ENABLE {
+		p.next()
+	}
+	if _, ok := p.accept(ENABLE); ok {
+		cl, err := p.enableClause()
+		if err != nil {
+			return nil, err
+		}
+		d.Clause = cl
+	}
+	return d, p.endOfStmt()
+}
+
+func (p *parser) enableClause() (*EnableClause, error) {
+	cl := &EnableClause{base: base{pos: p.cur().Pos}}
+	switch p.cur().Kind {
+	case SLASH:
+		p.next()
+		switch p.cur().Kind {
+		case MAPPING:
+			p.next()
+			if _, err := p.expect(EQUALS); err != nil {
+				return nil, err
+			}
+			opt, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			kind, err := enable.ParseKind(opt.Text)
+			if err != nil {
+				return nil, errf(opt.Pos, "unknown mapping option %q", opt.Text)
+			}
+			cl.Mode = ClauseInline
+			cl.Mapping = kind
+			return cl, nil
+		case BRANCHINDEPENDENT:
+			p.next()
+			p.skipEOL()
+			items, err := p.enableList()
+			if err != nil {
+				return nil, err
+			}
+			cl.Mode = ClauseBranchIndependent
+			cl.Items = items
+			return cl, nil
+		case BRANCHDEPENDENT:
+			p.next()
+			cl.Mode = ClauseBranchDependent
+			return cl, nil
+		default:
+			return nil, errf(p.cur().Pos, "expected MAPPING, BRANCHINDEPENDENT or BRANCHDEPENDENT after ENABLE/")
+		}
+	case LBRACK:
+		items, err := p.enableList()
+		if err != nil {
+			return nil, err
+		}
+		cl.Mode = ClauseList
+		cl.Items = items
+		return cl, nil
+	default:
+		return nil, errf(p.cur().Pos, "expected '/' or '[' after ENABLE")
+	}
+}
+
+func (p *parser) setStmt() (Stmt, error) {
+	s := &SetStmt{base: base{pos: p.cur().Pos}}
+	p.next() // SET
+	v, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	s.Var = v.Text
+	if _, err := p.expect(EQUALS); err != nil {
+		return nil, err
+	}
+	if s.Value, err = p.expr(); err != nil {
+		return nil, err
+	}
+	return s, p.endOfStmt()
+}
+
+// ifStmt := IF '(' expr RELOP expr ')' THEN (GO TO | GOTO) ident
+func (p *parser) ifStmt() (Stmt, error) {
+	s := &IfStmt{base: base{pos: p.cur().Pos}}
+	p.next() // IF
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	l, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.expect(RELOP)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	s.Cond = &Cond{base: base{pos: op.Pos}, Op: op.Text, L: l, R: r}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(THEN); err != nil {
+		return nil, err
+	}
+	// THEN may be followed by a newline before GO TO.
+	p.skipEOL()
+	if err := p.gotoTail(&s.Target); err != nil {
+		return nil, err
+	}
+	return s, p.endOfStmt()
+}
+
+func (p *parser) gotoStmt() (Stmt, error) {
+	s := &GotoStmt{base: base{pos: p.cur().Pos}}
+	if err := p.gotoTail(&s.Target); err != nil {
+		return nil, err
+	}
+	return s, p.endOfStmt()
+}
+
+func (p *parser) gotoTail(target *string) error {
+	switch p.cur().Kind {
+	case GOTO:
+		p.next()
+	case GO:
+		p.next()
+		if _, err := p.expect(TO); err != nil {
+			return err
+		}
+	default:
+		return errf(p.cur().Pos, "expected GO TO")
+	}
+	t, err := p.expect(IDENT)
+	if err != nil {
+		return err
+	}
+	*target = t.Text
+	return nil
+}
+
+// expr := term (('+'|'-') term)*
+func (p *parser) expr() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == PLUS || p.cur().Kind == MINUS {
+		op := p.next()
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{base: base{pos: op.Pos}, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+// term := factor (('*'|'/') factor)*
+func (p *parser) term() (Expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == STAR || p.cur().Kind == SLASH {
+		op := p.next()
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{base: base{pos: op.Pos}, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) factor() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INT:
+		p.next()
+		return &IntLit{base: base{pos: t.Pos}, Val: t.Val}, nil
+	case IDENT:
+		p.next()
+		return &VarRef{base: base{pos: t.Pos}, Name: t.Text}, nil
+	case MOD:
+		p.next()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(COMMA); err != nil {
+			return nil, err
+		}
+		b, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return &ModCall{base: base{pos: t.Pos}, A: a, B: b}, nil
+	case LPAREN:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case MINUS:
+		p.next()
+		e, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{base: base{pos: t.Pos}, Op: MINUS,
+			L: &IntLit{base: base{pos: t.Pos}}, R: e}, nil
+	default:
+		return nil, errf(t.Pos, "expected expression, found %v", t)
+	}
+}

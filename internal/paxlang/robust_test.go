@@ -1,0 +1,89 @@
+package paxlang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics feeds random token soup to the full front end; any
+// input must produce either a File or a positioned error — never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	words := []string{
+		"DEFINE", "PHASE", "GRANULES", "COST", "LINES", "SERIAL", "ENABLE",
+		"MAPPING", "DISPATCH", "SET", "IF", "THEN", "GO", "TO", "GOTO", "MOD",
+		"BRANCHINDEPENDENT", "BRANCHDEPENDENT",
+		"alpha", "beta", "x", "7", "42", "=", "/", "[", "]", "(", ")", ",",
+		":", "+", "-", "*", ".EQ.", ".NE.", "\n", "!", "comment",
+	}
+	f := func(seed int64, length uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i := 0; i < int(length); i++ {
+			b.WriteString(words[rng.Intn(len(words))])
+			b.WriteByte(' ')
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on %q: %v", b.String(), r)
+			}
+		}()
+		file, err := Parse(b.String())
+		if err == nil && file != nil {
+			// Valid parse: Check and Interpret must also not panic.
+			if cerr := Check(file); cerr == nil {
+				_, _ = Interpret(file, nil, Options{MaxSteps: 1000, MaxDispatches: 100})
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLexerNeverPanics feeds random bytes to the lexer.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("lexer panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = Lex(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterpretedProgramsAlwaysValid: whatever a random-but-parseable
+// control program produces, the resulting core.Program passes validation
+// (Interpret itself calls NewProgram, so success implies validity — this
+// pins the dispatch-log/program consistency too).
+func TestInterpretedProgramsAlwaysValid(t *testing.T) {
+	srcs := []string{
+		"DEFINE PHASE a GRANULES 4\nDISPATCH a\n",
+		"DEFINE PHASE a GRANULES 4 ENABLE [ a/MAPPING=IDENTITY ]\nDISPATCH a\nDISPATCH a\nDISPATCH a\n",
+		"DEFINE PHASE a GRANULES 0\nDEFINE PHASE b GRANULES 9\nDISPATCH a ENABLE/MAPPING=UNIVERSAL\nDISPATCH b\n",
+		"DEFINE PHASE a GRANULES 3 COST 7 LINES 12 SERIAL 5\nDISPATCH a\n",
+	}
+	for _, src := range srcs {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		res, err := Interpret(f, nil, Options{})
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if len(res.Dispatches) != len(res.Program.Phases) {
+			t.Fatalf("%q: %d dispatches vs %d phases", src, len(res.Dispatches), len(res.Program.Phases))
+		}
+		if err := res.Program.Validate(); err != nil {
+			t.Fatalf("%q: invalid program: %v", src, err)
+		}
+	}
+}

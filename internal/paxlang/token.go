@@ -1,0 +1,107 @@
+// Package paxlang implements the parallel-phase control language the paper
+// proposes for PAX: DEFINE PHASE declarations, DISPATCH statements, ENABLE
+// clauses with mapping options, branch-independent enablement lookahead,
+// and the Fortran-flavoured control flow (SET/IF/GO TO/labels) the paper's
+// fragments use. A lexer, parser, semantic checker and interpreter turn a
+// .pax source into a runnable core.Program, enforcing the successor
+// interlock the paper argues for: "identify the name of the enabled next
+// phase so that the executive system (or language processor) can verify
+// that, in fact, that phase is following."
+package paxlang
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+const (
+	EOF Kind = iota
+	EOL
+	IDENT
+	INT
+	RELOP // .EQ. .NE. .LT. .GT. .LE. .GE.
+
+	// Keywords.
+	DEFINE
+	PHASE
+	GRANULES
+	COST
+	LINES
+	SERIAL
+	ENABLE
+	MAPPING
+	DISPATCH
+	SET
+	IF
+	THEN
+	GO
+	TO
+	GOTO
+	MOD
+	BRANCHINDEPENDENT
+	BRANCHDEPENDENT
+
+	// Symbols.
+	LBRACK // [
+	RBRACK // ]
+	LPAREN // (
+	RPAREN // )
+	SLASH  // /
+	EQUALS // =
+	COMMA  // ,
+	COLON  // :
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", EOL: "end of line", IDENT: "identifier", INT: "integer",
+	RELOP:  "relational operator",
+	DEFINE: "DEFINE", PHASE: "PHASE", GRANULES: "GRANULES", COST: "COST",
+	LINES: "LINES", SERIAL: "SERIAL", ENABLE: "ENABLE", MAPPING: "MAPPING",
+	DISPATCH: "DISPATCH", SET: "SET", IF: "IF", THEN: "THEN", GO: "GO",
+	TO: "TO", GOTO: "GOTO", MOD: "MOD",
+	BRANCHINDEPENDENT: "BRANCHINDEPENDENT", BRANCHDEPENDENT: "BRANCHDEPENDENT",
+	LBRACK: "[", RBRACK: "]", LPAREN: "(", RPAREN: ")", SLASH: "/",
+	EQUALS: "=", COMMA: ",", COLON: ":", PLUS: "+", MINUS: "-", STAR: "*",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"DEFINE": DEFINE, "PHASE": PHASE, "GRANULES": GRANULES, "COST": COST,
+	"LINES": LINES, "SERIAL": SERIAL, "ENABLE": ENABLE, "MAPPING": MAPPING,
+	"DISPATCH": DISPATCH, "SET": SET, "IF": IF, "THEN": THEN, "GO": GO,
+	"TO": TO, "GOTO": GOTO, "MOD": MOD, "IMOD": MOD,
+	"BRANCHINDEPENDENT": BRANCHINDEPENDENT, "BRANCHDEPENDENT": BRANCHDEPENDENT,
+}
+
+// Pos locates a token in the source.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical unit.
+type Token struct {
+	Kind Kind
+	Text string
+	Val  int64 // for INT
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, RELOP:
+		return fmt.Sprintf("%v(%s)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,230 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingPushPop(t *testing.T) {
+	r := NewRing[int]()
+	if !r.Empty() || r.Len() != 0 {
+		t.Fatal("new ring not empty")
+	}
+	for i := 1; i <= 3; i++ {
+		r.PushBack(NewNode(i))
+	}
+	r.PushFront(NewNode(0))
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	for want := 0; want <= 3; want++ {
+		n := r.PopFront()
+		if n == nil || n.Value != want {
+			t.Fatalf("PopFront = %v, want %d", n, want)
+		}
+		if n.Attached() {
+			t.Fatal("popped node still attached")
+		}
+	}
+	if r.PopFront() != nil {
+		t.Fatal("PopFront on empty != nil")
+	}
+}
+
+func TestRingPopBack(t *testing.T) {
+	r := NewRing[string]()
+	r.PushBack(NewNode("a"))
+	r.PushBack(NewNode("b"))
+	if n := r.PopBack(); n.Value != "b" {
+		t.Fatalf("PopBack = %q", n.Value)
+	}
+	if n := r.Back(); n.Value != "a" {
+		t.Fatalf("Back = %q", n.Value)
+	}
+}
+
+func TestRingRemoveMiddle(t *testing.T) {
+	r := NewRing[int]()
+	var nodes []*Node[int]
+	for i := 0; i < 5; i++ {
+		n := NewNode(i)
+		nodes = append(nodes, n)
+		r.PushBack(n)
+	}
+	r.Remove(nodes[2])
+	want := []int{0, 1, 3, 4}
+	var got []int
+	r.Each(func(n *Node[int]) { got = append(got, n.Value) })
+	if len(got) != len(want) {
+		t.Fatalf("after remove: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after remove: %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRingInsertAfterBefore(t *testing.T) {
+	r := NewRing[int]()
+	a, c := NewNode(1), NewNode(3)
+	r.PushBack(a)
+	r.PushBack(c)
+	r.InsertAfter(NewNode(2), a)
+	r.InsertBefore(NewNode(0), a)
+	var got []int
+	r.Each(func(n *Node[int]) { got = append(got, n.Value) })
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRingDoubleInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on double insert")
+		}
+	}()
+	r := NewRing[int]()
+	n := NewNode(1)
+	r.PushBack(n)
+	r.PushBack(n)
+}
+
+func TestRingRemoveForeignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on foreign remove")
+		}
+	}()
+	r1, r2 := NewRing[int](), NewRing[int]()
+	n := NewNode(1)
+	r1.PushBack(n)
+	r2.Remove(n)
+}
+
+func TestRingDrainInto(t *testing.T) {
+	src, dst := NewRing[int](), NewRing[int]()
+	dst.PushBack(NewNode(0))
+	for i := 1; i <= 3; i++ {
+		src.PushBack(NewNode(i))
+	}
+	src.DrainInto(dst)
+	if !src.Empty() || dst.Len() != 4 {
+		t.Fatalf("src %d dst %d", src.Len(), dst.Len())
+	}
+	for want := 0; want <= 3; want++ {
+		if n := dst.PopFront(); n.Value != want {
+			t.Fatalf("order broken at %d: %d", want, n.Value)
+		}
+	}
+}
+
+func TestRingDrain(t *testing.T) {
+	r := NewRing[int]()
+	for i := 0; i < 3; i++ {
+		r.PushBack(NewNode(i))
+	}
+	var got []int
+	r.Drain(func(v int) { got = append(got, v) })
+	if !r.Empty() || len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("Drain got %v", got)
+	}
+}
+
+func TestRingNext(t *testing.T) {
+	r := NewRing[int]()
+	a, b := NewNode(1), NewNode(2)
+	r.PushBack(a)
+	r.PushBack(b)
+	if r.Next(a) != b {
+		t.Fatal("Next(a) != b")
+	}
+	if r.Next(b) != nil {
+		t.Fatal("Next(back) != nil")
+	}
+}
+
+func TestRingZeroValue(t *testing.T) {
+	var r Ring[int]
+	r.PushBack(NewNode(7))
+	if n := r.PopFront(); n == nil || n.Value != 7 {
+		t.Fatal("zero-value ring unusable")
+	}
+}
+
+// TestRingQuickAgainstSlice models the ring with a plain slice under random
+// front/back push/pop sequences.
+func TestRingQuickAgainstSlice(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRing[int]()
+		var model []int
+		next := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				r.PushBack(NewNode(next))
+				model = append(model, next)
+				next++
+			case 1:
+				r.PushFront(NewNode(next))
+				model = append([]int{next}, model...)
+				next++
+			case 2:
+				n := r.PopFront()
+				if len(model) == 0 {
+					if n != nil {
+						return false
+					}
+				} else {
+					if n == nil || n.Value != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3:
+				n := r.PopBack()
+				if len(model) == 0 {
+					if n != nil {
+						return false
+					}
+				} else {
+					if n == nil || n.Value != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+			_ = rng
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r := NewRing[int]()
+	nodes := make([]*Node[int], 64)
+	for i := range nodes {
+		nodes[i] = NewNode(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range nodes {
+			r.PushBack(n)
+		}
+		for range nodes {
+			r.PopFront()
+		}
+	}
+}

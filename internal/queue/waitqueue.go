@@ -1,0 +1,125 @@
+package queue
+
+import "fmt"
+
+// Class is the priority class of an entry in the waiting computation queue.
+// The queue is "kept in a known order": all entries of a lower-numbered
+// class are dispatched before any entry of a higher-numbered class, FIFO
+// within a class (except entries pushed to the class front).
+type Class uint8
+
+const (
+	// Elevated holds current-phase granules whose priority was raised
+	// because they enable an identified successor subset (the paper's
+	// "placed in the waiting computation queue in such a manner as to
+	// elevate their computational priority").
+	Elevated Class = iota
+	// Released holds computations released from a conflict queue — e.g.
+	// successor-phase granules enabled by a completed current-phase
+	// description. PAX placed these "ahead of the normal computations".
+	Released
+	// Normal holds ordinary current-phase work.
+	Normal
+	// Background holds overlapped successor-phase work that fills in only
+	// when nothing above is available — e.g. a universally-mapped successor
+	// phase, which PAX placed "behind the current phase description".
+	Background
+	numClasses
+)
+
+// NumClasses is the number of priority classes.
+const NumClasses = int(numClasses)
+
+func (c Class) String() string {
+	switch c {
+	case Elevated:
+		return "elevated"
+	case Released:
+		return "released"
+	case Normal:
+		return "normal"
+	case Background:
+		return "background"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Wait is the PAX waiting computation queue: a fixed set of priority
+// classes, each a double circularly-linked ring, dispatched in class order.
+// The zero value is ready to use. Not safe for concurrent use.
+type Wait[T any] struct {
+	classes [numClasses]Ring[T]
+	n       int
+}
+
+// NewWait returns an empty waiting computation queue.
+func NewWait[T any]() *Wait[T] { return &Wait[T]{} }
+
+// Len reports the total number of queued entries.
+func (w *Wait[T]) Len() int { return w.n }
+
+// Empty reports whether no entries are queued.
+func (w *Wait[T]) Empty() bool { return w.n == 0 }
+
+// LenClass reports the number of entries queued in class c.
+func (w *Wait[T]) LenClass(c Class) int { return w.classes[c].Len() }
+
+// Push appends node n to the back of class c.
+func (w *Wait[T]) Push(n *Node[T], c Class) {
+	w.classes[c].PushBack(n)
+	w.n++
+}
+
+// PushFront inserts node n at the front of class c. PAX used this to give a
+// split-off description remainder back its place at the head of the queue.
+func (w *Wait[T]) PushFront(n *Node[T], c Class) {
+	w.classes[c].PushFront(n)
+	w.n++
+}
+
+// Pop removes and returns the highest-priority entry: the front of the
+// lowest-numbered non-empty class. ok is false when the queue is empty.
+// The entry's class is returned so callers can requeue remainders in place.
+func (w *Wait[T]) Pop() (n *Node[T], c Class, ok bool) {
+	for ci := Class(0); ci < numClasses; ci++ {
+		if node := w.classes[ci].PopFront(); node != nil {
+			w.n--
+			return node, ci, true
+		}
+	}
+	return nil, 0, false
+}
+
+// Peek returns the entry Pop would return, without removing it.
+func (w *Wait[T]) Peek() (n *Node[T], c Class, ok bool) {
+	for ci := Class(0); ci < numClasses; ci++ {
+		if node := w.classes[ci].Front(); node != nil {
+			return node, ci, true
+		}
+	}
+	return nil, 0, false
+}
+
+// Remove unlinks n from class c. The caller must pass the class the node
+// currently occupies.
+func (w *Wait[T]) Remove(n *Node[T], c Class) {
+	w.classes[c].Remove(n)
+	w.n--
+}
+
+// Promote moves every entry of class from to the back of class to,
+// preserving FIFO order. The scheduler uses this when an overlapped
+// successor phase becomes the current phase: its Background entries become
+// Normal work.
+func (w *Wait[T]) Promote(from, to Class) {
+	w.classes[from].DrainInto(&w.classes[to])
+}
+
+// Each calls f for every queued entry in dispatch order, with its class.
+func (w *Wait[T]) Each(f func(n *Node[T], c Class)) {
+	for ci := Class(0); ci < numClasses; ci++ {
+		c := ci
+		w.classes[ci].Each(func(n *Node[T]) { f(n, c) })
+	}
+}

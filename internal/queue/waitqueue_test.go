@@ -1,0 +1,155 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWaitClassOrder(t *testing.T) {
+	w := NewWait[string]()
+	w.Push(NewNode("n1"), Normal)
+	w.Push(NewNode("b1"), Background)
+	w.Push(NewNode("r1"), Released)
+	w.Push(NewNode("e1"), Elevated)
+	w.Push(NewNode("n2"), Normal)
+
+	want := []string{"e1", "r1", "n1", "n2", "b1"}
+	for _, expect := range want {
+		n, _, ok := w.Pop()
+		if !ok || n.Value != expect {
+			t.Fatalf("Pop = %v, want %q", n, expect)
+		}
+	}
+	if _, _, ok := w.Pop(); ok {
+		t.Fatal("Pop on empty reported ok")
+	}
+}
+
+func TestWaitPushFront(t *testing.T) {
+	w := NewWait[int]()
+	w.Push(NewNode(1), Normal)
+	w.PushFront(NewNode(0), Normal)
+	n, c, _ := w.Pop()
+	if n.Value != 0 || c != Normal {
+		t.Fatalf("Pop = %d class %v", n.Value, c)
+	}
+}
+
+func TestWaitPeekRemove(t *testing.T) {
+	w := NewWait[int]()
+	a := NewNode(1)
+	w.Push(a, Released)
+	n, c, ok := w.Peek()
+	if !ok || n != a || c != Released || w.Len() != 1 {
+		t.Fatal("Peek broken")
+	}
+	w.Remove(a, Released)
+	if !w.Empty() {
+		t.Fatal("Remove did not empty queue")
+	}
+}
+
+func TestWaitPromote(t *testing.T) {
+	w := NewWait[int]()
+	w.Push(NewNode(10), Background)
+	w.Push(NewNode(11), Background)
+	w.Push(NewNode(5), Normal)
+	w.Promote(Background, Normal)
+	if w.LenClass(Background) != 0 || w.LenClass(Normal) != 3 {
+		t.Fatalf("promote: bg=%d normal=%d", w.LenClass(Background), w.LenClass(Normal))
+	}
+	// FIFO preserved: 5 was already in Normal, then 10, 11 appended.
+	var got []int
+	for {
+		n, _, ok := w.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, n.Value)
+	}
+	want := []int{5, 10, 11}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v want %v", got, want)
+		}
+	}
+}
+
+func TestWaitEach(t *testing.T) {
+	w := NewWait[int]()
+	w.Push(NewNode(2), Normal)
+	w.Push(NewNode(1), Elevated)
+	var got []int
+	var classes []Class
+	w.Each(func(n *Node[int], c Class) { got = append(got, n.Value); classes = append(classes, c) })
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 || classes[0] != Elevated {
+		t.Fatalf("Each order %v %v", got, classes)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	names := map[Class]string{Elevated: "elevated", Released: "released", Normal: "normal", Background: "background", Class(9): "Class(9)"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+// TestWaitQuickDispatchOrder: for any push sequence, the pop order is sorted
+// by class, FIFO within class.
+func TestWaitQuickDispatchOrder(t *testing.T) {
+	type entry struct {
+		class Class
+		seq   int
+	}
+	f := func(classesRaw []uint8) bool {
+		w := NewWait[entry]()
+		for i, raw := range classesRaw {
+			c := Class(raw % uint8(NumClasses))
+			w.Push(NewNode(entry{class: c, seq: i}), c)
+		}
+		prev := entry{class: 0, seq: -1}
+		first := true
+		for {
+			n, c, ok := w.Pop()
+			if !ok {
+				break
+			}
+			e := n.Value
+			if e.class != c {
+				return false
+			}
+			if !first {
+				if e.class < prev.class {
+					return false // class order violated
+				}
+				if e.class == prev.class && e.seq < prev.seq {
+					return false // FIFO violated
+				}
+			}
+			prev, first = e, false
+		}
+		return w.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWaitPushPop(b *testing.B) {
+	w := NewWait[int]()
+	nodes := make([]*Node[int], 256)
+	for i := range nodes {
+		nodes[i] = NewNode(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, n := range nodes {
+			w.Push(n, Class(j%NumClasses))
+		}
+		for range nodes {
+			w.Pop()
+		}
+	}
+}

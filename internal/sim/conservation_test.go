@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/enable"
+	"repro/internal/granule"
+	"repro/internal/workload"
+)
+
+// TestConservationRandomPrograms drives random programs and option sets
+// through the simulator and checks the accounting identities that must
+// hold for any schedule:
+//
+//   - every granule's cost is computed exactly once
+//     (ComputeUnits == program total cost);
+//   - utilization never exceeds 1;
+//   - the makespan is at least the critical path lower bound
+//     (total work / workers) and at least the serial-action sum;
+//   - the per-phase windows nest inside [0, makespan].
+func TestConservationRandomPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(8711986))
+	for iter := 0; iter < 60; iter++ {
+		nPhases := 1 + rng.Intn(5)
+		phases := make([]*core.Phase, nPhases)
+		var serialSum core.Cost
+		for i := range phases {
+			phases[i] = &core.Phase{
+				Name:     string(rune('a' + i)),
+				Granules: rng.Intn(300),
+				Cost:     workload.UniformCost(1, core.Cost(1+rng.Intn(200)), rng.Uint64()),
+			}
+			if i > 0 && rng.Intn(3) == 0 {
+				sc := core.Cost(rng.Intn(50))
+				phases[i].SerialCost = sc
+				serialSum += sc
+			}
+		}
+		for i := 0; i < nPhases-1; i++ {
+			if phases[i+1].SerialCost > 0 {
+				continue // must stay null
+			}
+			switch rng.Intn(4) {
+			case 0:
+				// null
+			case 1:
+				phases[i].Enable = enable.NewUniversal()
+			case 2:
+				phases[i].Enable = enable.NewIdentity()
+			case 3:
+				n := phases[i].Granules
+				if n == 0 {
+					phases[i].Enable = enable.NewUniversal()
+					continue
+				}
+				phases[i].Enable = enable.NewReverse(func(r granule.ID) []granule.ID {
+					return []granule.ID{r % granule.ID(n)}
+				})
+			}
+		}
+		prog, err := core.NewProgram(phases...)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+
+		procs := 2 + rng.Intn(12)
+		model := MgmtModel(rng.Intn(2))
+		res, err := Run(prog, core.Options{
+			Grain:      1 + rng.Intn(30),
+			Overlap:    rng.Intn(3) != 0,
+			Elevate:    rng.Intn(2) == 0,
+			InlineMaps: rng.Intn(2) == 0,
+			Split:      core.SplitPolicy(rng.Intn(2)),
+			SuccSplit:  core.SuccSplitMode(rng.Intn(2)),
+			Costs:      core.DefaultCosts(),
+		}, Config{Procs: procs, Mgmt: model})
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+
+		if want := int64(prog.TotalCost()); res.ComputeUnits != want {
+			t.Fatalf("iter %d: compute %d != program cost %d", iter, res.ComputeUnits, want)
+		}
+		if res.Utilization > 1.0000001 {
+			t.Fatalf("iter %d: utilization %v > 1", iter, res.Utilization)
+		}
+		if res.SerialUnits != int64(serialSum) {
+			t.Fatalf("iter %d: serial %d != declared %d", iter, res.SerialUnits, serialSum)
+		}
+		lower := int64(prog.TotalCost())/int64(res.Workers) + int64(serialSum)
+		if prog.TotalGranules() > 0 && res.Makespan < lower/2 {
+			t.Fatalf("iter %d: makespan %d below plausible bound %d", iter, res.Makespan, lower)
+		}
+		for i, pt := range res.Phases {
+			if prog.Phases[i].Granules == 0 {
+				continue
+			}
+			if pt.Start < 0 || pt.End > res.Makespan || pt.End < pt.Start {
+				t.Fatalf("iter %d: phase %d window [%d,%d] outside [0,%d]",
+					iter, i, pt.Start, pt.End, res.Makespan)
+			}
+		}
+	}
+}
+
+// TestTimelineAccountingMatchesResult cross-checks the bucketed timeline
+// against the scalar accumulators.
+func TestTimelineAccountingMatchesResult(t *testing.T) {
+	prog, err := core.NewProgram(
+		&core.Phase{Name: "a", Granules: 200, Enable: enable.NewIdentity()},
+		&core.Phase{Name: "b", Granules: 200},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, core.Options{Grain: 8, Overlap: true, Costs: core.DefaultCosts()},
+		Config{Procs: 6, Mgmt: StealsWorker, BucketWidth: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline.BusyTotal() != res.ComputeUnits {
+		t.Errorf("timeline busy %d != compute %d", res.Timeline.BusyTotal(), res.ComputeUnits)
+	}
+	if res.Timeline.MgmtTotal() != res.MgmtUnits {
+		t.Errorf("timeline mgmt %d != mgmt %d", res.Timeline.MgmtTotal(), res.MgmtUnits)
+	}
+	var byProc int64
+	for _, b := range res.Timeline.ByProc() {
+		byProc += b
+	}
+	if byProc != res.ComputeUnits {
+		t.Errorf("per-proc busy %d != compute %d", byProc, res.ComputeUnits)
+	}
+}

@@ -1,0 +1,441 @@
+// Package sim is a deterministic discrete-event simulator of a PAX-style
+// parallel machine: P processors executing granule tasks dispatched by a
+// serial management server (the executive). It drives the core.Scheduler
+// state machine in virtual time, charging every management cost the
+// scheduler reports to the management server.
+//
+// Two management resource models reproduce the paper's discussion:
+//
+//   - StealsWorker: the executive runs on one of the P processors ("in the
+//     PAX/CASPER UNIVAC 1100 test bed, executive computation was done at
+//     the direct expense of worker computation"), so only P-1 processors
+//     compute granules.
+//   - Dedicated: "some real parallel machines may provide separate
+//     executive computing resources" — all P processors compute and the
+//     executive runs beside them.
+//
+// The simulator is deterministic: identical inputs produce identical
+// schedules, event orders and metrics.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/granule"
+	"repro/internal/metrics"
+)
+
+// MgmtModel selects where executive computation runs.
+type MgmtModel uint8
+
+const (
+	// StealsWorker dedicates one of the P processors to the executive.
+	StealsWorker MgmtModel = iota
+	// Dedicated gives the executive its own processor beside the P workers.
+	Dedicated
+)
+
+func (m MgmtModel) String() string {
+	switch m {
+	case StealsWorker:
+		return "steals-worker"
+	case Dedicated:
+		return "dedicated"
+	default:
+		return fmt.Sprintf("MgmtModel(%d)", uint8(m))
+	}
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Procs is the machine's processor count P (>= 1; >= 2 for
+	// StealsWorker, which reserves one processor for the executive).
+	Procs int
+	// Mgmt selects the executive resource model.
+	Mgmt MgmtModel
+	// BucketWidth sets the utilization-curve resolution in virtual units;
+	// <= 0 chooses roughly 200 buckets from a makespan estimate.
+	BucketWidth int64
+	// Gantt records per-processor spans for ASCII rendering. Only use on
+	// small runs; memory is O(tasks).
+	Gantt bool
+	// MaxOps bounds the number of management operations as a runaway
+	// guard; <= 0 means a generous default.
+	MaxOps int64
+}
+
+// PhaseTrace describes one phase's schedule within a run.
+type PhaseTrace struct {
+	Name string
+	// Start is the virtual time the phase's first task was handed out;
+	// End is when its last completion finished processing.
+	Start, End int64
+	// RundownStart is the first time a processor went idle while this
+	// phase was the current phase (-1 if none did): the onset of
+	// computational rundown.
+	RundownStart int64
+	// IdleUnits is the processor-time accumulated by workers that parked
+	// while this phase was current.
+	IdleUnits int64
+	// Dispatched counts tasks of this phase.
+	Dispatched int64
+	// OverlapUnits is compute from OTHER phases performed during this
+	// phase's currency — the work that filled the rundown.
+	OverlapUnits int64
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	// Makespan is the virtual completion time of the whole program.
+	Makespan int64
+	// ComputeUnits is the total granule execution time.
+	ComputeUnits int64
+	// MgmtUnits is the total executive busy time.
+	MgmtUnits int64
+	// SerialUnits is the executive time spent in between-phase serial actions.
+	SerialUnits int64
+	// IdleUnits is the total parked worker time.
+	IdleUnits int64
+	// Workers is the number of processors that executed granules.
+	Workers int
+	// Procs is the machine size P (capacity denominator).
+	Procs int
+	// Utilization is ComputeUnits / (Procs * Makespan).
+	Utilization float64
+	// WorkerUtilization is ComputeUnits / (Workers * Makespan).
+	WorkerUtilization float64
+	// MgmtRatio is the paper's computation-to-management ratio:
+	// ComputeUnits / MgmtUnits (0 when MgmtUnits is 0).
+	MgmtRatio float64
+	// Sched is the scheduler's management statistics.
+	Sched core.Stats
+	// Phases traces each phase.
+	Phases []PhaseTrace
+	// Timeline is the bucketed utilization recorder.
+	Timeline *metrics.Timeline
+	// Gantt is non-nil when Config.Gantt was set.
+	Gantt *metrics.Gantt
+}
+
+// event is a scheduled future occurrence (task completion).
+type event struct {
+	at   int64
+	seq  int64
+	task core.Task
+	proc int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h eventHeap) peekTime() (int64, bool) {
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// request is a unit of work for the serial management server.
+type request struct {
+	at     int64 // arrival time
+	proc   int   // worker involved (-1 for none)
+	isDone bool  // true: completion processing; false: task request
+	task   core.Task
+}
+
+// Run simulates prog under the scheduler options opt on the machine cfg.
+func Run(prog *core.Program, opt core.Options, cfg Config) (*Result, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("sim: need at least 1 processor")
+	}
+	workers := cfg.Procs
+	if cfg.Mgmt == StealsWorker {
+		workers = cfg.Procs - 1
+		if workers < 1 {
+			return nil, fmt.Errorf("sim: StealsWorker model needs at least 2 processors")
+		}
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = workers
+	}
+	sched, err := core.New(prog, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	bucket := cfg.BucketWidth
+	if bucket <= 0 {
+		est := int64(prog.TotalCost())/int64(workers) + 1
+		bucket = est / 200
+		if bucket < 1 {
+			bucket = 1
+		}
+	}
+	tl := metrics.NewTimeline(cfg.Procs, bucket)
+	var gantt *metrics.Gantt
+	if cfg.Gantt {
+		gantt = metrics.NewGantt(cfg.Procs)
+	}
+
+	maxOps := cfg.MaxOps
+	if maxOps <= 0 {
+		maxOps = int64(prog.TotalGranules())*64 + int64(workers)*1024 + 1_000_000
+	}
+
+	s := &state{
+		sched:   sched,
+		prog:    prog,
+		workers: workers,
+		procs:   cfg.Procs,
+		tl:      tl,
+		gantt:   gantt,
+		phases:  make([]PhaseTrace, len(prog.Phases)),
+		parkedA: make([]int64, workers),
+		parked:  make([]bool, workers),
+	}
+	for i, ph := range prog.Phases {
+		s.phases[i] = PhaseTrace{Name: ph.Name, Start: -1, End: -1, RundownStart: -1}
+	}
+
+	if err := s.run(maxOps); err != nil {
+		return nil, err
+	}
+	return s.result(), nil
+}
+
+type state struct {
+	sched   *core.Scheduler
+	prog    *core.Program
+	workers int
+	procs   int
+	tl      *metrics.Timeline
+	gantt   *metrics.Gantt
+
+	reqs       []request // FIFO management queue
+	events     eventHeap
+	seq        int64
+	serverFree int64 // time the management server becomes free
+
+	parked    []bool
+	parkedA   []int64 // park start per worker
+	idleUnits int64
+
+	computeUnits int64
+	mgmtUnits    int64
+	lastDone     int64 // completion horizon (worker-side makespan)
+
+	phases    []PhaseTrace
+	phaseDone []bool
+}
+
+// serve charges cost units of executive time starting no earlier than at,
+// records them, and returns the finish time.
+func (s *state) serve(at int64, cost core.Cost) int64 {
+	start := at
+	if s.serverFree > start {
+		start = s.serverFree
+	}
+	fin := start + int64(cost)
+	if cost > 0 {
+		s.tl.AddMgmt(start, fin)
+		s.mgmtUnits += int64(cost)
+	}
+	s.serverFree = fin
+	return fin
+}
+
+func (s *state) park(worker int, at int64) {
+	if s.parked[worker] {
+		return
+	}
+	s.parked[worker] = true
+	s.parkedA[worker] = at
+	cur := s.sched.CurrentPhase()
+	if cur < len(s.phases) && s.phases[cur].RundownStart < 0 {
+		s.phases[cur].RundownStart = at
+	}
+}
+
+func (s *state) unpark(worker int, at int64) {
+	if !s.parked[worker] {
+		return
+	}
+	s.parked[worker] = false
+	d := at - s.parkedA[worker]
+	if d > 0 {
+		s.idleUnits += d
+		cur := s.sched.CurrentPhase()
+		if cur < len(s.phases) {
+			s.phases[cur].IdleUnits += d
+		}
+	}
+}
+
+// wake re-queues task requests for parked workers, bounded by the number of
+// tasks the queued descriptions will split into.
+func (s *state) wake(at int64) {
+	avail := s.sched.ReadyTasks()
+	if avail <= 0 {
+		return
+	}
+	for w := 0; w < s.workers && avail > 0; w++ {
+		if s.parked[w] {
+			s.unpark(w, at)
+			s.reqs = append(s.reqs, request{at: at, proc: w})
+			avail--
+		}
+	}
+}
+
+func (s *state) run(maxOps int64) error {
+	startCost := s.sched.Start()
+	s.serve(0, startCost)
+	for w := 0; w < s.workers; w++ {
+		s.reqs = append(s.reqs, request{at: s.serverFree, proc: w})
+	}
+
+	var ops int64
+	for {
+		ops++
+		if ops > maxOps {
+			return fmt.Errorf("sim: exceeded %d management operations (runaway?)", maxOps)
+		}
+
+		if len(s.reqs) > 0 {
+			req := s.reqs[0]
+			s.reqs = s.reqs[1:]
+			s.serveRequest(req)
+			continue
+		}
+
+		// No requests: if the executive is idle before the next
+		// completion arrives, process deferred successor-splitting work.
+		next, haveEvent := s.events.peekTime()
+		if s.sched.HasDeferred() && (!haveEvent || next >= s.serverFree) {
+			cost, ok := s.sched.DeferredMgmt()
+			if ok {
+				fin := s.serve(s.serverFree, cost)
+				s.wake(fin)
+				continue
+			}
+		}
+
+		if haveEvent {
+			ev := heap.Pop(&s.events).(event)
+			s.reqs = append(s.reqs, request{at: ev.at, proc: ev.proc, isDone: true, task: ev.task})
+			continue
+		}
+
+		if s.sched.Done() {
+			return nil
+		}
+		return fmt.Errorf("sim: stalled at t=%d phase=%d: no events, no requests, scheduler not done",
+			s.serverFree, s.sched.CurrentPhase())
+	}
+}
+
+func (s *state) serveRequest(req request) {
+	if req.isDone {
+		s.completeTask(req)
+		return
+	}
+	// Task request from an idle worker.
+	task, cost, ok := s.sched.NextTask()
+	fin := s.serve(req.at, cost)
+	if !ok {
+		s.park(req.proc, fin)
+		return
+	}
+	s.dispatch(req.proc, task, fin)
+}
+
+func (s *state) dispatch(worker int, task core.Task, at int64) {
+	dur := int64(s.sched.TaskCost(task))
+	end := at + dur
+	s.computeUnits += dur
+	s.tl.AddBusy(worker, at, end)
+	if s.gantt != nil {
+		label := rune('A' + int(task.Phase)%26)
+		s.gantt.Add(worker, at, end, label)
+	}
+	pt := &s.phases[task.Phase]
+	if pt.Start < 0 || at < pt.Start {
+		pt.Start = at
+	}
+	pt.Dispatched++
+	// Overlap attribution: compute performed for a non-current phase
+	// fills the current phase's rundown.
+	if cur := s.sched.CurrentPhase(); cur < len(s.phases) && granule.PhaseID(cur) != task.Phase {
+		s.phases[cur].OverlapUnits += dur
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: end, seq: s.seq, task: task, proc: worker})
+}
+
+func (s *state) completeTask(req request) {
+	cost := s.sched.Complete(req.task)
+	fin := s.serve(req.at, cost)
+	if req.at > s.lastDone {
+		s.lastDone = req.at
+	}
+	pt := &s.phases[req.task.Phase]
+	if fin > pt.End {
+		pt.End = fin
+	}
+	s.wake(fin)
+	// The completing worker asks for new work after its completion has
+	// been processed.
+	s.reqs = append(s.reqs, request{at: fin, proc: req.proc})
+}
+
+func (s *state) result() *Result {
+	makespan := s.serverFree
+	if s.lastDone > makespan {
+		makespan = s.lastDone
+	}
+	// Close out any still-parked workers at the makespan.
+	for w := range s.parked {
+		if s.parked[w] {
+			s.parked[w] = false
+			d := makespan - s.parkedA[w]
+			if d > 0 {
+				s.idleUnits += d
+			}
+		}
+	}
+	s.tl.SetEnd(makespan)
+
+	st := s.sched.Stats()
+	res := &Result{
+		Makespan:     makespan,
+		ComputeUnits: s.computeUnits,
+		MgmtUnits:    s.mgmtUnits,
+		SerialUnits:  int64(st.SerialCost),
+		IdleUnits:    s.idleUnits,
+		Workers:      s.workers,
+		Procs:        s.procs,
+		Sched:        st,
+		Phases:       s.phases,
+		Timeline:     s.tl,
+		Gantt:        s.gantt,
+	}
+	if makespan > 0 {
+		res.Utilization = float64(s.computeUnits) / (float64(s.procs) * float64(makespan))
+		res.WorkerUtilization = float64(s.computeUnits) / (float64(s.workers) * float64(makespan))
+	}
+	if s.mgmtUnits > 0 {
+		res.MgmtRatio = float64(s.computeUnits) / float64(s.mgmtUnits)
+	}
+	return res
+}

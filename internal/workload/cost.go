@@ -1,0 +1,82 @@
+// Package workload provides the synthetic workloads of the reproduction:
+// deterministic per-granule cost models (including the paper's
+// "computations could not even be ascribed with definite execution times"
+// and conditional-execution behaviours), the PAX/CASPER 22-phase census
+// profile with its published enablement-mapping mix, and generic phase-
+// chain generators for sweeps and property tests.
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/granule"
+)
+
+// splitmix64 is a tiny deterministic hash used to give each granule a
+// stable pseudo-random cost without any global RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash01 maps (seed, g) to a float in [0, 1).
+func hash01(seed uint64, g granule.ID) float64 {
+	h := splitmix64(seed ^ splitmix64(uint64(g)+0x5851f42d4c957f2d))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// UnitCost charges one unit per granule (the checkerboard's "definite
+// execution time" of four additions and a divide).
+func UnitCost() core.CostFn { return nil }
+
+// FixedCost charges c units per granule.
+func FixedCost(c core.Cost) core.CostFn {
+	return func(granule.ID) core.Cost { return c }
+}
+
+// UniformCost charges a deterministic pseudo-random cost in [lo, hi] per
+// granule, seeded so runs are reproducible. It models the paper's
+// observation that PAX/CASPER task times were unpredictable and
+// unrepeatable ("shared information access times were unpredictable").
+func UniformCost(lo, hi core.Cost, seed uint64) core.CostFn {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	span := float64(hi - lo + 1)
+	return func(g granule.ID) core.Cost {
+		return lo + core.Cost(hash01(seed, g)*span)
+	}
+}
+
+// BimodalCost charges fast units with probability pFast and slow units
+// otherwise — long stragglers are what make rundown expensive.
+func BimodalCost(fast, slow core.Cost, pFast float64, seed uint64) core.CostFn {
+	return func(g granule.ID) core.Cost {
+		if hash01(seed, g) < pFast {
+			return fast
+		}
+		return slow
+	}
+}
+
+// ConditionalSkip models the paper's "whether or not the computation was
+// even to be carried out in a particular instance was a conditional part
+// of the algorithm": with probability pSkip the granule costs 1 unit (the
+// test-and-skip), otherwise it costs the full amount.
+func ConditionalSkip(full core.Cost, pSkip float64, seed uint64) core.CostFn {
+	return func(g granule.ID) core.Cost {
+		if hash01(seed, g) < pSkip {
+			return 1
+		}
+		return full
+	}
+}
+
+// ScaleCost multiplies an underlying cost model by k.
+func ScaleCost(base core.CostFn, k core.Cost) core.CostFn {
+	if base == nil {
+		return FixedCost(k)
+	}
+	return func(g granule.ID) core.Cost { return base(g) * k }
+}

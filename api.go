@@ -145,6 +145,10 @@ const (
 	StealsWorker = sim.StealsWorker
 	// Dedicated gives the executive its own processor.
 	Dedicated = sim.Dedicated
+	// ShardedMgmt distributes executive computation across the workers:
+	// each processor pays its own management costs inline, concurrently —
+	// the virtual-time price of a parallel (sharded) manager.
+	ShardedMgmt = sim.Sharded
 )
 
 // Simulate runs prog on the deterministic discrete-event machine model.
@@ -154,14 +158,31 @@ func Simulate(prog *Program, opt Options, cfg SimConfig) (*SimResult, error) {
 
 // Execution on goroutines.
 type (
-	// ExecConfig parameterizes the goroutine executive.
+	// ExecConfig parameterizes the goroutine executive: worker count,
+	// manager selection (ExecConfig.Manager), and the sharded manager's
+	// deque capacity and completion batch size.
 	ExecConfig = executive.Config
 	// ExecReport aggregates a goroutine run's measurements.
 	ExecReport = executive.Report
+	// ExecManager selects the executive's management layer.
+	ExecManager = executive.ManagerKind
 )
 
-// Execute runs prog's Work functions on real goroutine workers with a
-// serial manager.
+// Executive managers.
+const (
+	// SerialManager serializes every scheduler interaction under one
+	// global lock — the paper's serial executive, kept as the baseline.
+	SerialManager = executive.SerialManager
+	// ShardedManager gives each worker a bounded local task deque with
+	// batched completion submission and work stealing between shards.
+	ShardedManager = executive.ShardedManager
+)
+
+// ParseExecManager parses a manager name ("serial" or "sharded").
+func ParseExecManager(s string) (ExecManager, error) { return executive.ParseManager(s) }
+
+// Execute runs prog's Work functions on real goroutine workers under the
+// configured manager (SerialManager by default).
 func Execute(prog *Program, opt Options, cfg ExecConfig) (*ExecReport, error) {
 	return executive.Run(prog, opt, cfg)
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|full] [-only E3] [-md]
+//	experiments [-scale quick|full] [-only E3] [-md] [-manager serial|sharded|both]
 package main
 
 import (
@@ -20,7 +20,13 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment sizing: quick or full")
 	only := flag.String("only", "", "run a single experiment (e.g. E3)")
 	md := flag.Bool("md", false, "emit markdown tables instead of aligned text")
+	manager := flag.String("manager", "both", "executive manager for E10: serial, sharded, or both")
 	flag.Parse()
+
+	if err := experiments.SetManagerFilter(*manager); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	var scale experiments.Scale
 	switch *scaleFlag {

@@ -9,6 +9,7 @@
 //	rundownsim -mapping identity -phases 4 -granules 4096 -procs 64 -overlap
 //	rundownsim -casper -procs 32 -overlap -gantt
 //	rundownsim -mapping seam -granules 8192 -procs 128 -overlap -grain 16
+//	rundownsim -mapping identity -granules 8192 -procs 64 -overlap -grain 1 -manager sharded
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		presplit  = flag.Bool("presplit", false, "pre-split descriptions at activation")
 		inline    = flag.Bool("inline-maps", false, "build composite maps inline (the paper's warned-about strategy)")
 		dedicated = flag.Bool("dedicated", false, "dedicated executive processor (default: steals a worker)")
+		manager   = flag.String("manager", "serial", "management layer: serial (one executive, per -dedicated) or sharded (per-worker management lanes)")
 		costLo    = flag.Int64("cost-lo", 100, "minimum granule cost")
 		costHi    = flag.Int64("cost-hi", 400, "maximum granule cost")
 		seed      = flag.Uint64("seed", 1986, "workload seed")
@@ -84,6 +86,19 @@ func main() {
 	if *dedicated {
 		model = rundown.Dedicated
 	}
+	switch *manager {
+	case "serial":
+		// model chosen above
+	case "sharded":
+		if *dedicated {
+			fmt.Fprintln(os.Stderr, "rundownsim: -dedicated conflicts with -manager sharded (management runs inline on the workers)")
+			os.Exit(2)
+		}
+		model = rundown.ShardedMgmt
+	default:
+		fmt.Fprintf(os.Stderr, "rundownsim: unknown -manager %q (serial|sharded)\n", *manager)
+		os.Exit(2)
+	}
 	res, err := rundown.Simulate(prog, opt, rundown.SimConfig{
 		Procs: *procs, Mgmt: model, Gantt: *gantt,
 	})
@@ -92,8 +107,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("phases=%d granules=%d procs=%d workers=%d overlap=%v\n",
-		len(prog.Phases), prog.TotalGranules(), res.Procs, res.Workers, *overlap)
+	fmt.Printf("phases=%d granules=%d procs=%d workers=%d overlap=%v mgmt=%v\n",
+		len(prog.Phases), prog.TotalGranules(), res.Procs, res.Workers, *overlap, model)
 	fmt.Printf("makespan            %d\n", res.Makespan)
 	fmt.Printf("compute units       %d\n", res.ComputeUnits)
 	fmt.Printf("management units    %d\n", res.MgmtUnits)

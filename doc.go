@@ -19,8 +19,11 @@
 //   - Simulate runs a program on a deterministic discrete-event model of a
 //     P-processor machine with a serial executive, reporting utilization,
 //     makespan and the computation-to-management ratio;
-//   - Execute runs a program on real goroutine workers with a serial
-//     manager, executing the phases' Work functions;
+//   - Execute runs a program on real goroutine workers under a pluggable
+//     manager — the paper-faithful SerialManager (one global executive
+//     lock) or the ShardedManager (per-worker task deques, batched
+//     completion submission, work stealing) — executing the phases' Work
+//     functions;
 //   - ParsePax/InterpretPax accept the paper's PAX-style control language
 //     (DEFINE PHASE / DISPATCH / ENABLE, branch lookahead, interlock
 //     verification);

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/granule"
+)
+
+// This file is the completion half of the state machine: merging completed
+// descriptions, releasing conflict-queued successors, decrementing
+// enablement counters, and advancing the phase window.
+
+// Complete performs completion processing for a dispatched task: it merges
+// the completed description, releases conflict-queued successor
+// descriptions, decrements enablement counters, and advances the phase
+// window when the current phase finishes. It returns the management cost.
+func (s *Scheduler) Complete(t Task) Cost {
+	d, ok := s.inflight[t.ID]
+	if !ok {
+		panic(fmt.Sprintf("core: Complete of unknown %v", t))
+	}
+	delete(s.inflight, t.ID)
+	pr := s.phases[d.phase]
+
+	cost := s.opt.Costs.Complete + s.opt.Costs.Merge
+	s.stats.Completions++
+	s.stats.Merges++
+	s.stats.CompleteCost += s.opt.Costs.Complete + s.opt.Costs.Merge
+
+	if pr.completed.ContainsRange(d.run) && !d.run.Empty() {
+		panic(fmt.Sprintf("core: double completion of %v in phase %d", d.run, d.phase))
+	}
+	pr.completed.AddRange(d.run)
+	pr.nComplete += d.run.Len()
+
+	// Release conflict-queued successor descriptions: "upon completion of
+	// the described computation, all the queued conflicting computations
+	// became unconditionally computable and were placed in the waiting
+	// computation queue" — ahead of normal work.
+	for _, sd := range d.detachAll() {
+		cost += s.pushDesc(sd, s.releasedClass())
+		s.stats.Releases++
+	}
+
+	// Enablement-counter processing for the phase pair. Counter touches
+	// for conflict-queue-managed granules are not charged: PAX releases
+	// those per description, in O(1), which is exactly why computations
+	// are "described as large, contiguous collections of granules". The
+	// counters are still advanced so that deferred successor-splitting
+	// tasks and phase accounting stay consistent.
+	if pr.tab != nil {
+		released := granule.NewSet()
+		charged := 0
+		d.run.Each(func(p granule.ID) {
+			suppressed := false
+			n := pr.tab.Complete(p, func(r granule.ID) {
+				if pr.cqManaged.Contains(r) {
+					suppressed = true
+					return // released by the conflict-queue mechanism
+				}
+				if pr.subsetManaged.Contains(r) {
+					return // released as a unit by the subset counter
+				}
+				released.Add(r)
+			})
+			if !suppressed {
+				charged += n
+			}
+		})
+		if charged > 0 {
+			ec := Cost(charged) * s.opt.Costs.PerEnable
+			s.stats.EnableTouches += int64(charged)
+			s.stats.CompleteCost += ec
+			cost += ec
+		}
+		if !released.Empty() && int(d.phase)+1 < len(s.phases) {
+			cost += s.releaseSet(s.phases[int(d.phase)+1], released)
+		}
+
+		// Subset counter: the paper's status-bit-plus-counter mechanism.
+		if pr.subsetCounter.Armed() {
+			hits := pr.subsetPreds.IntersectRange(d.run)
+			fired := false
+			for i := 0; i < hits.Len(); i++ {
+				if pr.subsetCounter.Dec() {
+					fired = true
+				}
+			}
+			if fired && int(d.phase)+1 < len(s.phases) {
+				subset := pr.subsetManaged
+				pr.subsetManaged = granule.NewSet()
+				cost += s.releaseSet(s.phases[int(d.phase)+1], subset)
+			}
+		}
+	}
+
+	if pr.nComplete >= pr.total {
+		if int(pr.idx) == s.current {
+			pr.state = PhaseComplete
+			s.current++
+			cost += s.advance()
+		} else {
+			pr.state = PhaseComplete
+		}
+	}
+	s.putDesc(d)
+	return cost
+}
+
+// CompleteBatch performs completion processing for ts in order and returns
+// the summed management cost. It is the batching driver's entry point:
+// completions accumulate per worker and are applied here under a single
+// lock acquisition. Runs of consecutive same-phase tasks are fused — their
+// completed descriptions merged into coalesced runs, their enablement
+// releases unioned, and their conflict-released successor descriptions
+// combined — so a batch of B fine-grain completions costs far fewer
+// structure operations (and queues far fewer, larger descriptions) than B
+// sequential Complete calls, while completing and releasing exactly the
+// same granules. This is the paper's own economy — computations "described
+// as large, contiguous collections of granules" — recovered at completion
+// time from a batch.
+func (s *Scheduler) CompleteBatch(ts []Task) Cost {
+	var cost Cost
+	for i := 0; i < len(ts); {
+		j := i + 1
+		for j < len(ts) && ts[j].Phase == ts[i].Phase {
+			j++
+		}
+		if j-i == 1 {
+			cost += s.Complete(ts[i])
+		} else {
+			cost += s.completeGroup(ts[i:j])
+		}
+		i = j
+	}
+	return cost
+}
+
+// completeGroup fuses completion processing for two or more tasks of one
+// phase. Within the batch no dispatches can interleave (the driver holds
+// the state machine for the whole call), so deferring queue pushes and the
+// phase-window advance to the end of the group is observationally
+// equivalent to sequential Complete calls.
+func (s *Scheduler) completeGroup(ts []Task) Cost {
+	pr := s.phases[ts[0].Phase]
+
+	cost := Cost(len(ts)) * (s.opt.Costs.Complete + s.opt.Costs.Merge)
+	s.stats.Completions += int64(len(ts))
+	s.stats.Merges += int64(len(ts))
+	s.stats.CompleteCost += cost
+
+	// Merge the completed descriptions and drain their conflict rings.
+	// Task runs are pairwise disjoint (the dispatch path guards against
+	// double dispatch), so the per-task double-completion check against
+	// the already-completed set mirrors sequential semantics.
+	merged := granule.NewSet()
+	var succ *granule.Set // conflict-released successor granules
+	for _, t := range ts {
+		d, ok := s.inflight[t.ID]
+		if !ok {
+			panic(fmt.Sprintf("core: Complete of unknown %v", t))
+		}
+		delete(s.inflight, t.ID)
+		if pr.completed.ContainsRange(d.run) && !d.run.Empty() {
+			panic(fmt.Sprintf("core: double completion of %v in phase %d", d.run, d.phase))
+		}
+		merged.AddRange(d.run)
+		if !d.conflict.Empty() {
+			if succ == nil {
+				succ = granule.NewSet()
+			}
+			for _, sd := range d.detachAll() {
+				succ.AddRange(sd.run)
+				s.putDesc(sd)
+			}
+		}
+		s.putDesc(d)
+	}
+	for _, r := range merged.Runs() {
+		pr.completed.AddRange(r)
+	}
+	pr.nComplete += merged.Len()
+
+	// Release the conflict-queued successors as coalesced descriptions,
+	// ahead of normal work — one queue insertion per contiguous run
+	// instead of one per drained description.
+	if succ != nil && int(pr.idx)+1 < len(s.phases) {
+		next := s.phases[int(pr.idx)+1]
+		for _, run := range succ.Runs() {
+			cost += s.pushDesc(s.getDesc(next.idx, run), s.releasedClass())
+			s.stats.Releases++
+		}
+	}
+
+	// Enablement-counter processing over the merged runs, with the same
+	// suppression rules and cost charges as the sequential path; the
+	// released successors of the whole group coalesce into one release.
+	if pr.tab != nil {
+		released := granule.NewSet()
+		charged := 0
+		for _, run := range merged.Runs() {
+			run.Each(func(p granule.ID) {
+				suppressed := false
+				n := pr.tab.Complete(p, func(r granule.ID) {
+					if pr.cqManaged.Contains(r) {
+						suppressed = true
+						return // released by the conflict-queue mechanism
+					}
+					if pr.subsetManaged.Contains(r) {
+						return // released as a unit by the subset counter
+					}
+					released.Add(r)
+				})
+				if !suppressed {
+					charged += n
+				}
+			})
+		}
+		if charged > 0 {
+			ec := Cost(charged) * s.opt.Costs.PerEnable
+			s.stats.EnableTouches += int64(charged)
+			s.stats.CompleteCost += ec
+			cost += ec
+		}
+		if !released.Empty() && int(pr.idx)+1 < len(s.phases) {
+			cost += s.releaseSet(s.phases[int(pr.idx)+1], released)
+		}
+
+		if pr.subsetCounter.Armed() {
+			fired := false
+			for _, run := range merged.Runs() {
+				hits := pr.subsetPreds.IntersectRange(run)
+				for i := 0; i < hits.Len(); i++ {
+					if pr.subsetCounter.Dec() {
+						fired = true
+					}
+				}
+			}
+			if fired && int(pr.idx)+1 < len(s.phases) {
+				subset := pr.subsetManaged
+				pr.subsetManaged = granule.NewSet()
+				cost += s.releaseSet(s.phases[int(pr.idx)+1], subset)
+			}
+		}
+	}
+
+	if pr.nComplete >= pr.total {
+		if int(pr.idx) == s.current {
+			pr.state = PhaseComplete
+			s.current++
+			cost += s.advance()
+		} else {
+			pr.state = PhaseComplete
+		}
+	}
+	return cost
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/granule"
+	"repro/internal/queue"
+)
+
+// This file is the dispatch half of the state machine: draining the
+// waiting computation queue into worker-sized tasks, splitting
+// descriptions on demand, and handling attached successor descriptions.
+
+// NextTask pops the highest-priority description, splitting it to the
+// grain if needed, and returns the dispatched task with the management cost
+// of the dispatch. ok is false when no work is ready (the processor idles —
+// this is computational rundown unless the program is done).
+func (s *Scheduler) NextTask() (t Task, cost Cost, ok bool) {
+	if !s.started {
+		panic("core: NextTask before Start")
+	}
+	n, class, ok := s.wait.Pop()
+	if !ok {
+		// Liveness fallback: with nothing queued AND nothing in flight,
+		// no completion can ever release work, so the executive must
+		// drain its deferred queue now or deadlock. When tasks are still
+		// in flight the driver simply idles this worker — completions
+		// (and the driver's own idle-executive DeferredMgmt calls) will
+		// make progress, and an unfinished composite-map build can still
+		// be cancelled by the predecessor completing.
+		for s.wait.Empty() && len(s.inflight) == 0 {
+			dc, any := s.DeferredMgmt()
+			if !any {
+				return Task{}, cost, false
+			}
+			cost += dc
+		}
+		n, class, ok = s.wait.Pop()
+		if !ok {
+			return Task{}, cost, false
+		}
+	}
+	d := n.Value
+	pr := s.phases[d.phase]
+	pr.nQueued -= d.run.Len()
+	s.readyTasks -= s.taskCount(d.run.Len())
+
+	cost += s.opt.Costs.Dispatch
+	s.stats.DispatchCost += s.opt.Costs.Dispatch
+
+	if d.run.Len() > s.opt.Grain {
+		cost += s.splitForDispatch(d, class, pr)
+	}
+
+	// Double-dispatch guard: a granule must never be handed out twice.
+	if !pr.dispatched.IntersectRange(d.run).Empty() {
+		panic(fmt.Sprintf("core: double dispatch of %v in phase %d", d.run, d.phase))
+	}
+	pr.dispatched.AddRange(d.run)
+
+	s.nextID++
+	s.stats.Dispatches++
+	t = Task{ID: s.nextID, Phase: d.phase, Run: d.run}
+	s.inflight[t.ID] = d
+	return t, cost, true
+}
+
+// NextTasks pops up to max ready tasks in one call, appending them to dst
+// and returning it with the summed management cost. It dispatches the same
+// tasks, in the same order and with the same cost charges, as max
+// sequential NextTask calls, but carves large attachment-free descriptions
+// in place: the description is popped once and grain-sized tasks are taken
+// off its front directly, skipping the per-task pop/split/requeue cycle
+// the one-at-a-time path pays. A batching driver pulls a whole deque
+// refill under one lock acquisition this way. Fewer than max tasks
+// (possibly zero) are returned when the queue drains.
+func (s *Scheduler) NextTasks(dst []Task, max int) ([]Task, Cost) {
+	if !s.started {
+		panic("core: NextTask before Start")
+	}
+	var cost Cost
+	for n := 0; n < max; {
+		node, class, ok := s.wait.Peek()
+		if !ok || !node.Value.conflict.Empty() || node.Value.run.Len() <= s.opt.Grain {
+			// Empty queue (let NextTask run its liveness fallback),
+			// attached successor descriptions to mirror-split, or a
+			// description that already fits the grain: sequential path.
+			t, c, taken := s.NextTask()
+			cost += c
+			if !taken {
+				break
+			}
+			dst = append(dst, t)
+			n++
+			continue
+		}
+
+		// Fused carve. No completion can interleave (the driver holds the
+		// state machine for the whole call) and carving releases nothing,
+		// so no higher-priority description can appear mid-carve: the
+		// sequential path would dispatch exactly these tasks in this
+		// order.
+		d := node.Value
+		s.wait.Remove(node, class)
+		pr := s.phases[d.phase]
+		pr.nQueued -= d.run.Len()
+		s.readyTasks -= s.taskCount(d.run.Len())
+		span, rest := d.run.TakeFront((max - n) * s.opt.Grain)
+
+		// Double-dispatch guard, once for the whole carved span.
+		if !pr.dispatched.IntersectRange(span).Empty() {
+			panic(fmt.Sprintf("core: double dispatch of %v in phase %d", span, d.phase))
+		}
+		pr.dispatched.AddRange(span)
+
+		// Charges mirror the sequential path: one dispatch per task, one
+		// split per carve that left a remainder behind.
+		carved := s.taskCount(span.Len())
+		splits := carved
+		if rest.Empty() {
+			splits--
+		}
+		dc := Cost(carved) * s.opt.Costs.Dispatch
+		sc := Cost(splits) * s.opt.Costs.Split
+		s.stats.DispatchCost += dc
+		s.stats.Splits += int64(splits)
+		s.stats.SplitCost += sc
+		cost += dc + sc
+
+		for !span.Empty() {
+			var front granule.Range
+			front, span = span.TakeFront(s.opt.Grain)
+			s.nextID++
+			s.stats.Dispatches++
+			t := Task{ID: s.nextID, Phase: d.phase, Run: front}
+			s.inflight[t.ID] = s.getDesc(d.phase, front)
+			dst = append(dst, t)
+			n++
+		}
+		if rest.Empty() {
+			s.putDesc(d)
+		} else {
+			d.run = rest
+			s.pushDescFront(d, class)
+		}
+	}
+	return dst, cost
+}
+
+// splitForDispatch splits description d so its front fits the grain,
+// requeueing the remainder at the front of its class, and handles the
+// attached successor descriptions per the successor-split mode.
+func (s *Scheduler) splitForDispatch(d *desc, class queue.Class, pr *phaseRun) Cost {
+	var cost Cost
+	attachments := d.detachAll()
+
+	front, rest := d.run.TakeFront(s.opt.Grain)
+	d.run = front
+	rd := s.getDesc(d.phase, rest)
+	s.pushDescFront(rd, class)
+	s.stats.Splits++
+	sc := s.opt.Costs.Split
+	s.stats.SplitCost += sc
+	cost += sc
+
+	for _, sd := range attachments {
+		switch s.opt.SuccSplit {
+		case SuccSplitInline:
+			sf := sd.run.Intersect(front)
+			sr := sd.run.Intersect(rest)
+			switch {
+			case sf.Empty():
+				rd.attachSuccessor(sd)
+			case sr.Empty():
+				d.attachSuccessor(sd)
+			default:
+				// Split the queued successor description to mirror
+				// the split of its enabler, paying the split cost on
+				// the dispatch path.
+				sd.run = sf
+				d.attachSuccessor(sd)
+				rd.attachSuccessor(s.getDesc(sd.phase, sr))
+				s.stats.Splits++
+				s.stats.SplitCost += s.opt.Costs.Split
+				cost += s.opt.Costs.Split
+			}
+		case SuccSplitDeferred:
+			// Detach entirely; a successor-splitting management task
+			// will sort it out when the executive is idle. The range
+			// stays conflict-queue-managed (table emissions stay
+			// suppressed) until the task runs, so there is exactly one
+			// release authority at any moment.
+			s.deferred = append(s.deferred, deferredItem{
+				kind:      deferSplitSucc,
+				predPhase: int(pr.idx),
+				succPhase: int(sd.phase),
+				run:       sd.run,
+			})
+			s.stats.DeferredItems++
+			s.putDesc(sd)
+		}
+	}
+	return cost
+}

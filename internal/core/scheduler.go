@@ -8,6 +8,21 @@ import (
 	"repro/internal/queue"
 )
 
+// The scheduler is organized as a pure state machine split across files by
+// concern; no file knows about time, goroutines or locks:
+//
+//	scheduler.go — structure, construction, observers, invariant checks
+//	window.go    — the phase window: activation, overlap preparation,
+//	               enablement-table publication, priority elevation
+//	dispatch.go  — the waiting computation queue drain: NextTask/NextTasks
+//	               and demand splitting
+//	complete.go  — completion processing: Complete/CompleteBatch, counter
+//	               decrements, conflict-queue releases
+//	deferred.go  — deferred management work for idle executive moments
+//
+// Drivers (internal/sim's virtual-time machine and internal/executive's
+// Manager implementations) own all concurrency and serialization policy.
+
 // phaseRun is the runtime state of one program phase.
 type phaseRun struct {
 	spec  *Phase
@@ -32,8 +47,9 @@ type phaseRun struct {
 }
 
 // Scheduler is the PAX-style phase-overlap scheduler. It is not safe for
-// concurrent use: the driver must serialize calls, which models the serial
-// PAX executive.
+// concurrent use: the driver must serialize calls. A serial driver models
+// the serial PAX executive; a sharded driver batches its calls under one
+// lock (see internal/executive).
 type Scheduler struct {
 	prog *Program
 	opt  Options
@@ -47,30 +63,35 @@ type Scheduler struct {
 	nextID     int
 	started    bool
 	stats      Stats
+
+	// freeDescs recycles retired computation descriptions (and their
+	// embedded queue nodes): at fine grain the dispatch path would
+	// otherwise allocate one description per task, and the allocator
+	// dominates management time.
+	freeDescs []*desc
 }
 
-// deferredKind distinguishes deferred management work.
-type deferredKind uint8
+// getDesc returns a recycled description, or a fresh one when the free
+// list is empty.
+func (s *Scheduler) getDesc(phase granule.PhaseID, run granule.Range) *desc {
+	if n := len(s.freeDescs); n > 0 {
+		d := s.freeDescs[n-1]
+		s.freeDescs = s.freeDescs[:n-1]
+		d.phase, d.run, d.class = phase, run, 0
+		return d
+	}
+	return newDesc(phase, run)
+}
 
-const (
-	// deferSplitSucc is a successor-splitting task: a successor
-	// description detached from a conflict queue, awaiting splitting and
-	// requeueing "for later attention when the executive would again be
-	// idle".
-	deferSplitSucc deferredKind = iota
-	// deferBuildTable is composite-granule-map construction for an
-	// indirect mapping, deferred so the executive can "get the current
-	// phase into execution without the delay of constructing the
-	// necessary information for enabling successor computations".
-	deferBuildTable
-)
-
-// deferredItem is one unit of deferred management work.
-type deferredItem struct {
-	kind      deferredKind
-	predPhase int
-	succPhase int
-	run       granule.Range // deferSplitSucc only
+// putDesc retires a description to the free list. Descriptions still
+// linked into a queue or ring, or with a non-empty conflict ring, are
+// never recycled (defensive: recycling an aliased description would
+// corrupt the scheduler).
+func (s *Scheduler) putDesc(d *desc) {
+	if d == nil || d.node.Attached() || d.cnode.Attached() || !d.conflict.Empty() {
+		return
+	}
+	s.freeDescs = append(s.freeDescs, d)
 }
 
 // New constructs a scheduler for prog with the given options.
@@ -125,7 +146,9 @@ func (s *Scheduler) Ready() int {
 	return n
 }
 
-// InFlight reports the number of dispatched-but-incomplete tasks.
+// InFlight reports the number of dispatched-but-incomplete tasks. With a
+// sharded driver this includes tasks parked in worker-local deques and
+// completions not yet submitted, not only tasks actually executing.
 func (s *Scheduler) InFlight() int { return len(s.inflight) }
 
 // QueueDescs reports the number of descriptions in the waiting queue — a
@@ -142,10 +165,6 @@ func (s *Scheduler) taskCount(n int) int {
 	return (n + s.opt.Grain - 1) / s.opt.Grain
 }
 
-// HasDeferred reports whether successor-splitting management work awaits an
-// idle executive.
-func (s *Scheduler) HasDeferred() bool { return len(s.deferred) > 0 }
-
 // TaskCost returns the virtual execution cost of a task: the sum of its
 // granules' costs.
 func (s *Scheduler) TaskCost(t Task) Cost {
@@ -156,660 +175,6 @@ func (s *Scheduler) TaskCost(t Task) Cost {
 	var sum Cost
 	t.Run.Each(func(g granule.ID) { sum += ph.Cost(g) })
 	return sum
-}
-
-// Start activates the first phase (and, when overlap is enabled, prepares
-// its successor). It returns the management cost incurred.
-func (s *Scheduler) Start() Cost {
-	if s.started {
-		return 0
-	}
-	s.started = true
-	return s.advance()
-}
-
-// advance drives the current-phase window forward until it rests on an
-// incomplete, activated phase (or the program ends).
-func (s *Scheduler) advance() Cost {
-	var cost Cost
-	for s.current < len(s.phases) {
-		pr := s.phases[s.current]
-		switch pr.state {
-		case PhaseUnstarted:
-			cost += s.serialActivate(pr)
-			pr.state = PhaseCurrent
-			cost += s.prepareOverlap(s.current)
-			if pr.nComplete >= pr.total {
-				pr.state = PhaseComplete
-				s.current++
-				continue
-			}
-			return cost
-		case PhaseOverlapped:
-			if pr.nComplete >= pr.total {
-				pr.state = PhaseComplete
-				s.current++
-				continue
-			}
-			// The overlapped phase becomes the current phase: its
-			// filler work is promoted to normal priority and its own
-			// successor is prepared for overlap.
-			s.wait.Promote(queue.Background, queue.Normal)
-			pr.state = PhaseCurrent
-			// If the pair's composite map was never published (the build
-			// was deferred and overtaken by the predecessor's
-			// completion), nothing has been released: queue the whole
-			// span as normal work now. The pending build item becomes a
-			// cancelled no-op.
-			if s.current > 0 {
-				prev := s.phases[s.current-1]
-				if s.opt.Overlap && prev.spec.Enable != nil &&
-					prev.spec.Enable.Kind != enable.Null &&
-					prev.tab == nil && pr.total > 0 {
-					cost += s.enqueueRange(pr, granule.Span(pr.total), queue.Normal)
-				}
-			}
-			cost += s.prepareOverlap(s.current)
-			return cost
-		case PhaseCurrent:
-			if pr.nComplete >= pr.total {
-				pr.state = PhaseComplete
-				s.current++
-				continue
-			}
-			return cost
-		case PhaseComplete:
-			s.current++
-		default:
-			panic(fmt.Sprintf("core: invalid phase state %v", pr.state))
-		}
-	}
-	return cost
-}
-
-// serialActivate performs the between-phase serial action (if any) and
-// queues the phase's whole span as normal-priority work.
-func (s *Scheduler) serialActivate(pr *phaseRun) Cost {
-	var cost Cost
-	if pr.spec.SerialBefore != nil {
-		pr.spec.SerialBefore()
-	}
-	cost += pr.spec.SerialCost
-	s.stats.SerialCost += pr.spec.SerialCost
-	if pr.total > 0 {
-		cost += s.enqueueRange(pr, granule.Span(pr.total), queue.Normal)
-	}
-	return cost
-}
-
-// enqueueRange queues run for phase pr at the given class, honouring the
-// pre-split policy, and returns the management cost.
-func (s *Scheduler) enqueueRange(pr *phaseRun, run granule.Range, class queue.Class) Cost {
-	if run.Empty() {
-		return 0
-	}
-	var cost Cost
-	if s.opt.Split == SplitPre && run.Len() > s.opt.Grain {
-		chunks := run.Chunks(s.opt.Grain)
-		s.stats.Splits += int64(len(chunks) - 1)
-		cost += Cost(len(chunks)-1) * s.opt.Costs.Split
-		for _, c := range chunks {
-			cost += s.pushDesc(newDesc(pr.idx, c), class)
-		}
-		return cost
-	}
-	return cost + s.pushDesc(newDesc(pr.idx, run), class)
-}
-
-// pushDesc appends d to the waiting computation queue.
-func (s *Scheduler) pushDesc(d *desc, class queue.Class) Cost {
-	s.wait.Push(d.node, class)
-	s.phases[d.phase].nQueued += d.run.Len()
-	s.readyTasks += s.taskCount(d.run.Len())
-	s.stats.DispatchCost += s.opt.Costs.Dispatch
-	return s.opt.Costs.Dispatch
-}
-
-// pushDescFront inserts d at the front of its class (split remainders keep
-// their place at the head of the queue).
-func (s *Scheduler) pushDescFront(d *desc, class queue.Class) {
-	s.wait.PushFront(d.node, class)
-	s.phases[d.phase].nQueued += d.run.Len()
-	s.readyTasks += s.taskCount(d.run.Len())
-}
-
-// releasedClass is the class successor work is released to.
-func (s *Scheduler) releasedClass() queue.Class {
-	if s.opt.ReleasedAhead {
-		return queue.Released
-	}
-	return queue.Background
-}
-
-// prepareOverlap initiates phase c+1 for overlap with current phase c, per
-// the declared enablement mapping. No-op for barrier mode, null mappings,
-// or the final phase. Universal and identity pairs are wired immediately
-// (their "tables" are implicit and O(1) to build); indirect pairs defer
-// composite-map construction to executive idle time, per the paper: "it
-// would seem wise to get the current phase into execution without the
-// delay of constructing the necessary information for enabling successor
-// computations."
-func (s *Scheduler) prepareOverlap(c int) Cost {
-	if !s.opt.Overlap || c+1 >= len(s.phases) {
-		return 0
-	}
-	pr := s.phases[c]
-	spec := pr.spec.Enable
-	if spec == nil || spec.Kind == enable.Null {
-		return 0
-	}
-	next := s.phases[c+1]
-	if next.state != PhaseUnstarted {
-		return 0 // already active or complete; nothing to prepare
-	}
-	next.state = PhaseOverlapped
-	next.nextActivated = true
-
-	if spec.Kind.Indirect() && !s.opt.InlineMaps {
-		s.deferred = append(s.deferred, deferredItem{
-			kind: deferBuildTable, predPhase: c, succPhase: c + 1,
-		})
-		s.stats.DeferredItems++
-		return 0
-	}
-	return s.buildPair(pr, next)
-}
-
-// buildPair constructs the enablement table (composite granule map) for
-// the pair pr -> next and publishes it immediately — the inline path used
-// for universal and identity mappings, whose "maps" are implicit and O(1).
-// The paper: the map "would have to be generated by the executive at or
-// after first phase initiation but before any second phase enablements".
-func (s *Scheduler) buildPair(pr, next *phaseRun) Cost {
-	tab := s.constructTable(pr, next)
-	tcost := Cost(tab.BuildCost()) * s.opt.Costs.MapEntry
-	s.stats.TableCost += tcost
-	return tcost + s.publishPair(pr, next, tab)
-}
-
-// constructTable builds the enablement table for the pair (no publication,
-// no cost charging).
-func (s *Scheduler) constructTable(pr, next *phaseRun) *enable.Table {
-	tab, err := enable.Build(pr.spec.Enable, pr.total, next.total)
-	if err != nil {
-		// Validate() passed at New; a failure here means the mapping
-		// functions are impure, which is a programming error.
-		panic(fmt.Sprintf("core: enablement table build failed at runtime: %v", err))
-	}
-	s.stats.TableBuilds++
-	s.stats.TableEntries += tab.BuildCost()
-	return tab
-}
-
-// publishPair installs a constructed table: catches up completions that
-// happened before the table existed, releases the computable successor
-// granules, attaches identity conflict-queue descriptions, and plans the
-// indirect successor subset.
-func (s *Scheduler) publishPair(pr, next *phaseRun, tab *enable.Table) Cost {
-	spec := pr.spec.Enable
-	var cost Cost
-
-	pr.tab = tab
-	pr.pendingTab = nil
-	pr.cqManaged = granule.NewSet()
-	pr.subsetManaged = granule.NewSet()
-	pr.subsetPreds = granule.NewSet()
-
-	// Catch up completions that happened before the table existed (the
-	// current phase may have progressed while it was itself overlapped).
-	ready := tab.ReadyAtStart().Clone()
-	if !pr.completed.Empty() {
-		touched := 0
-		for _, r := range pr.completed.Runs() {
-			touched += tab.CompleteRange(r, ready)
-		}
-		s.stats.CatchUps += int64(touched)
-		ccost := Cost(touched) * s.opt.Costs.PerEnable
-		s.stats.CompleteCost += ccost
-		cost += ccost
-	}
-
-	// Queue the immediately computable successor granules behind the
-	// current phase ("placed in the waiting computation queue behind the
-	// current phase description"). A deferred build may land after the
-	// successor has already become the current phase; its work is then
-	// normal-priority.
-	class := queue.Background
-	if next.state == PhaseCurrent {
-		class = queue.Normal
-	}
-	for _, run := range ready.Runs() {
-		cost += s.enqueueRange(next, run, class)
-		s.stats.Releases++
-	}
-
-	// Identity via conflict queues: attach successor descriptions to the
-	// queued current-phase descriptions they are enabled by.
-	if spec.Kind == enable.Identity && s.opt.IdentityVia == IdentityConflictQueue {
-		cost += s.attachIdentitySuccessors(pr, next)
-	}
-
-	// Indirect mappings: plan a successor subset, elevate its enabling
-	// current-phase granules, and arm the enablement counter.
-	if spec.Kind.Indirect() && s.opt.Elevate {
-		cost += s.planSubset(pr, next, ready)
-	}
-	return cost
-}
-
-// attachIdentitySuccessors walks the waiting queue and, for every queued
-// description of the current phase, attaches the matching successor
-// description to its conflict ring.
-func (s *Scheduler) attachIdentitySuccessors(pr, next *phaseRun) Cost {
-	lim := pr.total
-	if next.total < lim {
-		lim = next.total
-	}
-	var cost Cost
-	s.wait.Each(func(n *queue.Node[*desc], _ queue.Class) {
-		d := n.Value
-		if d.phase != pr.idx {
-			return
-		}
-		run := d.run.Intersect(granule.R(0, granule.ID(lim)))
-		if run.Empty() {
-			return
-		}
-		sd := newDesc(next.idx, run)
-		d.attachSuccessor(sd)
-		pr.cqManaged.AddRange(run)
-		s.stats.Releases++ // queue insertion onto the conflict ring
-		cost += s.opt.Costs.Dispatch
-		s.stats.DispatchCost += s.opt.Costs.Dispatch
-	})
-	return cost
-}
-
-// planSubset implements the paper's indirect-mapping strategy: "identify a
-// subset group of successor-phase granules that are to be the subject of
-// the enablement operation", find the current-phase granules that enable
-// it, elevate their priority, and arm an enablement counter that releases
-// the subset when they have all completed.
-func (s *Scheduler) planSubset(pr, next *phaseRun, released *granule.Set) Cost {
-	var cost Cost
-
-	// Successor subset: the first SubsetSize granules still pending —
-	// excluding everything already queued (ready-at-start granules and
-	// catch-up releases), which must not be released a second time.
-	pending := granule.NewSet(granule.Span(next.total))
-	pending.Subtract(released)
-	subset := granule.NewSet()
-	remaining := s.opt.SubsetSize
-	for remaining > 0 && !pending.Empty() {
-		r := pending.TakeFront(remaining)
-		if r.Empty() {
-			break
-		}
-		subset.AddRange(r)
-		remaining -= r.Len()
-	}
-	if subset.Empty() {
-		return 0
-	}
-
-	// Composite-map scan for the enabling current-phase granules.
-	preds, scanned := pr.tab.PredsFor(subset)
-	scost := Cost(scanned) * s.opt.Costs.MapEntry
-	s.stats.TableCost += scost
-	cost += scost
-
-	// Only uncompleted granules are counted; completed ones already
-	// contributed their enablement.
-	preds.Subtract(pr.completed)
-	if preds.Empty() {
-		// Everything needed has completed; release the subset now.
-		cost += s.releaseSet(next, subset)
-		return cost
-	}
-
-	pr.subsetManaged = subset
-	pr.subsetPreds = preds
-	pr.subsetCounter.Arm(preds.Len())
-
-	// Elevate the enabling granules that are still queued. Granules in
-	// flight will complete soon regardless.
-	cost += s.elevate(pr, preds)
-	return cost
-}
-
-// elevate extracts the granules of preds from the current phase's queued
-// descriptions and requeues them at elevated priority.
-func (s *Scheduler) elevate(pr *phaseRun, preds *granule.Set) Cost {
-	type hit struct {
-		n     *queue.Node[*desc]
-		class queue.Class
-	}
-	var hits []hit
-	s.wait.Each(func(n *queue.Node[*desc], c queue.Class) {
-		d := n.Value
-		if d.phase != pr.idx || c == queue.Elevated {
-			return
-		}
-		if preds.IntersectRange(d.run).Empty() {
-			return
-		}
-		hits = append(hits, hit{n: n, class: c})
-	})
-	var cost Cost
-	for _, h := range hits {
-		d := h.n.Value
-		s.wait.Remove(h.n, h.class)
-		pr.nQueued -= d.run.Len()
-		s.readyTasks -= s.taskCount(d.run.Len())
-
-		inter := preds.IntersectRange(d.run)
-		rest := granule.NewSet(d.run)
-		rest.Subtract(inter)
-		pieces := inter.NumRuns() + rest.NumRuns() - 1
-		if pieces > 0 {
-			s.stats.Splits += int64(pieces)
-			sc := Cost(pieces) * s.opt.Costs.Split
-			s.stats.SplitCost += sc
-			cost += sc
-		}
-		for _, r := range inter.Runs() {
-			cost += s.pushDesc(newDesc(pr.idx, r), queue.Elevated)
-			s.stats.Elevations++
-			ec := s.opt.Costs.Elevate
-			s.stats.ElevateCost += ec
-			cost += ec
-		}
-		for _, r := range rest.Runs() {
-			cost += s.pushDesc(newDesc(pr.idx, r), h.class)
-		}
-	}
-	return cost
-}
-
-// releaseSet queues successor granules (as coalesced descriptions) at the
-// released class.
-func (s *Scheduler) releaseSet(next *phaseRun, set *granule.Set) Cost {
-	var cost Cost
-	for _, run := range set.Runs() {
-		cost += s.enqueueRange(next, run, s.releasedClass())
-		s.stats.Releases++
-	}
-	return cost
-}
-
-// NextTask pops the highest-priority description, splitting it to the
-// grain if needed, and returns the dispatched task with the management cost
-// of the dispatch. ok is false when no work is ready (the processor idles —
-// this is computational rundown unless the program is done).
-func (s *Scheduler) NextTask() (t Task, cost Cost, ok bool) {
-	if !s.started {
-		panic("core: NextTask before Start")
-	}
-	n, class, ok := s.wait.Pop()
-	if !ok {
-		// Liveness fallback: with nothing queued AND nothing in flight,
-		// no completion can ever release work, so the executive must
-		// drain its deferred queue now or deadlock. When tasks are still
-		// in flight the driver simply idles this worker — completions
-		// (and the driver's own idle-executive DeferredMgmt calls) will
-		// make progress, and an unfinished composite-map build can still
-		// be cancelled by the predecessor completing.
-		for s.wait.Empty() && len(s.inflight) == 0 {
-			dc, any := s.DeferredMgmt()
-			if !any {
-				return Task{}, cost, false
-			}
-			cost += dc
-		}
-		n, class, ok = s.wait.Pop()
-		if !ok {
-			return Task{}, cost, false
-		}
-	}
-	d := n.Value
-	pr := s.phases[d.phase]
-	pr.nQueued -= d.run.Len()
-	s.readyTasks -= s.taskCount(d.run.Len())
-
-	cost += s.opt.Costs.Dispatch
-	s.stats.DispatchCost += s.opt.Costs.Dispatch
-
-	if d.run.Len() > s.opt.Grain {
-		cost += s.splitForDispatch(d, class, pr)
-	}
-
-	// Double-dispatch guard: a granule must never be handed out twice.
-	if !pr.dispatched.IntersectRange(d.run).Empty() {
-		panic(fmt.Sprintf("core: double dispatch of %v in phase %d", d.run, d.phase))
-	}
-	pr.dispatched.AddRange(d.run)
-
-	s.nextID++
-	s.stats.Dispatches++
-	t = Task{ID: s.nextID, Phase: d.phase, Run: d.run}
-	s.inflight[t.ID] = d
-	return t, cost, true
-}
-
-// splitForDispatch splits description d so its front fits the grain,
-// requeueing the remainder at the front of its class, and handles the
-// attached successor descriptions per the successor-split mode.
-func (s *Scheduler) splitForDispatch(d *desc, class queue.Class, pr *phaseRun) Cost {
-	var cost Cost
-	attachments := d.detachAll()
-
-	front, rest := d.run.TakeFront(s.opt.Grain)
-	d.run = front
-	rd := newDesc(d.phase, rest)
-	s.pushDescFront(rd, class)
-	s.stats.Splits++
-	sc := s.opt.Costs.Split
-	s.stats.SplitCost += sc
-	cost += sc
-
-	for _, sd := range attachments {
-		switch s.opt.SuccSplit {
-		case SuccSplitInline:
-			sf := sd.run.Intersect(front)
-			sr := sd.run.Intersect(rest)
-			switch {
-			case sf.Empty():
-				rd.attachSuccessor(sd)
-			case sr.Empty():
-				d.attachSuccessor(sd)
-			default:
-				// Split the queued successor description to mirror
-				// the split of its enabler, paying the split cost on
-				// the dispatch path.
-				sd.run = sf
-				d.attachSuccessor(sd)
-				rd.attachSuccessor(newDesc(sd.phase, sr))
-				s.stats.Splits++
-				s.stats.SplitCost += s.opt.Costs.Split
-				cost += s.opt.Costs.Split
-			}
-		case SuccSplitDeferred:
-			// Detach entirely; a successor-splitting management task
-			// will sort it out when the executive is idle. The range
-			// stays conflict-queue-managed (table emissions stay
-			// suppressed) until the task runs, so there is exactly one
-			// release authority at any moment.
-			s.deferred = append(s.deferred, deferredItem{
-				kind:      deferSplitSucc,
-				predPhase: int(pr.idx),
-				succPhase: int(sd.phase),
-				run:       sd.run,
-			})
-			s.stats.DeferredItems++
-		}
-	}
-	return cost
-}
-
-// DeferredMgmt processes one queued deferred management task (successor
-// splitting or composite-map construction) and returns its cost. ok is
-// false when none are pending. Drivers call this when the management
-// resource is otherwise idle; NextTask also drains the queue as a liveness
-// fallback when the waiting queue runs dry.
-func (s *Scheduler) DeferredMgmt() (cost Cost, ok bool) {
-	if len(s.deferred) == 0 {
-		return 0, false
-	}
-	item := s.deferred[0]
-	s.deferred = s.deferred[1:]
-
-	pr := s.phases[item.predPhase]
-	next := s.phases[item.succPhase]
-
-	switch item.kind {
-	case deferBuildTable:
-		if pr.tab != nil {
-			return 0, true // defensive: already built
-		}
-		if pr.nComplete >= pr.total || next.state == PhaseComplete {
-			// Cancelled: the predecessor finished before the map was
-			// needed; the successor is released wholesale by advance().
-			pr.pendingTab = nil
-			pr.buildLeft = 0
-			return 0, true
-		}
-		if pr.pendingTab == nil {
-			pr.pendingTab = s.constructTable(pr, next)
-			pr.buildLeft = Cost(pr.pendingTab.BuildCost()) * s.opt.Costs.MapEntry
-		}
-		// Incremental construction: charge at most one chunk of map work
-		// per idle-executive step so the build never monopolizes the
-		// serial executive.
-		step := pr.buildLeft
-		if chunk := s.opt.Costs.MapChunk; chunk > 0 && step > chunk {
-			step = chunk
-		}
-		pr.buildLeft -= step
-		s.stats.TableCost += step
-		cost = step
-		if pr.buildLeft > 0 {
-			// Not finished: keep the item queued for the next idle step.
-			s.deferred = append([]deferredItem{item}, s.deferred...)
-			return cost, true
-		}
-		cost += s.publishPair(pr, next, pr.pendingTab)
-		return cost, true
-
-	case deferSplitSucc:
-		// Identity mapping: successor granule r is enabled iff current
-		// granule r has completed. Release the already-enabled part
-		// (whose table emissions were suppressed while the range was
-		// conflict-queue-managed); the rest flows through the enablement
-		// table from now on.
-		pr.cqManaged.RemoveRange(item.run)
-		enabled := pr.completed.IntersectRange(item.run)
-		cost = s.opt.Costs.Split + Cost(item.run.Len())*s.opt.Costs.PerEnable
-		s.stats.DeferredCost += cost
-		cost += s.releaseSet(next, enabled)
-		return cost, true
-	}
-	panic(fmt.Sprintf("core: unknown deferred item kind %d", item.kind))
-}
-
-// Complete performs completion processing for a dispatched task: it merges
-// the completed description, releases conflict-queued successor
-// descriptions, decrements enablement counters, and advances the phase
-// window when the current phase finishes. It returns the management cost.
-func (s *Scheduler) Complete(t Task) Cost {
-	d, ok := s.inflight[t.ID]
-	if !ok {
-		panic(fmt.Sprintf("core: Complete of unknown %v", t))
-	}
-	delete(s.inflight, t.ID)
-	pr := s.phases[d.phase]
-
-	cost := s.opt.Costs.Complete + s.opt.Costs.Merge
-	s.stats.Completions++
-	s.stats.Merges++
-	s.stats.CompleteCost += s.opt.Costs.Complete + s.opt.Costs.Merge
-
-	if pr.completed.ContainsRange(d.run) && !d.run.Empty() {
-		panic(fmt.Sprintf("core: double completion of %v in phase %d", d.run, d.phase))
-	}
-	pr.completed.AddRange(d.run)
-	pr.nComplete += d.run.Len()
-
-	// Release conflict-queued successor descriptions: "upon completion of
-	// the described computation, all the queued conflicting computations
-	// became unconditionally computable and were placed in the waiting
-	// computation queue" — ahead of normal work.
-	for _, sd := range d.detachAll() {
-		cost += s.pushDesc(sd, s.releasedClass())
-		s.stats.Releases++
-	}
-
-	// Enablement-counter processing for the phase pair. Counter touches
-	// for conflict-queue-managed granules are not charged: PAX releases
-	// those per description, in O(1), which is exactly why computations
-	// are "described as large, contiguous collections of granules". The
-	// counters are still advanced so that deferred successor-splitting
-	// tasks and phase accounting stay consistent.
-	if pr.tab != nil {
-		released := granule.NewSet()
-		charged := 0
-		d.run.Each(func(p granule.ID) {
-			suppressed := false
-			n := pr.tab.Complete(p, func(r granule.ID) {
-				if pr.cqManaged.Contains(r) {
-					suppressed = true
-					return // released by the conflict-queue mechanism
-				}
-				if pr.subsetManaged.Contains(r) {
-					return // released as a unit by the subset counter
-				}
-				released.Add(r)
-			})
-			if !suppressed {
-				charged += n
-			}
-		})
-		if charged > 0 {
-			ec := Cost(charged) * s.opt.Costs.PerEnable
-			s.stats.EnableTouches += int64(charged)
-			s.stats.CompleteCost += ec
-			cost += ec
-		}
-		if !released.Empty() && int(d.phase)+1 < len(s.phases) {
-			cost += s.releaseSet(s.phases[int(d.phase)+1], released)
-		}
-
-		// Subset counter: the paper's status-bit-plus-counter mechanism.
-		if pr.subsetCounter.Armed() {
-			hits := pr.subsetPreds.IntersectRange(d.run)
-			fired := false
-			for i := 0; i < hits.Len(); i++ {
-				if pr.subsetCounter.Dec() {
-					fired = true
-				}
-			}
-			if fired && int(d.phase)+1 < len(s.phases) {
-				subset := pr.subsetManaged
-				pr.subsetManaged = granule.NewSet()
-				cost += s.releaseSet(s.phases[int(d.phase)+1], subset)
-			}
-		}
-	}
-
-	if pr.nComplete >= pr.total {
-		if int(pr.idx) == s.current {
-			pr.state = PhaseComplete
-			s.current++
-			cost += s.advance()
-		} else {
-			pr.state = PhaseComplete
-		}
-	}
-	return cost
 }
 
 // Check verifies cross-structure invariants; tests call it between driver

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/enable"
+	"repro/internal/granule"
+	"repro/internal/queue"
+)
+
+// This file is the phase-window half of the state machine: driving the
+// current-phase window forward, preparing phase pairs for overlap,
+// constructing and publishing enablement tables (composite granule maps),
+// planning indirect successor subsets, and elevating enabling granules.
+
+// Start activates the first phase (and, when overlap is enabled, prepares
+// its successor). It returns the management cost incurred.
+func (s *Scheduler) Start() Cost {
+	if s.started {
+		return 0
+	}
+	s.started = true
+	return s.advance()
+}
+
+// advance drives the current-phase window forward until it rests on an
+// incomplete, activated phase (or the program ends).
+func (s *Scheduler) advance() Cost {
+	var cost Cost
+	for s.current < len(s.phases) {
+		pr := s.phases[s.current]
+		switch pr.state {
+		case PhaseUnstarted:
+			cost += s.serialActivate(pr)
+			pr.state = PhaseCurrent
+			cost += s.prepareOverlap(s.current)
+			if pr.nComplete >= pr.total {
+				pr.state = PhaseComplete
+				s.current++
+				continue
+			}
+			return cost
+		case PhaseOverlapped:
+			if pr.nComplete >= pr.total {
+				pr.state = PhaseComplete
+				s.current++
+				continue
+			}
+			// The overlapped phase becomes the current phase: its
+			// filler work is promoted to normal priority and its own
+			// successor is prepared for overlap.
+			s.wait.Promote(queue.Background, queue.Normal)
+			pr.state = PhaseCurrent
+			// If the pair's composite map was never published (the build
+			// was deferred and overtaken by the predecessor's
+			// completion), nothing has been released: queue the whole
+			// span as normal work now. The pending build item becomes a
+			// cancelled no-op.
+			if s.current > 0 {
+				prev := s.phases[s.current-1]
+				if s.opt.Overlap && prev.spec.Enable != nil &&
+					prev.spec.Enable.Kind != enable.Null &&
+					prev.tab == nil && pr.total > 0 {
+					cost += s.enqueueRange(pr, granule.Span(pr.total), queue.Normal)
+				}
+			}
+			cost += s.prepareOverlap(s.current)
+			return cost
+		case PhaseCurrent:
+			if pr.nComplete >= pr.total {
+				pr.state = PhaseComplete
+				s.current++
+				continue
+			}
+			return cost
+		case PhaseComplete:
+			s.current++
+		default:
+			panic(fmt.Sprintf("core: invalid phase state %v", pr.state))
+		}
+	}
+	return cost
+}
+
+// serialActivate performs the between-phase serial action (if any) and
+// queues the phase's whole span as normal-priority work.
+func (s *Scheduler) serialActivate(pr *phaseRun) Cost {
+	var cost Cost
+	if pr.spec.SerialBefore != nil {
+		pr.spec.SerialBefore()
+	}
+	cost += pr.spec.SerialCost
+	s.stats.SerialCost += pr.spec.SerialCost
+	if pr.total > 0 {
+		cost += s.enqueueRange(pr, granule.Span(pr.total), queue.Normal)
+	}
+	return cost
+}
+
+// enqueueRange queues run for phase pr at the given class, honouring the
+// pre-split policy, and returns the management cost.
+func (s *Scheduler) enqueueRange(pr *phaseRun, run granule.Range, class queue.Class) Cost {
+	if run.Empty() {
+		return 0
+	}
+	var cost Cost
+	if s.opt.Split == SplitPre && run.Len() > s.opt.Grain {
+		chunks := run.Chunks(s.opt.Grain)
+		s.stats.Splits += int64(len(chunks) - 1)
+		cost += Cost(len(chunks)-1) * s.opt.Costs.Split
+		for _, c := range chunks {
+			cost += s.pushDesc(s.getDesc(pr.idx, c), class)
+		}
+		return cost
+	}
+	return cost + s.pushDesc(s.getDesc(pr.idx, run), class)
+}
+
+// pushDesc appends d to the waiting computation queue.
+func (s *Scheduler) pushDesc(d *desc, class queue.Class) Cost {
+	s.wait.Push(d.node, class)
+	s.phases[d.phase].nQueued += d.run.Len()
+	s.readyTasks += s.taskCount(d.run.Len())
+	s.stats.DispatchCost += s.opt.Costs.Dispatch
+	return s.opt.Costs.Dispatch
+}
+
+// pushDescFront inserts d at the front of its class (split remainders keep
+// their place at the head of the queue).
+func (s *Scheduler) pushDescFront(d *desc, class queue.Class) {
+	s.wait.PushFront(d.node, class)
+	s.phases[d.phase].nQueued += d.run.Len()
+	s.readyTasks += s.taskCount(d.run.Len())
+}
+
+// releasedClass is the class successor work is released to.
+func (s *Scheduler) releasedClass() queue.Class {
+	if s.opt.ReleasedAhead {
+		return queue.Released
+	}
+	return queue.Background
+}
+
+// prepareOverlap initiates phase c+1 for overlap with current phase c, per
+// the declared enablement mapping. No-op for barrier mode, null mappings,
+// or the final phase. Universal and identity pairs are wired immediately
+// (their "tables" are implicit and O(1) to build); indirect pairs defer
+// composite-map construction to executive idle time, per the paper: "it
+// would seem wise to get the current phase into execution without the
+// delay of constructing the necessary information for enabling successor
+// computations."
+func (s *Scheduler) prepareOverlap(c int) Cost {
+	if !s.opt.Overlap || c+1 >= len(s.phases) {
+		return 0
+	}
+	pr := s.phases[c]
+	spec := pr.spec.Enable
+	if spec == nil || spec.Kind == enable.Null {
+		return 0
+	}
+	next := s.phases[c+1]
+	if next.state != PhaseUnstarted {
+		return 0 // already active or complete; nothing to prepare
+	}
+	next.state = PhaseOverlapped
+	next.nextActivated = true
+
+	if spec.Kind.Indirect() && !s.opt.InlineMaps {
+		s.deferred = append(s.deferred, deferredItem{
+			kind: deferBuildTable, predPhase: c, succPhase: c + 1,
+		})
+		s.stats.DeferredItems++
+		return 0
+	}
+	return s.buildPair(pr, next)
+}
+
+// buildPair constructs the enablement table (composite granule map) for
+// the pair pr -> next and publishes it immediately — the inline path used
+// for universal and identity mappings, whose "maps" are implicit and O(1).
+// The paper: the map "would have to be generated by the executive at or
+// after first phase initiation but before any second phase enablements".
+func (s *Scheduler) buildPair(pr, next *phaseRun) Cost {
+	tab := s.constructTable(pr, next)
+	tcost := Cost(tab.BuildCost()) * s.opt.Costs.MapEntry
+	s.stats.TableCost += tcost
+	return tcost + s.publishPair(pr, next, tab)
+}
+
+// constructTable builds the enablement table for the pair (no publication,
+// no cost charging).
+func (s *Scheduler) constructTable(pr, next *phaseRun) *enable.Table {
+	tab, err := enable.Build(pr.spec.Enable, pr.total, next.total)
+	if err != nil {
+		// Validate() passed at New; a failure here means the mapping
+		// functions are impure, which is a programming error.
+		panic(fmt.Sprintf("core: enablement table build failed at runtime: %v", err))
+	}
+	s.stats.TableBuilds++
+	s.stats.TableEntries += tab.BuildCost()
+	return tab
+}
+
+// publishPair installs a constructed table: catches up completions that
+// happened before the table existed, releases the computable successor
+// granules, attaches identity conflict-queue descriptions, and plans the
+// indirect successor subset.
+func (s *Scheduler) publishPair(pr, next *phaseRun, tab *enable.Table) Cost {
+	spec := pr.spec.Enable
+	var cost Cost
+
+	pr.tab = tab
+	pr.pendingTab = nil
+	pr.cqManaged = granule.NewSet()
+	pr.subsetManaged = granule.NewSet()
+	pr.subsetPreds = granule.NewSet()
+
+	// Catch up completions that happened before the table existed (the
+	// current phase may have progressed while it was itself overlapped).
+	ready := tab.ReadyAtStart().Clone()
+	if !pr.completed.Empty() {
+		touched := 0
+		for _, r := range pr.completed.Runs() {
+			touched += tab.CompleteRange(r, ready)
+		}
+		s.stats.CatchUps += int64(touched)
+		ccost := Cost(touched) * s.opt.Costs.PerEnable
+		s.stats.CompleteCost += ccost
+		cost += ccost
+	}
+
+	// Queue the immediately computable successor granules behind the
+	// current phase ("placed in the waiting computation queue behind the
+	// current phase description"). A deferred build may land after the
+	// successor has already become the current phase; its work is then
+	// normal-priority.
+	class := queue.Background
+	if next.state == PhaseCurrent {
+		class = queue.Normal
+	}
+	for _, run := range ready.Runs() {
+		cost += s.enqueueRange(next, run, class)
+		s.stats.Releases++
+	}
+
+	// Identity via conflict queues: attach successor descriptions to the
+	// queued current-phase descriptions they are enabled by.
+	if spec.Kind == enable.Identity && s.opt.IdentityVia == IdentityConflictQueue {
+		cost += s.attachIdentitySuccessors(pr, next)
+	}
+
+	// Indirect mappings: plan a successor subset, elevate its enabling
+	// current-phase granules, and arm the enablement counter.
+	if spec.Kind.Indirect() && s.opt.Elevate {
+		cost += s.planSubset(pr, next, ready)
+	}
+	return cost
+}
+
+// attachIdentitySuccessors walks the waiting queue and, for every queued
+// description of the current phase, attaches the matching successor
+// description to its conflict ring.
+func (s *Scheduler) attachIdentitySuccessors(pr, next *phaseRun) Cost {
+	lim := pr.total
+	if next.total < lim {
+		lim = next.total
+	}
+	var cost Cost
+	s.wait.Each(func(n *queue.Node[*desc], _ queue.Class) {
+		d := n.Value
+		if d.phase != pr.idx {
+			return
+		}
+		run := d.run.Intersect(granule.R(0, granule.ID(lim)))
+		if run.Empty() {
+			return
+		}
+		sd := s.getDesc(next.idx, run)
+		d.attachSuccessor(sd)
+		pr.cqManaged.AddRange(run)
+		s.stats.Releases++ // queue insertion onto the conflict ring
+		cost += s.opt.Costs.Dispatch
+		s.stats.DispatchCost += s.opt.Costs.Dispatch
+	})
+	return cost
+}
+
+// planSubset implements the paper's indirect-mapping strategy: "identify a
+// subset group of successor-phase granules that are to be the subject of
+// the enablement operation", find the current-phase granules that enable
+// it, elevate their priority, and arm an enablement counter that releases
+// the subset when they have all completed.
+func (s *Scheduler) planSubset(pr, next *phaseRun, released *granule.Set) Cost {
+	var cost Cost
+
+	// Successor subset: the first SubsetSize granules still pending —
+	// excluding everything already queued (ready-at-start granules and
+	// catch-up releases), which must not be released a second time.
+	pending := granule.NewSet(granule.Span(next.total))
+	pending.Subtract(released)
+	subset := granule.NewSet()
+	remaining := s.opt.SubsetSize
+	for remaining > 0 && !pending.Empty() {
+		r := pending.TakeFront(remaining)
+		if r.Empty() {
+			break
+		}
+		subset.AddRange(r)
+		remaining -= r.Len()
+	}
+	if subset.Empty() {
+		return 0
+	}
+
+	// Composite-map scan for the enabling current-phase granules.
+	preds, scanned := pr.tab.PredsFor(subset)
+	scost := Cost(scanned) * s.opt.Costs.MapEntry
+	s.stats.TableCost += scost
+	cost += scost
+
+	// Only uncompleted granules are counted; completed ones already
+	// contributed their enablement.
+	preds.Subtract(pr.completed)
+	if preds.Empty() {
+		// Everything needed has completed; release the subset now.
+		cost += s.releaseSet(next, subset)
+		return cost
+	}
+
+	pr.subsetManaged = subset
+	pr.subsetPreds = preds
+	pr.subsetCounter.Arm(preds.Len())
+
+	// Elevate the enabling granules that are still queued. Granules in
+	// flight will complete soon regardless.
+	cost += s.elevate(pr, preds)
+	return cost
+}
+
+// elevate extracts the granules of preds from the current phase's queued
+// descriptions and requeues them at elevated priority.
+func (s *Scheduler) elevate(pr *phaseRun, preds *granule.Set) Cost {
+	type hit struct {
+		n     *queue.Node[*desc]
+		class queue.Class
+	}
+	var hits []hit
+	s.wait.Each(func(n *queue.Node[*desc], c queue.Class) {
+		d := n.Value
+		if d.phase != pr.idx || c == queue.Elevated {
+			return
+		}
+		if preds.IntersectRange(d.run).Empty() {
+			return
+		}
+		hits = append(hits, hit{n: n, class: c})
+	})
+	var cost Cost
+	for _, h := range hits {
+		d := h.n.Value
+		s.wait.Remove(h.n, h.class)
+		pr.nQueued -= d.run.Len()
+		s.readyTasks -= s.taskCount(d.run.Len())
+
+		inter := preds.IntersectRange(d.run)
+		rest := granule.NewSet(d.run)
+		rest.Subtract(inter)
+		pieces := inter.NumRuns() + rest.NumRuns() - 1
+		if pieces > 0 {
+			s.stats.Splits += int64(pieces)
+			sc := Cost(pieces) * s.opt.Costs.Split
+			s.stats.SplitCost += sc
+			cost += sc
+		}
+		for _, r := range inter.Runs() {
+			cost += s.pushDesc(s.getDesc(pr.idx, r), queue.Elevated)
+			s.stats.Elevations++
+			ec := s.opt.Costs.Elevate
+			s.stats.ElevateCost += ec
+			cost += ec
+		}
+		for _, r := range rest.Runs() {
+			cost += s.pushDesc(s.getDesc(pr.idx, r), h.class)
+		}
+		s.putDesc(d)
+	}
+	return cost
+}
+
+// releaseSet queues successor granules (as coalesced descriptions) at the
+// released class.
+func (s *Scheduler) releaseSet(next *phaseRun, set *granule.Set) Cost {
+	var cost Cost
+	for _, run := range set.Runs() {
+		cost += s.enqueueRange(next, run, s.releasedClass())
+		s.stats.Releases++
+	}
+	return cost
+}

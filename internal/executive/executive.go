@@ -1,15 +1,26 @@
-// Package executive runs a core.Scheduler on real goroutines: a pool of
-// worker goroutines executes granule work functions while a mutex-guarded
-// scheduler plays the role of the serial PAX executive. Every scheduler
-// interaction happens under the manager lock, exactly serializing
-// management the way the single UNIVAC executive did; the time spent inside
-// the lock is measured as management time, so the paper's computation-to-
-// management ratio can be observed on real hardware.
+// Package executive runs a core.Scheduler on real goroutines. It is split
+// into two layers:
+//
+//   - the state machine (core.Scheduler, seen through the StateMachine
+//     interface) holds every scheduling decision and no synchronization;
+//   - a Manager owns all synchronization policy around the state machine
+//     and drives it on behalf of a pool of worker goroutines.
+//
+// Two managers are provided. SerialManager guards every state-machine
+// interaction with one global mutex, exactly serializing management the
+// way the single UNIVAC executive did — the paper-faithful baseline whose
+// lock time is measured as management time. ShardedManager gives each
+// worker a bounded local task deque with batched completion submission and
+// work stealing between shards, paying the global serialization once per
+// batch instead of once per task — the management layer itself made
+// parallel, which is what the paper's rundown analysis calls for once the
+// executive becomes the bottleneck.
 package executive
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -18,20 +29,32 @@ import (
 
 // Config parameterizes an executive run.
 type Config struct {
-	// Workers is the number of worker goroutines (>=1). Unlike the
-	// simulator, the executive has no separate management processor: the
-	// manager runs inline on whichever worker needs it, under the lock.
+	// Workers is the number of worker goroutines (>=1). The executive has
+	// no separate management processor: management runs inline on
+	// whichever worker needs it, under the manager's locks.
 	Workers int
+	// Manager selects the management layer (SerialManager default).
+	Manager ManagerKind
+	// DequeCap bounds each worker's local task deque and sets the refill
+	// batch size (ShardedManager only). <=0 selects 16.
+	DequeCap int
+	// Batch is the completion batch size: completions accumulate per
+	// worker and are submitted to the state machine in one lock
+	// acquisition when the batch fills (ShardedManager only). <=0
+	// selects 8.
+	Batch int
 }
 
 // Report aggregates a run's measurements.
 type Report struct {
+	// Manager identifies the management layer that produced the run.
+	Manager ManagerKind
 	// Wall is the elapsed wall-clock time of the run.
 	Wall time.Duration
 	// Compute is the summed time workers spent executing granule work.
 	Compute time.Duration
-	// Mgmt is the summed time spent inside scheduler calls (dispatch,
-	// completion processing, deferred management) under the manager lock.
+	// Mgmt is the summed time spent inside manager-serialized scheduler
+	// calls (dispatch, completion processing, deferred management).
 	Mgmt time.Duration
 	// Idle is the summed time workers spent parked waiting for work.
 	Idle time.Duration
@@ -47,12 +70,12 @@ type Report struct {
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("wall=%v compute=%v mgmt=%v idle=%v tasks=%d ratio=%.1f util=%.3f",
-		r.Wall, r.Compute, r.Mgmt, r.Idle, r.Tasks, r.MgmtRatio, r.Utilization)
+	return fmt.Sprintf("manager=%v wall=%v compute=%v mgmt=%v idle=%v tasks=%d ratio=%.1f util=%.3f",
+		r.Manager, r.Wall, r.Compute, r.Mgmt, r.Idle, r.Tasks, r.MgmtRatio, r.Utilization)
 }
 
-// Run executes prog on cfg.Workers goroutines with scheduler options opt.
-// It returns when every phase has completed.
+// Run executes prog on cfg.Workers goroutines with scheduler options opt
+// under the configured manager. It returns when every phase has completed.
 func Run(prog *core.Program, opt core.Options, cfg Config) (*Report, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("executive: need at least 1 worker")
@@ -64,149 +87,85 @@ func Run(prog *core.Program, opt core.Options, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	e := &engine{
-		sched:   sched,
-		prog:    prog,
-		workers: cfg.Workers,
+	mgr, err := newManager(sched, cfg)
+	if err != nil {
+		return nil, err
 	}
-	e.cond = sync.NewCond(&e.mu)
+
+	e := &engine{mgr: mgr, prog: prog}
 
 	start := time.Now()
-	e.mu.Lock()
-	m0 := time.Now()
-	sched.Start()
-	e.mgmt += time.Since(m0)
-	e.mu.Unlock()
+	mgr.Start()
 
 	var wg sync.WaitGroup
 	wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			e.worker()
-		}()
+			e.worker(w)
+		}(w)
 	}
 	wg.Wait()
 
-	if e.err != nil {
-		return nil, e.err
+	if err := mgr.Err(); err != nil {
+		return nil, err
 	}
 
 	wall := time.Since(start)
 	rep := &Report{
+		Manager: cfg.Manager,
 		Wall:    wall,
-		Compute: e.compute,
-		Mgmt:    e.mgmt,
-		Idle:    e.idle,
-		Tasks:   e.tasks,
+		Compute: time.Duration(e.compute.Load()),
+		Mgmt:    mgr.Mgmt(),
+		Idle:    mgr.Idle(),
+		Tasks:   e.tasks.Load(),
 		Sched:   sched.Stats(),
 	}
-	if e.mgmt > 0 {
-		rep.MgmtRatio = float64(e.compute) / float64(e.mgmt)
+	if rep.Mgmt > 0 {
+		rep.MgmtRatio = float64(rep.Compute) / float64(rep.Mgmt)
 	}
 	if wall > 0 {
-		rep.Utilization = float64(e.compute) / (float64(cfg.Workers) * float64(wall))
+		rep.Utilization = float64(rep.Compute) / (float64(cfg.Workers) * float64(wall))
 	}
 	return rep, nil
 }
 
+// engine is the manager-agnostic worker pool: it executes work functions
+// and reports the results; every scheduling decision and all
+// synchronization live behind the Manager.
 type engine struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	mgr  Manager
+	prog *core.Program
 
-	sched   *core.Scheduler
-	prog    *core.Program
-	workers int
-
-	// Accumulators, guarded by mu.
-	compute time.Duration
-	mgmt    time.Duration
-	idle    time.Duration
-	tasks   int64
-	err     error
-	waiting int
+	compute atomic.Int64 // nanoseconds of granule work
+	tasks   atomic.Int64
 }
 
-// worker is the goroutine body: ask the serial manager for work, execute
-// it, report completion, park when nothing is ready.
-func (e *engine) worker() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// worker is the goroutine body: ask the manager for work, execute it,
+// report completion; exit when the manager says the run is over.
+func (e *engine) worker(w int) {
 	for {
-		if e.err != nil {
+		task, ok := e.mgr.Next(w)
+		if !ok {
 			return
 		}
-		m0 := time.Now()
-		task, _, ok := e.sched.NextTask()
-		e.mgmt += time.Since(m0)
+		work := e.prog.Phases[task.Phase].Work
 
-		if ok {
-			work := e.prog.Phases[task.Phase].Work
-			e.mu.Unlock()
+		c0 := time.Now()
+		workErr := e.execute(work, task)
+		dur := time.Since(c0)
 
-			c0 := time.Now()
-			workErr := e.execute(work, task)
-			dur := time.Since(c0)
-
-			e.mu.Lock()
-			if workErr != nil {
-				if e.err == nil {
-					e.err = workErr
-				}
-				e.cond.Broadcast()
-				return
-			}
-			e.compute += dur
-			e.tasks++
-			m1 := time.Now()
-			func() {
-				defer func() {
-					if r := recover(); r != nil && e.err == nil {
-						e.err = fmt.Errorf("executive: completion processing panicked: %v", r)
-					}
-				}()
-				e.sched.Complete(task)
-			}()
-			e.mgmt += time.Since(m1)
-			e.cond.Broadcast()
-			continue
-		}
-
-		if e.sched.Done() {
-			e.cond.Broadcast()
+		if workErr != nil {
+			e.mgr.Abort(workErr)
 			return
 		}
-
-		// Idle executive moment: absorb deferred successor-splitting
-		// management tasks before parking.
-		if e.sched.HasDeferred() {
-			m1 := time.Now()
-			_, _ = e.sched.DeferredMgmt()
-			e.mgmt += time.Since(m1)
-			e.cond.Broadcast()
-			continue
-		}
-
-		// Park until a completion or release makes work available. If
-		// every worker is parked with nothing in flight, the scheduler
-		// has stalled — a bug its liveness guarantees should prevent;
-		// fail loudly instead of deadlocking.
-		if e.waiting+1 == e.workers && e.sched.InFlight() == 0 {
-			e.err = fmt.Errorf("executive: stalled at phase %d: all workers idle, nothing in flight",
-				e.sched.CurrentPhase())
-			e.cond.Broadcast()
-			return
-		}
-		i0 := time.Now()
-		e.waiting++
-		e.cond.Wait()
-		e.waiting--
-		e.idle += time.Since(i0)
+		e.compute.Add(int64(dur))
+		e.tasks.Add(1)
+		e.mgr.Complete(w, task)
 	}
 }
 
-// execute runs the work function over the task's granules (outside the
+// execute runs the work function over the task's granules (outside any
 // manager lock). A nil work function is a pure scheduling run. Panics in
 // user work are captured and surfaced as run errors rather than tearing
 // down the whole process.

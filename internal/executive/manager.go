@@ -1,0 +1,123 @@
+package executive
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// StateMachine is the slice of the core scheduler state machine a Manager
+// drives. The split is the load-bearing boundary of this package: the
+// state machine (core.Scheduler) holds all scheduling policy and no
+// synchronization; a Manager holds all synchronization and no scheduling
+// policy. *core.Scheduler implements it; tests substitute stubs to
+// exercise manager failure paths the real state machine cannot reach.
+type StateMachine interface {
+	// Start activates the program; returns the management cost.
+	Start() core.Cost
+	// NextTask pops one ready task; ok is false when nothing is ready.
+	NextTask() (core.Task, core.Cost, bool)
+	// NextTasks pops up to max ready tasks in one call (batch refill).
+	NextTasks(dst []core.Task, max int) ([]core.Task, core.Cost)
+	// Complete performs completion processing for one dispatched task.
+	Complete(t core.Task) core.Cost
+	// CompleteBatch performs completion processing for ts in order.
+	CompleteBatch(ts []core.Task) core.Cost
+	// DeferredMgmt performs one unit of deferred management work.
+	DeferredMgmt() (core.Cost, bool)
+	// HasDeferred reports whether deferred management work is queued.
+	HasDeferred() bool
+	// Done reports whether every phase has completed.
+	Done() bool
+	// InFlight reports dispatched-but-incomplete tasks.
+	InFlight() int
+	// ReadyTasks reports how many NextTask calls would succeed right now.
+	ReadyTasks() int
+	// CurrentPhase reports the oldest incomplete phase index.
+	CurrentPhase() int
+	// Stats returns the management statistics so far.
+	Stats() core.Stats
+}
+
+var _ StateMachine = (*core.Scheduler)(nil)
+
+// A Manager owns the state machine on behalf of the worker pool: it
+// decides how scheduler interactions are serialized, where completions
+// accumulate, and when parked workers wake. The worker loop in Run is
+// manager-agnostic.
+//
+// The contract: one Start, then each worker loops Next -> execute ->
+// Complete until Next returns ok=false (program done, run aborted, or
+// stall detected). Abort may be called from any worker at any time.
+type Manager interface {
+	// Start activates the program on the state machine.
+	Start()
+	// Next blocks until a task is available for worker w and returns it.
+	// ok=false means the worker must exit: the program is done, the run
+	// was aborted, or the manager detected a stall.
+	Next(w int) (t core.Task, ok bool)
+	// Complete reports that worker w finished executing t. The manager
+	// may submit it to the state machine immediately (serial) or
+	// accumulate it for batched submission (sharded).
+	Complete(w int, t core.Task)
+	// Abort terminates the run with err; parked workers are released.
+	Abort(err error)
+	// Err returns the run error, if any. Call after the workers exit.
+	Err() error
+	// Mgmt and Idle return the summed management-lock and parked time.
+	Mgmt() time.Duration
+	Idle() time.Duration
+}
+
+// ManagerKind selects the Manager implementation an executive run uses.
+type ManagerKind uint8
+
+const (
+	// SerialManager serializes every state-machine interaction under one
+	// global lock — the PAX serial executive, preserved as the paper
+	// baseline. Management is a single contended resource exactly as on
+	// the UNIVAC 1100 test bed.
+	SerialManager ManagerKind = iota
+	// ShardedManager gives each worker a bounded local task deque and a
+	// local completion batch. Workers refill their deque (and flush
+	// their batch) in one global-lock acquisition, and steal from each
+	// other's deques when their own drains during rundown, so global
+	// serialization is paid once per batch rather than once per task.
+	ShardedManager
+)
+
+func (k ManagerKind) String() string {
+	switch k {
+	case SerialManager:
+		return "serial"
+	case ShardedManager:
+		return "sharded"
+	default:
+		return fmt.Sprintf("ManagerKind(%d)", uint8(k))
+	}
+}
+
+// ParseManager parses a -manager flag value.
+func ParseManager(s string) (ManagerKind, error) {
+	switch s {
+	case "serial":
+		return SerialManager, nil
+	case "sharded":
+		return ShardedManager, nil
+	default:
+		return 0, fmt.Errorf("executive: unknown manager %q (serial|sharded)", s)
+	}
+}
+
+// newManager builds the configured Manager over sm.
+func newManager(sm StateMachine, cfg Config) (Manager, error) {
+	switch cfg.Manager {
+	case SerialManager:
+		return newSerial(sm, cfg.Workers), nil
+	case ShardedManager:
+		return newSharded(sm, cfg.Workers, cfg.DequeCap, cfg.Batch), nil
+	default:
+		return nil, fmt.Errorf("executive: unknown manager kind %v", cfg.Manager)
+	}
+}

@@ -1,0 +1,135 @@
+package executive
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// serial is the paper-baseline Manager: a single mutex guards every state
+// machine interaction, exactly serializing management the way the single
+// UNIVAC executive did. The time spent inside the lock is measured as
+// management time, so the paper's computation-to-management ratio can be
+// observed on real hardware.
+type serial struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	sm      StateMachine
+	workers int
+
+	// Accumulators, guarded by mu.
+	mgmt    time.Duration
+	idle    time.Duration
+	waiting int
+	err     error
+}
+
+func newSerial(sm StateMachine, workers int) *serial {
+	m := &serial{sm: sm, workers: workers}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *serial) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m0 := time.Now()
+	m.sm.Start()
+	m.mgmt += time.Since(m0)
+}
+
+// Next asks the serial executive for work, absorbing deferred management
+// in idle moments and parking when nothing is ready.
+func (m *serial) Next(w int) (core.Task, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.err != nil {
+			return core.Task{}, false
+		}
+		m0 := time.Now()
+		task, _, ok := m.sm.NextTask()
+		m.mgmt += time.Since(m0)
+
+		if ok {
+			return task, true
+		}
+		if m.sm.Done() {
+			m.cond.Broadcast()
+			return core.Task{}, false
+		}
+
+		// Idle executive moment: absorb deferred successor-splitting
+		// management tasks before parking.
+		if m.sm.HasDeferred() {
+			m1 := time.Now()
+			_, _ = m.sm.DeferredMgmt()
+			m.mgmt += time.Since(m1)
+			m.cond.Broadcast()
+			continue
+		}
+
+		// Park until a completion or release makes work available. If
+		// every worker is parked with nothing in flight, the scheduler
+		// has stalled — a bug its liveness guarantees should prevent;
+		// fail loudly instead of deadlocking.
+		if m.waiting+1 == m.workers && m.sm.InFlight() == 0 {
+			m.err = fmt.Errorf("executive: stalled at phase %d: all workers idle, nothing in flight",
+				m.sm.CurrentPhase())
+			m.cond.Broadcast()
+			return core.Task{}, false
+		}
+		i0 := time.Now()
+		m.waiting++
+		m.cond.Wait()
+		m.waiting--
+		m.idle += time.Since(i0)
+	}
+}
+
+// Complete submits the completion immediately under the global lock.
+func (m *serial) Complete(w int, t core.Task) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m1 := time.Now()
+	func() {
+		defer func() {
+			if r := recover(); r != nil && m.err == nil {
+				m.err = fmt.Errorf("executive: completion processing panicked: %v", r)
+			}
+		}()
+		m.sm.Complete(t)
+	}()
+	m.mgmt += time.Since(m1)
+	m.cond.Broadcast()
+}
+
+func (m *serial) Abort(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.cond.Broadcast()
+}
+
+func (m *serial) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+func (m *serial) Mgmt() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mgmt
+}
+
+func (m *serial) Idle() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.idle
+}

@@ -1,0 +1,290 @@
+package executive
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// sharded is the parallel Manager: each worker owns a bounded local task
+// deque and a local completion batch, so the global lock that guards the
+// state machine is acquired once per batch instead of once per task.
+//
+//   - Refill: when a worker's deque drains it acquires the global lock
+//     once, submits its accumulated completions (CompleteBatch), and pulls
+//     up to DequeCap tasks (NextTasks) into its deque.
+//   - Batched completion: completions accumulate per worker and are
+//     applied to the state machine in one lock acquisition when the batch
+//     fills or at the next refill, whichever comes first.
+//   - Work stealing: a worker whose deque drains during rundown first
+//     steals the back half of a peer's deque before falling back to the
+//     global refill path, keeping processors busy while the queue runs dry.
+//
+// Invariants the stall detector relies on: a worker only parks after its
+// deque is empty, a steal sweep failed, and its completion batch was
+// flushed under the global lock; nothing refills a parked worker's deque
+// or batch. So when every worker is parked, no task is held anywhere
+// outside the state machine and InFlight()==0 identifies a true stall.
+type sharded struct {
+	mu   sync.Mutex // guards sm, waiting, err, mgmt, idle
+	cond *sync.Cond
+
+	sm      StateMachine
+	workers int
+	cap     int // deque capacity = refill batch size
+	batch   int // completion batch size
+
+	shards []shard
+	failed atomic.Bool // fast-path abort flag, mirrors err != nil
+
+	// Accumulators, guarded by mu.
+	mgmt    time.Duration
+	idle    time.Duration
+	waiting int
+	err     error
+}
+
+// shard is one worker's local state. tasks is the bounded local deque:
+// the owner pushes refills and pops the front; thieves take the back
+// half. done is the owner-only completion batch — it is touched by no
+// goroutine but its owner, so it needs no lock.
+type shard struct {
+	mu    sync.Mutex
+	tasks []core.Task
+	done  []core.Task
+	// refillBuf is the owner-only scratch the refill path hands to
+	// NextTasks, so steady-state refills allocate nothing.
+	refillBuf []core.Task
+}
+
+func (sh *shard) popFront() (core.Task, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.tasks) == 0 {
+		return core.Task{}, false
+	}
+	t := sh.tasks[0]
+	sh.tasks = sh.tasks[1:]
+	return t, true
+}
+
+func (sh *shard) push(ts []core.Task) {
+	if len(ts) == 0 {
+		return
+	}
+	sh.mu.Lock()
+	sh.tasks = append(sh.tasks, ts...)
+	sh.mu.Unlock()
+}
+
+func newSharded(sm StateMachine, workers, dequeCap, batch int) *sharded {
+	if dequeCap <= 0 {
+		dequeCap = 16
+	}
+	if batch <= 0 {
+		batch = 8
+	}
+	m := &sharded{
+		sm:      sm,
+		workers: workers,
+		cap:     dequeCap,
+		batch:   batch,
+		shards:  make([]shard, workers),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *sharded) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m0 := time.Now()
+	m.sm.Start()
+	m.mgmt += time.Since(m0)
+}
+
+func (m *sharded) Next(w int) (core.Task, bool) {
+	if m.failed.Load() {
+		return core.Task{}, false
+	}
+	if t, ok := m.shards[w].popFront(); ok {
+		return t, true
+	}
+	if t, ok := m.steal(w); ok {
+		return t, true
+	}
+	return m.refill(w)
+}
+
+// steal sweeps the other shards and takes the back half of the first
+// non-empty deque it finds. The owner pops the front (the state machine's
+// priority order), so thieves taking the back trade a small priority
+// inversion for minimal contention with the victim.
+func (m *sharded) steal(w int) (core.Task, bool) {
+	n := len(m.shards)
+	for i := 1; i < n; i++ {
+		v := &m.shards[(w+i)%n]
+		v.mu.Lock()
+		k := len(v.tasks)
+		if k == 0 {
+			v.mu.Unlock()
+			continue
+		}
+		take := (k + 1) / 2
+		stolen := make([]core.Task, take)
+		copy(stolen, v.tasks[k-take:])
+		v.tasks = v.tasks[:k-take]
+		v.mu.Unlock()
+		m.shards[w].push(stolen[1:])
+		return stolen[0], true
+	}
+	return core.Task{}, false
+}
+
+// refill is the global-lock path: flush this worker's completion batch,
+// pull a deque refill, absorb deferred management, or park. Returning
+// ok=false means the program is done, the run was aborted, or the manager
+// detected a stall.
+func (m *sharded) refill(w int) (core.Task, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	triedSteal := false
+	for {
+		if m.err != nil {
+			return core.Task{}, false
+		}
+		m0 := time.Now()
+		m.flushLocked(w)
+		if m.err != nil {
+			// A recovered completion-processing panic may have left the
+			// state machine inconsistent; do not touch it again.
+			m.mgmt += time.Since(m0)
+			return core.Task{}, false
+		}
+		ts, _ := m.sm.NextTasks(m.shards[w].refillBuf[:0], m.cap)
+		m.shards[w].refillBuf = ts[:0]
+		m.mgmt += time.Since(m0)
+		if len(ts) > 0 {
+			m.shards[w].push(ts[1:])
+			// Wake parked peers: they can pull their own refill from the
+			// state machine, or — when this refill drained it — steal from
+			// the deque we just filled.
+			if m.waiting > 0 && (len(ts) > 1 || m.sm.ReadyTasks() > 0) {
+				m.cond.Broadcast()
+			}
+			return ts[0], true
+		}
+		if m.sm.Done() {
+			m.cond.Broadcast()
+			return core.Task{}, false
+		}
+
+		// Idle executive moment: absorb deferred management (successor
+		// splitting, incremental composite-map builds) before parking.
+		if m.sm.HasDeferred() {
+			m1 := time.Now()
+			_, _ = m.sm.DeferredMgmt()
+			m.mgmt += time.Since(m1)
+			continue
+		}
+
+		// The state machine is dry, but a peer's deque may have refilled
+		// since our last sweep: try stealing once more before parking.
+		if !triedSteal {
+			m.mu.Unlock()
+			t, ok := m.steal(w)
+			m.mu.Lock()
+			triedSteal = true
+			if ok {
+				return t, true
+			}
+			continue
+		}
+
+		// Every other worker parked only after flushing its batch and
+		// emptying its deque, so InFlight()==0 here means no task exists
+		// anywhere outside the state machine: a true stall.
+		if m.waiting+1 == m.workers && m.sm.InFlight() == 0 {
+			m.failLocked(fmt.Errorf("executive: stalled at phase %d: all workers idle, nothing in flight",
+				m.sm.CurrentPhase()))
+			return core.Task{}, false
+		}
+		i0 := time.Now()
+		m.waiting++
+		m.cond.Wait()
+		m.waiting--
+		m.idle += time.Since(i0)
+		triedSteal = false
+	}
+}
+
+// Complete accumulates t in worker w's local batch, submitting the batch
+// to the state machine in one lock acquisition when it fills.
+func (m *sharded) Complete(w int, t core.Task) {
+	sh := &m.shards[w]
+	sh.done = append(sh.done, t)
+	if len(sh.done) >= m.batch {
+		m.mu.Lock()
+		m0 := time.Now()
+		m.flushLocked(w)
+		m.mgmt += time.Since(m0)
+		m.mu.Unlock()
+	}
+}
+
+// flushLocked applies worker w's accumulated completions to the state
+// machine. Completions release successor work, so parked peers are woken.
+// Caller holds m.mu.
+func (m *sharded) flushLocked(w int) {
+	sh := &m.shards[w]
+	if len(sh.done) == 0 {
+		return
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil && m.err == nil {
+				m.failLocked(fmt.Errorf("executive: completion processing panicked: %v", r))
+			}
+		}()
+		m.sm.CompleteBatch(sh.done)
+	}()
+	sh.done = sh.done[:0]
+	m.cond.Broadcast()
+}
+
+// failLocked records err (first wins) and releases everyone. Caller holds
+// m.mu.
+func (m *sharded) failLocked(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+	m.failed.Store(true)
+	m.cond.Broadcast()
+}
+
+func (m *sharded) Abort(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failLocked(err)
+}
+
+func (m *sharded) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+func (m *sharded) Mgmt() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mgmt
+}
+
+func (m *sharded) Idle() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.idle
+}

@@ -43,8 +43,8 @@ func cellFloat(t *testing.T, tbl *Table, row, col int) float64 {
 
 func TestAllRegistered(t *testing.T) {
 	specs := All()
-	if len(specs) != 9 {
-		t.Fatalf("registered %d experiments, want 9", len(specs))
+	if len(specs) != 10 {
+		t.Fatalf("registered %d experiments, want 10", len(specs))
 	}
 	for i, spec := range specs {
 		want := "E" + strconv.Itoa(i+1)
@@ -248,6 +248,47 @@ func TestCensusConsistencyWithEnable(t *testing.T) {
 		if c.Lines <= 0 {
 			t.Errorf("census %s has no lines", c.Name)
 		}
+	}
+}
+
+// TestE10ManagerComparison checks the manager head-to-head table's shape:
+// every workload runs under both managers (wall-clock magnitudes are
+// host-dependent and not asserted), and the -manager filter restricts the
+// rows.
+func TestE10ManagerComparison(t *testing.T) {
+	tbl := runExp(t, "E10")
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 3 workloads x 2 managers", len(tbl.Rows))
+	}
+	for i := 0; i < len(tbl.Rows); i += 2 {
+		if cell(t, tbl, i, 0) != cell(t, tbl, i+1, 0) {
+			t.Errorf("rows %d/%d compare different workloads: %q vs %q",
+				i, i+1, cell(t, tbl, i, 0), cell(t, tbl, i+1, 0))
+		}
+		if cell(t, tbl, i, 1) != "serial" || cell(t, tbl, i+1, 1) != "sharded" {
+			t.Errorf("rows %d/%d managers = %q/%q", i, i+1, cell(t, tbl, i, 1), cell(t, tbl, i+1, 1))
+		}
+	}
+
+	if err := SetManagerFilter("sharded"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := SetManagerFilter("both"); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	tbl = runExp(t, "E10")
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("filtered rows = %d, want 3", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, 1) != "sharded" {
+			t.Errorf("filtered row %d manager = %q", i, cell(t, tbl, i, 1))
+		}
+	}
+	if err := SetManagerFilter("quantum"); err == nil {
+		t.Error("unknown manager filter accepted")
 	}
 }
 

@@ -133,5 +133,6 @@ func All() []Spec {
 		{ID: "E7", Title: "Composite-map generation cost", Run: E7CompositeMapCost},
 		{ID: "E8", Title: "End-to-end CASPER-profile improvement", Run: E8EndToEnd},
 		{ID: "E9", Title: "Multi-job-stream batching vs phase overlap", Run: E9JobStreams},
+		{ID: "E10", Title: "Executive managers head-to-head (serial vs sharded)", Run: E10Managers},
 	}
 }

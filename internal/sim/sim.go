@@ -4,7 +4,9 @@
 // state machine in virtual time, charging every management cost the
 // scheduler reports to the management server.
 //
-// Two management resource models reproduce the paper's discussion:
+// Three management resource models are provided. The first two reproduce
+// the paper's discussion; the third prices the parallel manager this
+// reproduction adds (internal/executive's ShardedManager):
 //
 //   - StealsWorker: the executive runs on one of the P processors ("in the
 //     PAX/CASPER UNIVAC 1100 test bed, executive computation was done at
@@ -13,6 +15,12 @@
 //   - Dedicated: "some real parallel machines may provide separate
 //     executive computing resources" — all P processors compute and the
 //     executive runs beside them.
+//   - Sharded: management is distributed across the workers. Each
+//     processor pays its own dispatch and completion costs inline on its
+//     own timeline (per-shard management), so management work from
+//     different processors proceeds concurrently instead of queueing on
+//     one serial server; only phase activation and deferred idle-time
+//     work (table builds, successor splitting) remain serialized.
 //
 // The simulator is deterministic: identical inputs produce identical
 // schedules, event orders and metrics.
@@ -35,6 +43,9 @@ const (
 	StealsWorker MgmtModel = iota
 	// Dedicated gives the executive its own processor beside the P workers.
 	Dedicated
+	// Sharded distributes management across the P workers: each processor
+	// pays its own management costs inline, concurrently with the others'.
+	Sharded
 )
 
 func (m MgmtModel) String() string {
@@ -43,6 +54,8 @@ func (m MgmtModel) String() string {
 		return "steals-worker"
 	case Dedicated:
 		return "dedicated"
+	case Sharded:
+		return "sharded"
 	default:
 		return fmt.Sprintf("MgmtModel(%d)", uint8(m))
 	}
@@ -194,15 +207,17 @@ func Run(prog *core.Program, opt core.Options, cfg Config) (*Result, error) {
 	}
 
 	s := &state{
-		sched:   sched,
-		prog:    prog,
-		workers: workers,
-		procs:   cfg.Procs,
-		tl:      tl,
-		gantt:   gantt,
-		phases:  make([]PhaseTrace, len(prog.Phases)),
-		parkedA: make([]int64, workers),
-		parked:  make([]bool, workers),
+		sched:      sched,
+		prog:       prog,
+		model:      cfg.Mgmt,
+		workers:    workers,
+		procs:      cfg.Procs,
+		tl:         tl,
+		gantt:      gantt,
+		phases:     make([]PhaseTrace, len(prog.Phases)),
+		parkedA:    make([]int64, workers),
+		parked:     make([]bool, workers),
+		workerFree: make([]int64, workers),
 	}
 	for i, ph := range prog.Phases {
 		s.phases[i] = PhaseTrace{Name: ph.Name, Start: -1, End: -1, RundownStart: -1}
@@ -217,6 +232,7 @@ func Run(prog *core.Program, opt core.Options, cfg Config) (*Result, error) {
 type state struct {
 	sched   *core.Scheduler
 	prog    *core.Program
+	model   MgmtModel
 	workers int
 	procs   int
 	tl      *metrics.Timeline
@@ -225,7 +241,8 @@ type state struct {
 	reqs       []request // FIFO management queue
 	events     eventHeap
 	seq        int64
-	serverFree int64 // time the management server becomes free
+	serverFree int64   // time the serial management server becomes free
+	workerFree []int64 // Sharded model: time each worker's own lane frees
 
 	parked    []bool
 	parkedA   []int64 // park start per worker
@@ -237,6 +254,36 @@ type state struct {
 
 	phases    []PhaseTrace
 	phaseDone []bool
+}
+
+// chargeMgmt charges cost units of executive time for a request involving
+// worker w: on the serial management server under the serial models, or —
+// under the Sharded model — inline on the worker's own lane, so management
+// from different processors proceeds concurrently. Requests with no worker
+// (w < 0) always serialize.
+func (s *state) chargeMgmt(w int, at int64, cost core.Cost) int64 {
+	if s.model != Sharded || w < 0 {
+		return s.serve(at, cost)
+	}
+	start := at
+	if s.workerFree[w] > start {
+		start = s.workerFree[w]
+	}
+	fin := start + int64(cost)
+	if cost > 0 {
+		s.tl.AddMgmt(start, fin)
+		s.mgmtUnits += int64(cost)
+	}
+	s.workerFree[w] = fin
+	// The serialized lane (phase activation, deferred idle-time work)
+	// must never lag the management frontier: without this, deferred
+	// composite-map builds would be charged in the past — overlapping
+	// work that already happened — and the trailing completion costs on
+	// worker lanes would escape the makespan.
+	if fin > s.serverFree {
+		s.serverFree = fin
+	}
+	return fin
 }
 
 // serve charges cost units of executive time starting no earlier than at,
@@ -352,7 +399,7 @@ func (s *state) serveRequest(req request) {
 	}
 	// Task request from an idle worker.
 	task, cost, ok := s.sched.NextTask()
-	fin := s.serve(req.at, cost)
+	fin := s.chargeMgmt(req.proc, req.at, cost)
 	if !ok {
 		s.park(req.proc, fin)
 		return
@@ -364,6 +411,7 @@ func (s *state) dispatch(worker int, task core.Task, at int64) {
 	dur := int64(s.sched.TaskCost(task))
 	end := at + dur
 	s.computeUnits += dur
+	s.workerFree[worker] = end
 	s.tl.AddBusy(worker, at, end)
 	if s.gantt != nil {
 		label := rune('A' + int(task.Phase)%26)
@@ -385,7 +433,7 @@ func (s *state) dispatch(worker int, task core.Task, at int64) {
 
 func (s *state) completeTask(req request) {
 	cost := s.sched.Complete(req.task)
-	fin := s.serve(req.at, cost)
+	fin := s.chargeMgmt(req.proc, req.at, cost)
 	if req.at > s.lastDone {
 		s.lastDone = req.at
 	}

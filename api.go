@@ -8,6 +8,7 @@ import (
 	"repro/internal/granule"
 	"repro/internal/paxlang"
 	"repro/internal/sim"
+	"repro/internal/tenant"
 	"repro/internal/workload"
 )
 
@@ -156,6 +157,26 @@ func Simulate(prog *Program, opt Options, cfg SimConfig) (*SimResult, error) {
 	return sim.Run(prog, opt, cfg)
 }
 
+// Multi-program simulation (virtual-time tenancy).
+type (
+	// SimJob describes one job of a multi-program simulation.
+	SimJob = sim.JobSpec
+	// MultiSimResult aggregates a multi-program simulation, with per-job
+	// makespans and cross-job backfill units.
+	MultiSimResult = sim.MultiResult
+	// SimJobResult is one job's outcome within a multi-program run.
+	SimJobResult = sim.JobResult
+)
+
+// SimulateMulti runs several jobs sharing one simulated machine under the
+// tenant pool's overlap-first dispatch policy: each worker serves its home
+// job while anything there is dispatchable and backfills the other jobs
+// (priority first, then deficit-round-robin credit) during its home job's
+// rundown. Deterministic, like Simulate.
+func SimulateMulti(jobs []SimJob, cfg SimConfig) (*MultiSimResult, error) {
+	return sim.RunMulti(jobs, cfg)
+}
+
 // Execution on goroutines.
 type (
 	// ExecConfig parameterizes the goroutine executive: worker count,
@@ -186,6 +207,34 @@ func ParseExecManager(s string) (ExecManager, error) { return executive.ParseMan
 func Execute(prog *Program, opt Options, cfg ExecConfig) (*ExecReport, error) {
 	return executive.Run(prog, opt, cfg)
 }
+
+// Multi-tenant execution: several programs sharing one goroutine worker
+// pool, one job's rundown filled by another job's work.
+type (
+	// PoolConfig parameterizes a shared worker pool: worker count plus
+	// the per-job manager selection (every job gets its own Manager of
+	// the configured kind wrapped around its own scheduler).
+	PoolConfig = tenant.Config
+	// Pool is the shared worker pool. Submit adds jobs; Close waits for
+	// them and returns the pool report.
+	Pool = tenant.Pool
+	// PoolJobConfig names a submitted job and sets its backfill priority
+	// and its weight (home-worker share and backfill credit).
+	PoolJobConfig = tenant.JobConfig
+	// PoolJob is the handle of a submitted job; Wait returns its
+	// ExecReport.
+	PoolJob = tenant.Job
+	// PoolReport aggregates a pool's lifetime: utilization, idle time,
+	// and the cross-job backfill that filled rundowns.
+	PoolReport = tenant.Report
+)
+
+// NewPool starts a multi-tenant worker pool. Jobs submitted to it run
+// concurrently under an overlap-first dispatch policy: every worker
+// serves its home job exclusively while anything there is dispatchable,
+// and backfills the other jobs — priority first, then
+// deficit-round-robin fairness — only during its home job's rundown.
+func NewPool(cfg PoolConfig) (*Pool, error) { return tenant.NewPool(cfg) }
 
 // Verification and inference over access footprints.
 

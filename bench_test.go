@@ -257,6 +257,89 @@ func buildCheckerboard(b *testing.B) (*rundown.Program, rundown.Options) {
 	return prog, rundown.Options{Grain: 64, Overlap: true, Costs: rundown.DefaultCosts()}
 }
 
+// Pool benchmarks: the multi-tenant worker pool (internal/tenant) layered
+// above the managers. The single-job pool against Execute is the
+// tenancy-layer overhead; the two-job pool reports how much of the
+// machine cross-job backfill recovers; the virtual-time pool prices the
+// dispatch policy deterministically (no wall-clock noise).
+
+// BenchmarkPoolSingleJobSharded runs the fine-grain chain through a
+// single-job pool — compare against BenchmarkManagerChainFineSharded to
+// see what the tenancy layer costs when tenancy is not used.
+func BenchmarkPoolSingleJobSharded(b *testing.B) {
+	var utils []float64
+	for i := 0; i < b.N; i++ {
+		prog, opt := buildChainFine(b)
+		p, err := rundown.NewPool(rundown.PoolConfig{
+			Workers: 8, Manager: rundown.ShardedManager, DequeCap: 32, Batch: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		job, err := p.Submit(prog, opt, rundown.PoolJobConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := job.Wait()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+		utils = append(utils, rep.Utilization)
+	}
+	b.ReportMetric(stats.Percentile(utils, 50), "utilization")
+}
+
+// BenchmarkPoolTwoJobsSharded runs two jobs concurrently on one pool:
+// the fine-grain chain beside the CASPER pipeline, mixed sizes on
+// purpose. Reports pool utilization and the backfill share of compute.
+func BenchmarkPoolTwoJobsSharded(b *testing.B) {
+	var utils, backfill []float64
+	for i := 0; i < b.N; i++ {
+		p, err := rundown.NewPool(rundown.PoolConfig{
+			Workers: 8, Manager: rundown.ShardedManager, DequeCap: 32, Batch: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		chainProg, chainOpt := buildChainFine(b)
+		casperProg, casperOpt := buildCasperPipeline(b)
+		chainJob, err := p.Submit(chainProg, chainOpt, rundown.PoolJobConfig{Name: "chain"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		casperJob, err := p.Submit(casperProg, casperOpt, rundown.PoolJobConfig{Name: "casper"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := chainJob.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := casperJob.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		rep, err := p.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		utils = append(utils, rep.Utilization)
+		backfill = append(backfill, rep.BackfillShare)
+	}
+	b.ReportMetric(stats.Percentile(utils, 50), "utilization")
+	b.ReportMetric(stats.Percentile(backfill, 50)*100, "backfill-%")
+}
+
+// BenchmarkPoolMultiSim prices the tenancy dispatch policy in virtual
+// time (the E11 configuration at quick scale): deterministic, so the
+// reported utilization is exact rather than host-dependent.
+func BenchmarkPoolMultiSim(b *testing.B) {
+	benchExperiment(b, "E11", func(t *experiments.Table) (string, float64) {
+		return "pool-utilization", cellF(t, 3, 4)
+	})
+}
+
 func BenchmarkManagerChainFineSerial(b *testing.B) {
 	benchManager(b, rundown.SerialManager, buildChainFine)
 }

@@ -10,6 +10,12 @@
 //	rundownsim -casper -procs 32 -overlap -gantt
 //	rundownsim -mapping seam -granules 8192 -procs 128 -overlap -grain 16
 //	rundownsim -mapping identity -granules 8192 -procs 64 -overlap -grain 1 -manager sharded
+//	rundownsim -jobs 3 -mapping identity -granules 4096 -procs 64 -overlap
+//
+// With -jobs N (N >= 2), N copies of the configured workload (differing
+// seeds) share one machine under the multi-tenant pool's overlap-first
+// dispatch policy, and the report shows per-job makespans plus the
+// pool-level utilization and cross-job backfill.
 package main
 
 import (
@@ -39,6 +45,7 @@ func main() {
 		costLo    = flag.Int64("cost-lo", 100, "minimum granule cost")
 		costHi    = flag.Int64("cost-hi", 400, "maximum granule cost")
 		seed      = flag.Uint64("seed", 1986, "workload seed")
+		jobs      = flag.Int("jobs", 1, "number of identical-shape jobs sharing the machine (>= 2 selects the multi-tenant pool)")
 		casper    = flag.Bool("casper", false, "run the CASPER 22-phase census profile instead of a chain")
 		cycles    = flag.Int("cycles", 1, "CASPER profile cycles")
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart (small runs only)")
@@ -46,26 +53,24 @@ func main() {
 	)
 	flag.Parse()
 
-	var (
-		prog *rundown.Program
-		err  error
-	)
-	if *casper {
-		prog, err = rundown.CasperProgram(rundown.CasperConfig{
-			GranulesPerLine: (*granules + 1187) / 1188,
-			Cycles:          *cycles,
-			Cost:            rundown.UniformCost(rundown.Cost(*costLo), rundown.Cost(*costHi), *seed),
-			SerialCost:      100,
-			Seed:            *seed,
-		})
-	} else {
-		var kind rundown.MappingKind
-		kind, err = enable.ParseKind(*mapping)
-		if err == nil {
-			prog, err = rundown.Chain(kind, *phases, *granules,
-				rundown.UniformCost(rundown.Cost(*costLo), rundown.Cost(*costHi), *seed), *seed)
+	build := func(seed uint64) (*rundown.Program, error) {
+		if *casper {
+			return rundown.CasperProgram(rundown.CasperConfig{
+				GranulesPerLine: (*granules + 1187) / 1188,
+				Cycles:          *cycles,
+				Cost:            rundown.UniformCost(rundown.Cost(*costLo), rundown.Cost(*costHi), seed),
+				SerialCost:      100,
+				Seed:            seed,
+			})
 		}
+		kind, err := enable.ParseKind(*mapping)
+		if err != nil {
+			return nil, err
+		}
+		return rundown.Chain(kind, *phases, *granules,
+			rundown.UniformCost(rundown.Cost(*costLo), rundown.Cost(*costHi), seed), seed)
 	}
+	prog, err := build(*seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rundownsim: %v\n", err)
 		os.Exit(1)
@@ -99,6 +104,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rundownsim: unknown -manager %q (serial|sharded)\n", *manager)
 		os.Exit(2)
 	}
+	if *jobs >= 2 {
+		runMulti(build, opt, model, *jobs, *procs, *seed)
+		return
+	}
+
 	res, err := rundown.Simulate(prog, opt, rundown.SimConfig{
 		Procs: *procs, Mgmt: model, Gantt: *gantt,
 	})
@@ -137,5 +147,44 @@ func main() {
 	}
 	if *gantt && res.Gantt != nil {
 		fmt.Printf("\n%s", res.Gantt.Render(100))
+	}
+}
+
+// runMulti shares the machine between jobs copies of the workload
+// (differing seeds) under the tenant pool's dispatch policy and prints
+// per-job makespans plus the pool aggregates.
+func runMulti(build func(seed uint64) (*rundown.Program, error), opt rundown.Options,
+	model rundown.MgmtModel, jobs, procs int, seed uint64) {
+	specs := make([]rundown.SimJob, jobs)
+	for i := range specs {
+		prog, err := build(seed + uint64(i))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rundownsim: job %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		specs[i] = rundown.SimJob{Name: fmt.Sprintf("job%d", i), Prog: prog, Opt: opt}
+	}
+	res, err := rundown.SimulateMulti(specs, rundown.SimConfig{Procs: procs, Mgmt: model})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rundownsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("jobs=%d procs=%d workers=%d mgmt=%v\n", jobs, res.Procs, res.Workers, model)
+	fmt.Printf("makespan (all jobs) %d\n", res.Makespan)
+	fmt.Printf("compute units       %d\n", res.ComputeUnits)
+	fmt.Printf("management units    %d\n", res.MgmtUnits)
+	fmt.Printf("idle units          %d\n", res.IdleUnits)
+	fmt.Printf("backfill units      %d\n", res.BackfillUnits)
+	fmt.Printf("utilization         %s\n", metrics.FormatPercent(res.Utilization))
+
+	fmt.Println("\nper-job:")
+	for _, j := range res.Jobs {
+		share := 0.0
+		if j.ComputeUnits > 0 {
+			share = float64(j.BackfillUnits) / float64(j.ComputeUnits)
+		}
+		fmt.Printf("  %-8s makespan=%-10d compute=%-10d home-workers=%-3d backfill=%d (%.1f%%)\n",
+			j.Name, j.Makespan, j.ComputeUnits, j.HomeWorkers, j.BackfillUnits, share*100)
 	}
 }

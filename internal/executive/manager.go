@@ -59,8 +59,11 @@ type Manager interface {
 	Next(w int) (t core.Task, ok bool)
 	// Complete reports that worker w finished executing t. The manager
 	// may submit it to the state machine immediately (serial) or
-	// accumulate it for batched submission (sharded).
-	Complete(w int, t core.Task)
+	// accumulate it for batched submission (sharded). It reports whether
+	// completions were applied to the state machine by this call — false
+	// means t only joined a local batch, so no successor work can have
+	// been released (the pool uses this to skip waking parked workers).
+	Complete(w int, t core.Task) (applied bool)
 	// Abort terminates the run with err; parked workers are released.
 	Abort(err error)
 	// Err returns the run error, if any. Call after the workers exit.
@@ -68,6 +71,51 @@ type Manager interface {
 	// Mgmt and Idle return the summed management-lock and parked time.
 	Mgmt() time.Duration
 	Idle() time.Duration
+}
+
+// PoolDriver is the manager surface the multi-tenant pool
+// (internal/tenant) drives. It keeps the Manager contract but adds the
+// non-blocking probes a pool worker needs to serve several jobs: instead
+// of parking inside one job's manager, a worker that gets TryNext
+// ok=false moves on to another job, and the pool owns parking and stall
+// detection across all of them. Both built-in managers implement it.
+type PoolDriver interface {
+	Manager
+	// TryNext returns a task without parking. Like Next it absorbs
+	// deferred management (and, sharded, flushes this worker's completion
+	// batch) before declaring the job dry, so ok=false means the job has
+	// nothing for this worker to do right now — the job is in rundown,
+	// done, or aborted.
+	TryNext(w int) (t core.Task, ok bool)
+	// Flush submits worker w's accumulated completions immediately
+	// (no-op for managers that do not batch). The pool calls it when a
+	// worker switches jobs so completions cannot linger unflushed. It
+	// reports whether anything was applied.
+	Flush(w int) (applied bool)
+	// Done reports whether the job's state machine has completed.
+	Done() bool
+	// InFlight reports dispatched-but-incomplete tasks. When every pool
+	// worker is parked (all deques drained, all batches flushed),
+	// InFlight()==0 on an unfinished job identifies a true stall.
+	InFlight() int
+}
+
+// NewPoolDriver builds the configured Manager over sm and returns its
+// pool-driving surface. It is the constructor internal/tenant uses; Run
+// keeps its own private path.
+func NewPoolDriver(sm StateMachine, cfg Config) (PoolDriver, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("executive: need at least 1 worker")
+	}
+	mgr, err := newManager(sm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pd, ok := mgr.(PoolDriver)
+	if !ok {
+		return nil, fmt.Errorf("executive: manager %v cannot drive a multi-job pool", cfg.Manager)
+	}
+	return pd, nil
 }
 
 // ManagerKind selects the Manager implementation an executive run uses.

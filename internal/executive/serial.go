@@ -44,6 +44,17 @@ func (m *serial) Start() {
 // Next asks the serial executive for work, absorbing deferred management
 // in idle moments and parking when nothing is ready.
 func (m *serial) Next(w int) (core.Task, bool) {
+	return m.next(w, true)
+}
+
+// TryNext is the non-blocking Next the multi-tenant pool drives: when the
+// executive has nothing dispatchable — even after absorbing deferred
+// management — the worker goes to look at another job instead of parking.
+func (m *serial) TryNext(w int) (core.Task, bool) {
+	return m.next(w, false)
+}
+
+func (m *serial) next(w int, park bool) (core.Task, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -72,6 +83,10 @@ func (m *serial) Next(w int) (core.Task, bool) {
 			continue
 		}
 
+		if !park {
+			return core.Task{}, false
+		}
+
 		// Park until a completion or release makes work available. If
 		// every worker is parked with nothing in flight, the scheduler
 		// has stalled — a bug its liveness guarantees should prevent;
@@ -91,7 +106,7 @@ func (m *serial) Next(w int) (core.Task, bool) {
 }
 
 // Complete submits the completion immediately under the global lock.
-func (m *serial) Complete(w int, t core.Task) {
+func (m *serial) Complete(w int, t core.Task) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m1 := time.Now()
@@ -105,6 +120,24 @@ func (m *serial) Complete(w int, t core.Task) {
 	}()
 	m.mgmt += time.Since(m1)
 	m.cond.Broadcast()
+	return true
+}
+
+// Flush is a no-op: serial completions are submitted immediately.
+func (m *serial) Flush(w int) bool { return false }
+
+// Done reports whether the state machine has completed every phase.
+func (m *serial) Done() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sm.Done()
+}
+
+// InFlight reports dispatched-but-incomplete tasks.
+func (m *serial) InFlight() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sm.InFlight()
 }
 
 func (m *serial) Abort(err error) {

@@ -40,6 +40,17 @@ type sharded struct {
 	shards []shard
 	failed atomic.Bool // fast-path abort flag, mirrors err != nil
 
+	// stealTick rotates the steal-sweep start position across calls so
+	// starving workers spread their first probes over different victims
+	// instead of all hammering the same neighbor.
+	stealTick atomic.Uint64
+	// stealNS accumulates time spent inside steal sweeps (per-shard lock
+	// acquisitions and deque copies outside the global lock). It is
+	// management work — the sharded analogue of executive dispatch — and
+	// is folded into Mgmt() so computation-to-management ratios do not
+	// undercount sharded management.
+	stealNS atomic.Int64
+
 	// Accumulators, guarded by mu.
 	mgmt    time.Duration
 	idle    time.Duration
@@ -116,17 +127,50 @@ func (m *sharded) Next(w int) (core.Task, bool) {
 	if t, ok := m.steal(w); ok {
 		return t, true
 	}
-	return m.refill(w)
+	return m.refill(w, true)
+}
+
+// TryNext is the non-blocking Next the multi-tenant pool drives: local
+// deque, then a steal sweep, then one non-parking pass through the global
+// refill path (which flushes this worker's completion batch and absorbs
+// deferred management before declaring the state machine dry). ok=false
+// means nothing is dispatchable right now; the pool decides whether to
+// look at another job or park.
+func (m *sharded) TryNext(w int) (core.Task, bool) {
+	if m.failed.Load() {
+		return core.Task{}, false
+	}
+	if t, ok := m.shards[w].popFront(); ok {
+		return t, true
+	}
+	if t, ok := m.steal(w); ok {
+		return t, true
+	}
+	return m.refill(w, false)
 }
 
 // steal sweeps the other shards and takes the back half of the first
 // non-empty deque it finds. The owner pops the front (the state machine's
 // priority order), so thieves taking the back trade a small priority
-// inversion for minimal contention with the victim.
+// inversion for minimal contention with the victim. The sweep start
+// rotates per call (stealTick): a fixed w+1 start would make every
+// starving worker hammer the same neighbor first under contention. Sweep
+// time is charged to stealNS — it is management work done outside the
+// global lock.
 func (m *sharded) steal(w int) (core.Task, bool) {
 	n := len(m.shards)
-	for i := 1; i < n; i++ {
-		v := &m.shards[(w+i)%n]
+	if n < 2 {
+		return core.Task{}, false
+	}
+	t0 := time.Now()
+	defer func() { m.stealNS.Add(int64(time.Since(t0))) }()
+	start := int(m.stealTick.Add(1) % uint64(n))
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		if idx == w {
+			continue
+		}
+		v := &m.shards[idx]
 		v.mu.Lock()
 		k := len(v.tasks)
 		if k == 0 {
@@ -145,10 +189,11 @@ func (m *sharded) steal(w int) (core.Task, bool) {
 }
 
 // refill is the global-lock path: flush this worker's completion batch,
-// pull a deque refill, absorb deferred management, or park. Returning
-// ok=false means the program is done, the run was aborted, or the manager
-// detected a stall.
-func (m *sharded) refill(w int) (core.Task, bool) {
+// pull a deque refill, absorb deferred management, or (when park is set)
+// park. Returning ok=false means the program is done, the run was
+// aborted, the manager detected a stall, or — non-parking callers only —
+// nothing is dispatchable right now.
+func (m *sharded) refill(w int, park bool) (core.Task, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	triedSteal := false
@@ -191,6 +236,10 @@ func (m *sharded) refill(w int) (core.Task, bool) {
 			continue
 		}
 
+		if !park {
+			return core.Task{}, false
+		}
+
 		// The state machine is dry, but a peer's deque may have refilled
 		// since our last sweep: try stealing once more before parking.
 		if !triedSteal {
@@ -223,16 +272,18 @@ func (m *sharded) refill(w int) (core.Task, bool) {
 
 // Complete accumulates t in worker w's local batch, submitting the batch
 // to the state machine in one lock acquisition when it fills.
-func (m *sharded) Complete(w int, t core.Task) {
+func (m *sharded) Complete(w int, t core.Task) bool {
 	sh := &m.shards[w]
 	sh.done = append(sh.done, t)
-	if len(sh.done) >= m.batch {
-		m.mu.Lock()
-		m0 := time.Now()
-		m.flushLocked(w)
-		m.mgmt += time.Since(m0)
-		m.mu.Unlock()
+	if len(sh.done) < m.batch {
+		return false
 	}
+	m.mu.Lock()
+	m0 := time.Now()
+	m.flushLocked(w)
+	m.mgmt += time.Since(m0)
+	m.mu.Unlock()
+	return true
 }
 
 // flushLocked applies worker w's accumulated completions to the state
@@ -265,6 +316,36 @@ func (m *sharded) failLocked(err error) {
 	m.cond.Broadcast()
 }
 
+// Flush submits worker w's accumulated completion batch to the state
+// machine. The pool calls it when a worker switches jobs, so a job's last
+// completions cannot linger in the batch of a worker now busy elsewhere.
+func (m *sharded) Flush(w int) bool {
+	if len(m.shards[w].done) == 0 {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m0 := time.Now()
+	m.flushLocked(w)
+	m.mgmt += time.Since(m0)
+	return true
+}
+
+// Done reports whether the state machine has completed every phase.
+func (m *sharded) Done() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sm.Done()
+}
+
+// InFlight reports dispatched-but-incomplete tasks, including tasks
+// parked in worker-local deques and completions awaiting a batch flush.
+func (m *sharded) InFlight() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sm.InFlight()
+}
+
 func (m *sharded) Abort(err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -280,7 +361,7 @@ func (m *sharded) Err() error {
 func (m *sharded) Mgmt() time.Duration {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.mgmt
+	return m.mgmt + time.Duration(m.stealNS.Load())
 }
 
 func (m *sharded) Idle() time.Duration {

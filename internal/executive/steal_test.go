@@ -1,0 +1,211 @@
+package executive
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/granule"
+)
+
+// mkTask builds a distinguishable task for direct deque manipulation.
+func mkTask(id int) core.Task {
+	return core.Task{ID: id, Phase: 0, Run: granule.Range{Lo: granule.ID(id), Hi: granule.ID(id + 1)}}
+}
+
+// TestStealSingleTaskVictim: a thief sweeping a victim whose deque holds
+// exactly one task must take that task (the "back half" of one is one),
+// leave the victim empty, and push nothing into its own deque.
+func TestStealSingleTaskVictim(t *testing.T) {
+	m := newSharded(&stubSM{}, 4, 8, 4)
+	m.shards[2].push([]core.Task{mkTask(42)})
+
+	got, ok := m.steal(0)
+	if !ok {
+		t.Fatal("steal found nothing with a one-task victim present")
+	}
+	if got.ID != 42 {
+		t.Fatalf("stole task %d, want 42", got.ID)
+	}
+	for i := range m.shards {
+		if n := len(m.shards[i].tasks); n != 0 {
+			t.Errorf("shard %d holds %d tasks after the steal, want 0", i, n)
+		}
+	}
+}
+
+// TestStealLandsAtDequeCap: stealing the back half of a full victim (2*cap
+// tasks) hands the thief exactly cap tasks — one in hand, cap-1 pushed —
+// so its deque lands exactly at DequeCap. Nothing may be lost or
+// duplicated at the boundary.
+func TestStealLandsAtDequeCap(t *testing.T) {
+	const cap = 8
+	m := newSharded(&stubSM{}, 2, cap, 4)
+	var all []core.Task
+	for i := 0; i < 2*cap; i++ {
+		all = append(all, mkTask(i))
+	}
+	m.shards[1].push(all)
+
+	got, ok := m.steal(0)
+	if !ok {
+		t.Fatal("steal failed against a full victim")
+	}
+	if n := len(m.shards[0].tasks); n != cap-1 {
+		t.Fatalf("thief deque holds %d tasks, want %d (cap-1, one in hand)", n, cap-1)
+	}
+	if n := len(m.shards[1].tasks); n != cap {
+		t.Fatalf("victim deque holds %d tasks, want %d", n, cap)
+	}
+	seen := map[int]int{got.ID: 1}
+	for _, sh := range []*shard{&m.shards[0], &m.shards[1]} {
+		for _, task := range sh.tasks {
+			seen[task.ID]++
+		}
+	}
+	for i := 0; i < 2*cap; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("task %d present %d times after the steal, want exactly once", i, seen[i])
+		}
+	}
+}
+
+// TestStealSweepRotation: the sweep start rotates per call, so successive
+// steals with every victim populated must not all hit the same neighbor —
+// the bias this rotation removes had every starving worker hammering
+// shard w+1 first.
+func TestStealSweepRotation(t *testing.T) {
+	m := newSharded(&stubSM{}, 4, 8, 4)
+	firstVictims := map[int]bool{}
+	for round := 0; round < 3; round++ {
+		for i := 1; i < 4; i++ {
+			m.shards[i].tasks = nil
+			m.shards[i].push([]core.Task{mkTask(100*round + i)})
+		}
+		got, ok := m.steal(0)
+		if !ok {
+			t.Fatal("steal failed with three populated victims")
+		}
+		firstVictims[got.ID%100] = true
+	}
+	if len(firstVictims) < 2 {
+		t.Errorf("three rotated sweeps all hit the same victim %v", firstVictims)
+	}
+}
+
+// TestStealTimeCountsAsMgmt: steal sweeps take per-shard locks outside the
+// global lock, so their time must still be folded into Mgmt() — otherwise
+// reported computation-to-management ratios undercount sharded management.
+func TestStealTimeCountsAsMgmt(t *testing.T) {
+	m := newSharded(&stubSM{}, 2, 8, 4)
+	before := m.Mgmt()
+	m.shards[1].push([]core.Task{mkTask(1), mkTask(2)})
+	if _, ok := m.steal(0); !ok {
+		t.Fatal("steal failed")
+	}
+	if m.stealNS.Load() <= 0 {
+		t.Fatal("steal sweep recorded no time")
+	}
+	if got := m.Mgmt(); got <= before {
+		t.Errorf("Mgmt() = %v after a steal, want > %v (steal time folded in)", got, before)
+	}
+}
+
+// TestStealRacesPopFront is the -race workout for the deque protocol: one
+// owner draining popFront against several thieves sweeping steal, with
+// refills, must hand every task to exactly one goroutine.
+func TestStealRacesPopFront(t *testing.T) {
+	const (
+		thieves = 6
+		batches = 64
+		perLoad = 32
+	)
+	m := newSharded(&stubSM{}, thieves+1, 8, 4)
+
+	var mu sync.Mutex
+	seen := map[int]int{}
+	record := func(task core.Task) {
+		mu.Lock()
+		seen[task.ID]++
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for th := 1; th <= thieves; th++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if task, ok := m.steal(w); ok {
+					record(task)
+				}
+				// A successful steal parks half the loot in the thief's own
+				// deque; drain it so the count balances.
+				for {
+					task, ok := m.shards[w].popFront()
+					if !ok {
+						break
+					}
+					record(task)
+				}
+			}
+		}(th)
+	}
+
+	// The owner loads its deque in bursts and drains popFront, racing the
+	// thieves' back-half grabs.
+	next := 0
+	for b := 0; b < batches; b++ {
+		var load []core.Task
+		for i := 0; i < perLoad; i++ {
+			load = append(load, mkTask(next))
+			next++
+		}
+		m.shards[0].push(load)
+		for {
+			task, ok := m.shards[0].popFront()
+			if !ok {
+				break
+			}
+			record(task)
+		}
+	}
+	// Let the thieves mop up whatever they parked locally.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if n == next || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	for w := 0; w <= thieves; w++ {
+		for {
+			task, ok := m.shards[w].popFront()
+			if !ok {
+				break
+			}
+			record(task)
+		}
+	}
+
+	if len(seen) != next {
+		t.Fatalf("extracted %d distinct tasks, want %d", len(seen), next)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %d extracted %d times", id, n)
+		}
+	}
+}

@@ -43,8 +43,8 @@ func cellFloat(t *testing.T, tbl *Table, row, col int) float64 {
 
 func TestAllRegistered(t *testing.T) {
 	specs := All()
-	if len(specs) != 10 {
-		t.Fatalf("registered %d experiments, want 10", len(specs))
+	if len(specs) != 11 {
+		t.Fatalf("registered %d experiments, want 11", len(specs))
 	}
 	for i, spec := range specs {
 		want := "E" + strconv.Itoa(i+1)
@@ -289,6 +289,47 @@ func TestE10ManagerComparison(t *testing.T) {
 	}
 	if err := SetManagerFilter("quantum"); err == nil {
 		t.Error("unknown manager filter accepted")
+	}
+}
+
+// TestE11PoolDominates pins the tenancy acceptance criteria: the tenant
+// pool must beat E9's static two-stream split on total throughput, keep
+// each job's makespan within 10% of running alone with overlap, raise
+// utilization over sequential execution, and actually move work across
+// jobs (nonzero backfill).
+func TestE11PoolDominates(t *testing.T) {
+	tbl := runExp(t, "E11")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 strategies", len(tbl.Rows))
+	}
+	aloneBursty := cellFloat(t, tbl, 0, 1)
+	aloneNarrow := cellFloat(t, tbl, 0, 2)
+	seqBoth := cellFloat(t, tbl, 1, 3)
+	seqUtil := cellFloat(t, tbl, 1, 4)
+	splitBoth := cellFloat(t, tbl, 2, 3)
+	poolBursty := cellFloat(t, tbl, 3, 1)
+	poolNarrow := cellFloat(t, tbl, 3, 2)
+	poolBoth := cellFloat(t, tbl, 3, 3)
+	poolUtil := cellFloat(t, tbl, 3, 4)
+	poolBackfill := cellFloat(t, tbl, 3, 5)
+
+	if poolBoth >= splitBoth {
+		t.Errorf("pool both-done %v not below static split %v", poolBoth, splitBoth)
+	}
+	if poolBoth >= seqBoth {
+		t.Errorf("pool both-done %v not below sequential %v", poolBoth, seqBoth)
+	}
+	if poolBursty > aloneBursty*1.10 {
+		t.Errorf("bursty pool makespan %v exceeds 110%% of alone %v", poolBursty, aloneBursty)
+	}
+	if poolNarrow > aloneNarrow*1.10 {
+		t.Errorf("narrow pool makespan %v exceeds 110%% of alone %v", poolNarrow, aloneNarrow)
+	}
+	if poolUtil <= seqUtil {
+		t.Errorf("pool utilization %v not above sequential %v", poolUtil, seqUtil)
+	}
+	if poolBackfill <= 0 {
+		t.Errorf("pool moved no cross-job work (backfill %v)", poolBackfill)
 	}
 }
 

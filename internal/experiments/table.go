@@ -134,5 +134,6 @@ func All() []Spec {
 		{ID: "E8", Title: "End-to-end CASPER-profile improvement", Run: E8EndToEnd},
 		{ID: "E9", Title: "Multi-job-stream batching vs phase overlap", Run: E9JobStreams},
 		{ID: "E10", Title: "Executive managers head-to-head (serial vs sharded)", Run: E10Managers},
+		{ID: "E11", Title: "Multi-tenant pool vs static split vs sequential overlap", Run: E11TenantPool},
 	}
 }

@@ -1,0 +1,596 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// This file is the MultiProgram mode: several jobs, each with its own
+// core.Scheduler, sharing one P-processor machine in virtual time — the
+// discrete-event analogue of internal/tenant's worker pool. It prices
+// what tenancy costs the hot path: every management probe (including a
+// failed ask at a foreign job) is charged to the executive resource under
+// the same management models as Run, and the dispatch policy mirrors the
+// pool exactly: a worker serves its home job while anything there is
+// dispatchable, and backfills the other jobs — priority first, then
+// deficit-round-robin credit — only during its home job's rundown.
+
+// mdrrQuantum matches the tenant pool's deficit-round-robin quantum.
+const mdrrQuantum = 64
+
+// JobSpec describes one job of a multi-program run.
+type JobSpec struct {
+	// Name labels the job in results ("jobN" default).
+	Name string
+	// Prog is the job's program.
+	Prog *core.Program
+	// Opt configures the job's scheduler.
+	Opt core.Options
+	// Priority orders backfill (higher first), as in tenant.JobConfig.
+	Priority int
+	// Weight is the job's share of home workers and backfill credit
+	// (<= 0 selects 1).
+	Weight int
+}
+
+// JobResult aggregates one job's outcome within a multi-program run.
+type JobResult struct {
+	Name string
+	// Makespan is the virtual time the job's last completion finished
+	// processing (all jobs start at t=0).
+	Makespan int64
+	// ComputeUnits is the job's total granule execution time.
+	ComputeUnits int64
+	// BackfillUnits is the part of ComputeUnits performed by processors
+	// homed on another job — the rundown fill the job received.
+	BackfillUnits int64
+	// HomeWorkers is the job's home-worker share at the start of the run.
+	HomeWorkers int
+	// Sched is the job's scheduler statistics.
+	Sched core.Stats
+}
+
+// MultiResult aggregates a multi-program run.
+type MultiResult struct {
+	// Makespan is the virtual completion time of the last job.
+	Makespan int64
+	// ComputeUnits, MgmtUnits and IdleUnits aggregate across jobs.
+	ComputeUnits int64
+	MgmtUnits    int64
+	IdleUnits    int64
+	// BackfillUnits is total cross-job compute (every job's backfill).
+	BackfillUnits int64
+	// Workers is the number of processors that executed granules; Procs
+	// is the machine size P.
+	Workers int
+	Procs   int
+	// Utilization is ComputeUnits / (Procs * Makespan).
+	Utilization float64
+	// Jobs holds the per-job results in submission order.
+	Jobs []JobResult
+}
+
+// mjob is one job's runtime state.
+type mjob struct {
+	spec    JobSpec
+	sched   *core.Scheduler
+	deficit int64
+	done    bool
+	// openAt gates dispatch: a serial action between phases (charged
+	// inside the completion that advanced the phase window) must finish
+	// before the next phase's queued granules may be handed out. The
+	// single-program simulator enforces this implicitly — every other
+	// worker is parked and the wake carries the serial's finish time —
+	// but in a shared pool another job's event can wake a worker inside
+	// the serial window, so the gate must be explicit.
+	openAt int64
+
+	makespan int64
+	compute  int64
+	backfill int64
+	homeAt0  int
+}
+
+// mitem is one queue entry: a task completion (isDone) or an idle
+// worker's ask for work. Unlike the single-program simulator's FIFO
+// request list, the multi-program queue is strictly TIME-ordered
+// (insertion order only breaks ties): with one job, serving a
+// future-stamped wake before an earlier completion is harmless — nothing
+// else could have used the worker — but with several jobs one job's
+// serial-action delay must not commit workers before another job's
+// earlier release gets a chance to claim them.
+//
+// Asks carry the issuing generation of their worker: a parked worker
+// woken for time T can be re-woken for an earlier T' by another job's
+// release, and the superseded ask must then die when it surfaces.
+type mitem struct {
+	at     int64
+	seq    int64
+	isDone bool
+	proc   int
+	gen    int64
+	job    int
+	task   core.Task
+}
+
+type mqueue []mitem
+
+func (h mqueue) Len() int { return len(h) }
+func (h mqueue) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	// Asks before completions at equal times, matching the single-program
+	// loop (which drains every pending request before the next event).
+	if h[i].isDone != h[j].isDone {
+		return !h[i].isDone
+	}
+	return h[i].seq < h[j].seq
+}
+func (h mqueue) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mqueue) Push(x any)   { *h = append(*h, x.(mitem)) }
+func (h *mqueue) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (h mqueue) peekTime() (int64, bool) {
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// RunMulti simulates jobs sharing one machine under cfg. All jobs start
+// at t=0. Config.BucketWidth, Gantt and the timeline are not used in
+// multi-program mode; Mgmt selects the same three management models as
+// Run.
+func RunMulti(jobs []JobSpec, cfg Config) (*MultiResult, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("sim: RunMulti needs at least one job")
+	}
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("sim: need at least 1 processor")
+	}
+	workers := cfg.Procs
+	if cfg.Mgmt == StealsWorker {
+		workers = cfg.Procs - 1
+		if workers < 1 {
+			return nil, fmt.Errorf("sim: StealsWorker model needs at least 2 processors")
+		}
+	}
+
+	s := &mstate{
+		model:      cfg.Mgmt,
+		workers:    workers,
+		procs:      cfg.Procs,
+		homes:      make([]int, workers),
+		parked:     make([]bool, workers),
+		parkedAt:   make([]int64, workers),
+		pendingAt:  make([]int64, workers),
+		askGen:     make([]int64, workers),
+		workerFree: make([]int64, workers),
+	}
+	var totalGranules int64
+	for i := range jobs {
+		spec := jobs[i]
+		if spec.Name == "" {
+			spec.Name = fmt.Sprintf("job%d", i)
+		}
+		if spec.Weight <= 0 {
+			spec.Weight = 1
+		}
+		opt := spec.Opt
+		if opt.Workers <= 0 {
+			opt.Workers = workers
+		}
+		sched, err := core.New(spec.Prog, opt)
+		if err != nil {
+			return nil, fmt.Errorf("sim: job %q: %w", spec.Name, err)
+		}
+		s.jobs = append(s.jobs, &mjob{spec: spec, sched: sched})
+		totalGranules += int64(spec.Prog.TotalGranules())
+	}
+
+	maxOps := cfg.MaxOps
+	if maxOps <= 0 {
+		maxOps = totalGranules*64 + int64(workers)*1024 + 1_000_000
+	}
+	if err := s.run(maxOps); err != nil {
+		return nil, err
+	}
+	return s.result(), nil
+}
+
+type mstate struct {
+	jobs    []*mjob
+	model   MgmtModel
+	workers int
+	procs   int
+
+	queue      mqueue
+	seq        int64
+	serverFree int64
+	workerFree []int64
+
+	homes     []int // worker -> job index; -1 when every job is done
+	parked    []bool
+	parkedAt  []int64
+	pendingAt []int64 // scheduled wake time of a parked worker; -1 = none
+	askGen    []int64 // bumps when a pending ask is superseded
+
+	idleUnits    int64
+	computeUnits int64
+	mgmtUnits    int64
+	lastDone     int64
+}
+
+// chargeMgmt mirrors the single-program state.chargeMgmt: serialize on
+// the management server, or — Sharded — inline on the worker's own lane.
+func (s *mstate) chargeMgmt(w int, at int64, cost core.Cost) int64 {
+	if s.model != Sharded || w < 0 {
+		return s.serve(at, cost)
+	}
+	start := at
+	if s.workerFree[w] > start {
+		start = s.workerFree[w]
+	}
+	fin := start + int64(cost)
+	s.mgmtUnits += int64(cost)
+	s.workerFree[w] = fin
+	if fin > s.serverFree {
+		s.serverFree = fin
+	}
+	return fin
+}
+
+func (s *mstate) serve(at int64, cost core.Cost) int64 {
+	start := at
+	if s.serverFree > start {
+		start = s.serverFree
+	}
+	fin := start + int64(cost)
+	s.mgmtUnits += int64(cost)
+	s.serverFree = fin
+	return fin
+}
+
+// rebalance assigns home workers over the unfinished jobs by weighted
+// largest-remainder, leftovers to the highest (priority, remainder,
+// index) — the tenant pool's policy in virtual time.
+func (s *mstate) rebalance() {
+	live := make([]int, 0, len(s.jobs))
+	total := 0
+	for i, j := range s.jobs {
+		if !j.done {
+			live = append(live, i)
+			total += j.spec.Weight
+		}
+	}
+	if len(live) == 0 {
+		for w := range s.homes {
+			s.homes[w] = -1
+		}
+		return
+	}
+	n := len(live)
+	shares := make([]int, n)
+	rems := make([]int, n)
+	assigned := 0
+	for k, ji := range live {
+		exact := s.workers * s.jobs[ji].spec.Weight
+		shares[k] = exact / total
+		rems[k] = exact % total
+		assigned += shares[k]
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ja, jb := s.jobs[live[order[a]]], s.jobs[live[order[b]]]
+		if ja.spec.Priority != jb.spec.Priority {
+			return ja.spec.Priority > jb.spec.Priority
+		}
+		return rems[order[a]] > rems[order[b]]
+	})
+	for i := 0; assigned < s.workers; i = (i + 1) % n {
+		shares[order[i]]++
+		assigned++
+	}
+	slot := 0
+	for k, ji := range live {
+		for c := 0; c < shares[k]; c++ {
+			s.homes[slot] = ji
+			slot++
+		}
+	}
+}
+
+// candidates returns the job order worker w asks for work in: home first,
+// then the backfill candidates by (priority, deficit, index), with the
+// deficit-round-robin credit replenished when collectively exhausted.
+func (s *mstate) candidates(w int) []int {
+	home := s.homes[w]
+	out := make([]int, 0, len(s.jobs))
+	if home >= 0 && !s.jobs[home].done {
+		out = append(out, home)
+	}
+	var backfill []int
+	credit := false
+	for i, j := range s.jobs {
+		if i == home || j.done {
+			continue
+		}
+		backfill = append(backfill, i)
+		if j.deficit > 0 {
+			credit = true
+		}
+	}
+	if len(backfill) > 0 && !credit {
+		for _, j := range s.jobs {
+			if !j.done {
+				j.deficit += int64(j.spec.Weight) * mdrrQuantum
+			}
+		}
+	}
+	sort.SliceStable(backfill, func(a, b int) bool {
+		ja, jb := s.jobs[backfill[a]], s.jobs[backfill[b]]
+		if ja.spec.Priority != jb.spec.Priority {
+			return ja.spec.Priority > jb.spec.Priority
+		}
+		if ja.deficit != jb.deficit {
+			return ja.deficit > jb.deficit
+		}
+		return backfill[a] < backfill[b]
+	})
+	return append(out, backfill...)
+}
+
+func (s *mstate) park(w int, at int64) {
+	if s.parked[w] {
+		return
+	}
+	s.parked[w] = true
+	s.parkedAt[w] = at
+	s.pendingAt[w] = -1
+}
+
+// wake schedules asks for parked workers at time at, bounded by the
+// ready tasks across all unfinished jobs. A worker stays parked until its
+// ask is served: a wake carrying a serial-action delay schedules the ask
+// in the future, and a later release by ANOTHER job may land inside that
+// window — the earlier wake then supersedes the pending one (askGen
+// orphans the stale ask). Without this, one job's serial action would
+// phantom-occupy workers the other jobs could have used.
+func (s *mstate) wake(at int64) {
+	avail := 0
+	for _, j := range s.jobs {
+		if !j.done {
+			avail += j.sched.ReadyTasks()
+		}
+	}
+	for w := 0; w < s.workers && avail > 0; w++ {
+		if !s.parked[w] {
+			continue
+		}
+		if s.pendingAt[w] >= 0 && s.pendingAt[w] <= at {
+			continue // already scheduled no later than this wake
+		}
+		s.pendingAt[w] = at
+		s.askGen[w]++
+		s.push(mitem{at: at, proc: w, gen: s.askGen[w]})
+		avail--
+	}
+}
+
+// push enqueues an item with the next tie-break sequence number.
+func (s *mstate) push(it mitem) {
+	s.seq++
+	it.seq = s.seq
+	heap.Push(&s.queue, it)
+}
+
+func (s *mstate) run(maxOps int64) error {
+	for _, j := range s.jobs {
+		fin := s.serve(s.serverFree, j.sched.Start())
+		if j.sched.Stats().SerialCost > 0 {
+			j.openAt = fin
+		}
+	}
+	s.rebalance()
+	for i, j := range s.jobs {
+		j.homeAt0 = 0
+		for _, h := range s.homes {
+			if h == i {
+				j.homeAt0++
+			}
+		}
+	}
+	for w := 0; w < s.workers; w++ {
+		s.push(mitem{at: s.serverFree, proc: w, gen: s.askGen[w]})
+	}
+
+	var ops int64
+	for {
+		ops++
+		if ops > maxOps {
+			return fmt.Errorf("sim: multi run exceeded %d management operations (runaway?)", maxOps)
+		}
+
+		// Idle executive moment (nothing due before the management
+		// resource frees up): absorb one deferred management item from
+		// the first unfinished job that has any (deterministic order).
+		next, have := s.queue.peekTime()
+		if !have || next >= s.serverFree {
+			absorbed := false
+			for _, j := range s.jobs {
+				if !j.done && j.sched.HasDeferred() {
+					if cost, ok := j.sched.DeferredMgmt(); ok {
+						fin := s.serve(s.serverFree, cost)
+						s.wake(fin)
+						absorbed = true
+						break
+					}
+				}
+			}
+			if absorbed {
+				continue
+			}
+		}
+
+		if have {
+			it := heap.Pop(&s.queue).(mitem)
+			if it.isDone {
+				s.completeTask(it)
+			} else {
+				s.serveAsk(it)
+			}
+			continue
+		}
+
+		alldone := true
+		for _, j := range s.jobs {
+			if !j.done {
+				alldone = false
+				break
+			}
+		}
+		if alldone {
+			return nil
+		}
+		return fmt.Errorf("sim: multi run stalled at t=%d: queue empty, jobs incomplete", s.serverFree)
+	}
+}
+
+// serveAsk handles an idle worker's ask: it walks the dispatch-policy
+// order, charging every probe's management cost, and parks the worker
+// when every candidate is dry. A candidate skipped because its serial
+// action is still running reopens at a known time, so a worker that then
+// parks schedules its own retry for the earliest such reopening — the
+// wake that announced the gated work ran when openAt was set and cannot
+// see workers that park later.
+func (s *mstate) serveAsk(req mitem) {
+	if req.gen != s.askGen[req.proc] {
+		return // superseded by an earlier wake
+	}
+	if s.parked[req.proc] {
+		s.parked[req.proc] = false
+		s.pendingAt[req.proc] = -1
+		if d := req.at - s.parkedAt[req.proc]; d > 0 {
+			s.idleUnits += d
+		}
+	}
+	at := req.at
+	home := s.homes[req.proc]
+	reopen := int64(-1)
+	for _, ji := range s.candidates(req.proc) {
+		j := s.jobs[ji]
+		if at < j.openAt {
+			// The job's between-phase serial action is still running.
+			if reopen < 0 || j.openAt < reopen {
+				reopen = j.openAt
+			}
+			continue
+		}
+		task, cost, ok := j.sched.NextTask()
+		fin := s.chargeMgmt(req.proc, at, cost)
+		if ok {
+			if ji != home {
+				j.deficit -= int64(task.Run.Len())
+			}
+			s.dispatch(req.proc, ji, ji != home, task, fin)
+			return
+		}
+		at = fin
+	}
+	s.park(req.proc, at)
+	if reopen >= 0 {
+		s.pendingAt[req.proc] = reopen
+		s.askGen[req.proc]++
+		s.push(mitem{at: reopen, proc: req.proc, gen: s.askGen[req.proc]})
+	}
+}
+
+func (s *mstate) dispatch(worker, ji int, backfill bool, task core.Task, at int64) {
+	j := s.jobs[ji]
+	dur := int64(j.sched.TaskCost(task))
+	end := at + dur
+	s.computeUnits += dur
+	j.compute += dur
+	if backfill {
+		j.backfill += dur
+	}
+	if end > s.workerFree[worker] {
+		s.workerFree[worker] = end
+	}
+	s.push(mitem{at: end, isDone: true, proc: worker, job: ji, task: task})
+}
+
+func (s *mstate) completeTask(req mitem) {
+	j := s.jobs[req.job]
+	serial0 := j.sched.Stats().SerialCost
+	cost := j.sched.Complete(req.task)
+	fin := s.chargeMgmt(req.proc, req.at, cost)
+	if j.sched.Stats().SerialCost > serial0 && fin > j.openAt {
+		j.openAt = fin
+	}
+	if req.at > s.lastDone {
+		s.lastDone = req.at
+	}
+	if fin > j.makespan {
+		j.makespan = fin
+	}
+	if !j.done && j.sched.Done() {
+		j.done = true
+		s.rebalance()
+	}
+	s.wake(fin)
+	s.push(mitem{at: fin, proc: req.proc, gen: s.askGen[req.proc]})
+}
+
+func (s *mstate) result() *MultiResult {
+	makespan := s.lastDone
+	for _, j := range s.jobs {
+		if j.makespan > makespan {
+			makespan = j.makespan
+		}
+	}
+	for w := range s.parked {
+		if s.parked[w] {
+			s.parked[w] = false
+			if d := makespan - s.parkedAt[w]; d > 0 {
+				s.idleUnits += d
+			}
+		}
+	}
+	res := &MultiResult{
+		Makespan:     makespan,
+		ComputeUnits: s.computeUnits,
+		MgmtUnits:    s.mgmtUnits,
+		IdleUnits:    s.idleUnits,
+		Workers:      s.workers,
+		Procs:        s.procs,
+	}
+	for _, j := range s.jobs {
+		res.BackfillUnits += j.backfill
+		res.Jobs = append(res.Jobs, JobResult{
+			Name:          j.spec.Name,
+			Makespan:      j.makespan,
+			ComputeUnits:  j.compute,
+			BackfillUnits: j.backfill,
+			HomeWorkers:   j.homeAt0,
+			Sched:         j.sched.Stats(),
+		})
+	}
+	if makespan > 0 {
+		res.Utilization = float64(s.computeUnits) / (float64(s.procs) * float64(makespan))
+	}
+	return res
+}

@@ -1,0 +1,164 @@
+package tenant
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// This file is the cross-job dispatch policy. Two decisions live here:
+//
+//   - home assignment (rebalanceLocked): workers are divided among the
+//     active jobs in proportion to their weights, largest remainders
+//     settled by priority then submit order. A worker serves its home job
+//     exclusively while anything there is dispatchable, so a job's
+//     critical path is driven by a stable worker set and its makespan
+//     stays close to running alone.
+//   - backfill order (backfillPlan): a worker whose home job is in
+//     rundown offers its idle capacity to the other jobs — higher
+//     priority first, then larger deficit-round-robin credit, submit
+//     order as the final tie-break. Backfill draws down the serving
+//     job's credit by the task's granule count; credit replenishes by
+//     weight when every candidate is exhausted.
+
+// homeCache is a worker-local snapshot of the home assignment, refreshed
+// only when the pool's epoch changes, so the hot path (home job has work)
+// costs one atomic load instead of a pool-lock acquisition per task.
+type homeCache struct {
+	epoch uint64
+	home  *Job
+	valid bool
+}
+
+// home returns worker w's current home job (nil when no job is active).
+func (p *Pool) home(w int, c *homeCache) *Job {
+	e := p.epoch.Load()
+	if c.valid && c.epoch == e {
+		return c.home
+	}
+	p.mu.Lock()
+	c.home = p.homes[w]
+	c.epoch = p.epoch.Load()
+	c.valid = true
+	p.mu.Unlock()
+	return c.home
+}
+
+// sweep makes one pass over the dispatch policy for worker w: home job
+// first, then the backfill candidates in policy order. ok=false means
+// nothing was dispatchable anywhere at sweep time.
+func (p *Pool) sweep(w int, c *homeCache) (j *Job, t core.Task, backfill, ok bool) {
+	home := p.home(w, c)
+	if home != nil {
+		if t, ok := home.mgr.TryNext(w); ok {
+			p.gen.Add(1)
+			return home, t, false, true
+		}
+		p.checkFinished(home)
+	}
+	for _, cand := range p.backfillPlan(home) {
+		if t, ok := cand.mgr.TryNext(w); ok {
+			p.mu.Lock()
+			cand.deficit -= int64(t.Run.Len())
+			p.mu.Unlock()
+			p.gen.Add(1)
+			return cand, t, true, true
+		}
+		p.checkFinished(cand)
+	}
+	return nil, core.Task{}, false, false
+}
+
+// backfillPlan snapshots the backfill candidates for a worker homed on
+// home, ordered by the dispatch policy. Replenishes every active job's
+// deficit-round-robin credit when the candidates are collectively
+// exhausted.
+func (p *Pool) backfillPlan(home *Job) []*Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cands := make([]*Job, 0, len(p.active))
+	credit := false
+	for _, j := range p.active {
+		if j == home {
+			continue
+		}
+		cands = append(cands, j)
+		if j.deficit > 0 {
+			credit = true
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	if !credit {
+		for _, j := range p.active {
+			j.deficit += int64(j.cfg.Weight) * drrQuantum
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].cfg.Priority != cands[b].cfg.Priority {
+			return cands[a].cfg.Priority > cands[b].cfg.Priority
+		}
+		if cands[a].deficit != cands[b].deficit {
+			return cands[a].deficit > cands[b].deficit
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	return cands
+}
+
+// rebalanceLocked reassigns worker homes over the active jobs by weighted
+// largest-remainder: every job gets floor(W * weight / totalWeight) home
+// workers, leftovers go to the highest (priority, remainder, submit
+// order). With more jobs than workers the overflow jobs hold no home
+// workers and progress through backfill only. Caller holds p.mu.
+func (p *Pool) rebalanceLocked() {
+	defer p.epoch.Add(1)
+	n := len(p.active)
+	if n == 0 {
+		for i := range p.homes {
+			p.homes[i] = nil
+		}
+		return
+	}
+	total := 0
+	for _, j := range p.active {
+		total += j.cfg.Weight
+	}
+	w := p.cfg.Workers
+	type share struct {
+		j    *Job
+		n    int
+		rem  int
+		prio int
+	}
+	shares := make([]share, n)
+	assigned := 0
+	for i, j := range p.active {
+		exact := w * j.cfg.Weight
+		shares[i] = share{j: j, n: exact / total, rem: exact % total, prio: j.cfg.Priority}
+		assigned += shares[i].n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := shares[order[a]], shares[order[b]]
+		if sa.prio != sb.prio {
+			return sa.prio > sb.prio
+		}
+		return sa.rem > sb.rem
+	})
+	for i := 0; assigned < w; i = (i + 1) % n {
+		shares[order[i]].n++
+		assigned++
+	}
+	slot := 0
+	for _, s := range shares {
+		for k := 0; k < s.n; k++ {
+			p.homes[slot] = s.j
+			slot++
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package tenant
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/executive"
+)
+
+// Job is the handle for one submitted program. It is created by
+// Pool.Submit and owned by the pool until finished.
+type Job struct {
+	pool *Pool
+	cfg  JobConfig
+	idx  int
+
+	prog  *core.Program
+	sched *core.Scheduler
+	mgr   executive.PoolDriver
+
+	// deficit is the job's deficit-round-robin backfill credit in
+	// granules, guarded by pool.mu.
+	deficit int64
+
+	compute         atomic.Int64 // nanoseconds of granule work
+	tasks           atomic.Int64
+	backfillTasks   atomic.Int64 // tasks run by foreign-home workers
+	backfillCompute atomic.Int64
+
+	submitted time.Time
+	finished  atomic.Bool
+	end       time.Time // guarded by pool.mu until done is closed
+	err       error     // guarded by pool.mu until done is closed
+	done      chan struct{}
+}
+
+// Name returns the job's label.
+func (j *Job) Name() string { return j.cfg.Name }
+
+// Done returns a channel closed when the job finishes (successfully or
+// not).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes and returns its report. The report
+// has the same shape as an executive.Run report: Wall is submit-to-finish,
+// Mgmt is the job's own manager-serialized management time, Utilization is
+// against the full pool (a job sharing the pool cannot use more). Idle is
+// zero — parked time belongs to the pool, not to any one job.
+func (j *Job) Wait() (*executive.Report, error) {
+	<-j.done
+	rep := &executive.Report{
+		Manager: j.pool.cfg.Manager,
+		Wall:    j.end.Sub(j.submitted),
+		Compute: time.Duration(j.compute.Load()),
+		Mgmt:    j.mgr.Mgmt(),
+		Tasks:   j.tasks.Load(),
+		Sched:   j.sched.Stats(),
+	}
+	if rep.Mgmt > 0 {
+		rep.MgmtRatio = float64(rep.Compute) / float64(rep.Mgmt)
+	}
+	if rep.Wall > 0 {
+		rep.Utilization = float64(rep.Compute) / (float64(j.pool.cfg.Workers) * float64(rep.Wall))
+	}
+	return rep, j.err
+}
+
+// BackfillTasks reports how many of the job's tasks were executed by
+// workers homed on another job (valid after Wait).
+func (j *Job) BackfillTasks() int64 { return j.backfillTasks.Load() }
+
+// BackfillCompute reports the summed execution time of those tasks.
+func (j *Job) BackfillCompute() time.Duration {
+	return time.Duration(j.backfillCompute.Load())
+}

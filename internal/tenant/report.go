@@ -1,0 +1,67 @@
+package tenant
+
+import (
+	"fmt"
+	"time"
+)
+
+// Report aggregates a pool's lifetime measurements (NewPool to Close).
+// Per-job measurements come from Job.Wait.
+type Report struct {
+	// Workers is the pool's worker count.
+	Workers int
+	// Jobs is the number of jobs submitted over the pool's lifetime.
+	Jobs int
+	// Stalled is the number of jobs failed by the pool stall detector.
+	Stalled int
+	// Wall is the pool's lifetime.
+	Wall time.Duration
+	// Compute is the summed granule execution time across all jobs.
+	Compute time.Duration
+	// Mgmt is the summed manager-serialized management time across jobs.
+	Mgmt time.Duration
+	// Idle is the summed parked worker time.
+	Idle time.Duration
+	// Tasks counts executed tasks across all jobs.
+	Tasks int64
+	// BackfillTasks counts tasks executed by a worker homed on another
+	// job — the cross-tenancy work that filled rundowns.
+	BackfillTasks int64
+	// BackfillCompute is the summed execution time of those tasks.
+	BackfillCompute time.Duration
+	// BackfillShare is BackfillCompute / Compute (0 when Compute is 0).
+	BackfillShare float64
+	// Utilization is Compute / (Workers * Wall).
+	Utilization float64
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("workers=%d jobs=%d wall=%v compute=%v mgmt=%v idle=%v tasks=%d backfill=%d (%.1f%%) util=%.3f",
+		r.Workers, r.Jobs, r.Wall, r.Compute, r.Mgmt, r.Idle, r.Tasks,
+		r.BackfillTasks, r.BackfillShare*100, r.Utilization)
+}
+
+// report builds the pool report. Called after the workers have joined.
+func (p *Pool) report() *Report {
+	r := &Report{
+		Workers:         p.cfg.Workers,
+		Jobs:            len(p.jobs),
+		Stalled:         p.stalled,
+		Wall:            p.end.Sub(p.start),
+		Idle:            time.Duration(p.idleNS.Load()),
+		BackfillTasks:   p.backfillTasks.Load(),
+		BackfillCompute: time.Duration(p.backfillCompute.Load()),
+	}
+	for _, j := range p.jobs {
+		r.Compute += time.Duration(j.compute.Load())
+		r.Mgmt += j.mgr.Mgmt()
+		r.Tasks += j.tasks.Load()
+	}
+	if r.Compute > 0 {
+		r.BackfillShare = float64(r.BackfillCompute) / float64(r.Compute)
+	}
+	if r.Wall > 0 {
+		r.Utilization = float64(r.Compute) / (float64(r.Workers) * float64(r.Wall))
+	}
+	return r
+}

@@ -1,0 +1,367 @@
+// Package tenant is the multi-tenant worker pool: several core.Programs
+// run concurrently on one set of worker goroutines, so one job's rundown
+// is filled by another job's work. The paper's introduction dismisses this
+// "batch" environment because statically splitting a machine between job
+// streams lengthens each job's elapsed time (E9 reproduces the trade-off);
+// the pool avoids the static split. Its dispatch policy is overlap-first:
+//
+//   - every worker has a home job (weighted share of the workers per job)
+//     and serves it exclusively while the home job has anything
+//     dispatchable — phase overlap inside the job keeps its makespan as
+//     short as running alone;
+//   - only when the home job is in rundown (nothing dispatchable even
+//     after absorbing deferred management) does the worker take foreign
+//     work, chosen by priority and then deficit-round-robin credit, so
+//     backfill capacity is shared fairly among the other jobs.
+//
+// Each job owns its own core.Scheduler state machine wrapped in its own
+// executive Manager (serial and sharded both supported, via the
+// executive.PoolDriver surface); the pool owns cross-job dispatch,
+// parking, stall detection, and lifecycle. Layering: pool above manager
+// above state machine.
+package tenant
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/executive"
+	"repro/internal/granule"
+)
+
+// drrQuantum is the deficit-round-robin credit (in granules) one weight
+// unit earns per replenishment round. Backfill tasks draw down the
+// serving job's credit by their granule count, so over time each job's
+// share of the pool's spare capacity is proportional to its weight.
+const drrQuantum = 64
+
+// Config parameterizes a pool.
+type Config struct {
+	// Workers is the number of shared worker goroutines (>= 1).
+	Workers int
+	// Manager selects the per-job management layer (SerialManager
+	// default). Every job in the pool uses the same kind.
+	Manager executive.ManagerKind
+	// DequeCap and Batch parameterize the sharded manager per job (see
+	// executive.Config); ignored by the serial manager.
+	DequeCap int
+	// Batch is the sharded manager's completion batch size.
+	Batch int
+}
+
+// JobConfig describes one submitted job.
+type JobConfig struct {
+	// Name labels the job in reports and errors ("jobN" default).
+	Name string
+	// Priority orders backfill: spare capacity goes to dispatchable jobs
+	// of the highest priority first. Higher is more important; equal
+	// priorities share by deficit-round-robin.
+	Priority int
+	// Weight is the job's share of home workers and of backfill credit
+	// within its priority class (<= 0 selects 1).
+	Weight int
+}
+
+// Pool is a shared worker pool running several jobs concurrently. Workers
+// are spawned by NewPool and live until Close.
+type Pool struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    []*Job // every submitted job, submit order
+	active  []*Job // incomplete jobs, submit order
+	homes   []*Job // per-worker home job; nil entries when no active jobs
+	closed  bool
+	stalled int // jobs failed by the pool stall detector
+
+	// epoch bumps (under mu) whenever the active set changes, so workers
+	// can cache their home job and re-read only on change.
+	epoch atomic.Uint64
+	// gen counts progress events (task acquired, completion submitted,
+	// job submitted or finished). A worker parks only if gen is unchanged
+	// since its dry sweep began; see park.
+	gen atomic.Uint64
+	// nWaiting counts workers inside cond.Wait. Modified only under mu,
+	// read lock-free by progress to skip the broadcast when nobody waits.
+	nWaiting atomic.Int32
+
+	wg    sync.WaitGroup
+	start time.Time
+	end   time.Time // set by Close after the workers join
+
+	idleNS          atomic.Int64
+	backfillTasks   atomic.Int64
+	backfillCompute atomic.Int64
+}
+
+// NewPool starts cfg.Workers worker goroutines and returns the pool,
+// ready for Submit. Close releases the workers.
+func NewPool(cfg Config) (*Pool, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("tenant: need at least 1 worker")
+	}
+	if _, err := executive.ParseManager(cfg.Manager.String()); err != nil {
+		return nil, fmt.Errorf("tenant: %w", err)
+	}
+	p := &Pool{
+		cfg:   cfg,
+		homes: make([]*Job, cfg.Workers),
+		start: time.Now(),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go p.worker(w)
+	}
+	return p, nil
+}
+
+// Submit adds a job to the pool and activates it immediately. opt.Workers
+// defaults to the pool's worker count (it only informs the scheduler's
+// grain and subset defaults).
+func (p *Pool) Submit(prog *core.Program, opt core.Options, jc JobConfig) (*Job, error) {
+	if opt.Workers <= 0 {
+		opt.Workers = p.cfg.Workers
+	}
+	sched, err := core.New(prog, opt)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := executive.NewPoolDriver(sched, executive.Config{
+		Workers: p.cfg.Workers, Manager: p.cfg.Manager,
+		DequeCap: p.cfg.DequeCap, Batch: p.cfg.Batch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if jc.Weight <= 0 {
+		jc.Weight = 1
+	}
+	j := &Job{
+		pool: p, cfg: jc, prog: prog, sched: sched, mgr: mgr,
+		done: make(chan struct{}), submitted: time.Now(),
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("tenant: pool is closed")
+	}
+	j.idx = len(p.jobs)
+	if j.cfg.Name == "" {
+		j.cfg.Name = fmt.Sprintf("job%d", j.idx)
+	}
+	mgr.Start()
+	p.jobs = append(p.jobs, j)
+	p.active = append(p.active, j)
+	p.rebalanceLocked()
+	p.mu.Unlock()
+
+	p.progress()
+	return j, nil
+}
+
+// Close marks the pool as accepting no more jobs, lets every submitted
+// job run to completion, joins the workers, and returns the pool report.
+// The error is the first job error in submit order, if any.
+func (p *Pool) Close() (*Report, error) {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+	p.end = time.Now()
+
+	var firstErr error
+	for _, j := range p.jobs {
+		if j.err != nil {
+			firstErr = fmt.Errorf("tenant: job %q: %w", j.cfg.Name, j.err)
+			break
+		}
+	}
+	return p.report(), firstErr
+}
+
+// worker is the shared goroutine body: serve the home job while it has
+// work, backfill foreign jobs during the home job's rundown, park when
+// nothing is dispatchable anywhere.
+func (p *Pool) worker(w int) {
+	defer p.wg.Done()
+	var cache homeCache
+	var last *Job // job of the previous task; batch flushed on job switch
+	for {
+		g0 := p.gen.Load()
+		j, task, backfill, ok := p.sweep(w, &cache)
+		if ok {
+			if last != nil && last != j {
+				// The previous job's completions must not linger in this
+				// worker's batch while it works elsewhere: a job's final
+				// completions would otherwise wait for this worker's next
+				// dry sweep, stretching that job's observed makespan.
+				if last.mgr.Flush(w) {
+					p.checkFinished(last)
+					p.progress()
+				}
+			}
+			last = j
+			p.runTask(w, j, task, backfill)
+			continue
+		}
+		// Dry sweep: every active job's TryNext flushed this worker's
+		// batch and found nothing dispatchable.
+		last = nil
+		if p.park(w, g0) {
+			return
+		}
+	}
+}
+
+// runTask executes task for job j outside every lock, then submits the
+// completion to j's manager. Panics in user work fail the job, not the
+// pool.
+func (p *Pool) runTask(w int, j *Job, task core.Task, backfill bool) {
+	work := j.prog.Phases[task.Phase].Work
+	c0 := time.Now()
+	err := execTask(work, task)
+	dur := time.Since(c0)
+
+	if err != nil {
+		j.mgr.Abort(err)
+		p.mu.Lock()
+		p.finishJobLocked(j, err)
+		p.mu.Unlock()
+		p.progress()
+		return
+	}
+	j.compute.Add(int64(dur))
+	j.tasks.Add(1)
+	if backfill {
+		j.backfillTasks.Add(1)
+		j.backfillCompute.Add(int64(dur))
+		p.backfillTasks.Add(1)
+		p.backfillCompute.Add(int64(dur))
+	}
+	// A completion that only joined the worker's local batch cannot have
+	// released successor work or finished the job, so parked workers are
+	// only woken when the batch was actually applied — without this,
+	// every batched completion would broadcast the pool awake during
+	// rundown, defeating the point of completion batching.
+	if j.mgr.Complete(w, task) {
+		p.checkFinished(j)
+		p.progress()
+	}
+}
+
+// execTask runs the work function over the task's granules. A nil work
+// function is a pure scheduling run.
+func execTask(work core.WorkFn, task core.Task) (err error) {
+	if work == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("tenant: work panicked in %v: %v", task, r)
+		}
+	}()
+	task.Run.Each(func(g granule.ID) { work(g) })
+	return nil
+}
+
+// progress records a progress event and wakes parked workers. The
+// broadcast is skipped lock-free when nobody waits, so the hot path costs
+// one atomic add and one atomic load per task.
+func (p *Pool) progress() {
+	p.gen.Add(1)
+	if p.nWaiting.Load() > 0 {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// park parks worker w until progress, unless progress already happened
+// since the worker's dry sweep began (gen != g0). It returns true when
+// the worker should exit: the pool is closed and every job has finished.
+//
+// Ordering: nWaiting is published before gen is re-checked, and progress
+// bumps gen before reading nWaiting — so either the parker sees the new
+// gen and retries, or the producer sees the waiter and broadcasts. The
+// broadcast serializes behind mu, which the parker holds until cond.Wait
+// releases it, so the wakeup cannot be lost.
+func (p *Pool) park(w int, g0 uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed && len(p.active) == 0 {
+		p.cond.Broadcast()
+		return true
+	}
+	p.nWaiting.Add(1)
+	if p.gen.Load() != g0 {
+		p.nWaiting.Add(-1)
+		return false
+	}
+	if int(p.nWaiting.Load()) == p.cfg.Workers && len(p.active) > 0 {
+		// Every worker swept every active job dry at a stable gen: all
+		// deques are empty and every completion batch was flushed, so an
+		// unfinished job with nothing in flight can never make progress —
+		// a true stall. Fail those jobs; the pool itself survives.
+		for _, j := range append([]*Job(nil), p.active...) {
+			if j.mgr.InFlight() == 0 {
+				err := fmt.Errorf("tenant: job %q stalled at phase %d: all pool workers idle, nothing in flight",
+					j.cfg.Name, j.sched.CurrentPhase())
+				j.mgr.Abort(err)
+				p.finishJobLocked(j, err)
+				p.stalled++
+			}
+		}
+		p.nWaiting.Add(-1)
+		p.cond.Broadcast()
+		return false
+	}
+	i0 := time.Now()
+	p.cond.Wait()
+	p.nWaiting.Add(-1)
+	p.idleNS.Add(int64(time.Since(i0)))
+	return false
+}
+
+// checkFinished retires j when its state machine has completed or its
+// manager recorded an error (completion-processing panic, abort).
+func (p *Pool) checkFinished(j *Job) {
+	if j.finished.Load() {
+		return
+	}
+	err := j.mgr.Err()
+	if err == nil && !j.mgr.Done() {
+		return
+	}
+	p.mu.Lock()
+	p.finishJobLocked(j, err)
+	p.mu.Unlock()
+}
+
+// finishJobLocked retires j exactly once: records the end time and error,
+// removes it from the active set, rebalances homes, and releases waiters.
+// Caller holds p.mu.
+func (p *Pool) finishJobLocked(j *Job, err error) {
+	if j.finished.Load() {
+		return
+	}
+	j.finished.Store(true)
+	j.end = time.Now()
+	j.err = err
+	for i, a := range p.active {
+		if a == j {
+			p.active = append(p.active[:i], p.active[i+1:]...)
+			break
+		}
+	}
+	p.rebalanceLocked()
+	close(j.done)
+	p.gen.Add(1)
+	p.cond.Broadcast()
+}

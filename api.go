@@ -150,6 +150,13 @@ const (
 	// each processor pays its own management costs inline, concurrently —
 	// the virtual-time price of a parallel (sharded) manager.
 	ShardedMgmt = sim.Sharded
+	// AdaptiveMgmt is the batched-executive model — the virtual-time
+	// price of the deque-based sharded manager: worker-local task
+	// buffers pop for free, every refill or completion flush is one
+	// serialized lock visit charging MgmtCosts.Acquire, and the batch
+	// size is fixed (SimConfig.Batch) or retuned online from the
+	// observed overhead and starvation shares (Options.AdaptiveBatch).
+	AdaptiveMgmt = sim.Adaptive
 )
 
 // Simulate runs prog on the deterministic discrete-event machine model.

@@ -340,12 +340,36 @@ func BenchmarkPoolMultiSim(b *testing.B) {
 	})
 }
 
+// adaptiveOpts turns on the online batch controller for a workload
+// builder: DequeCap/Batch become starting values the manager retunes from
+// its measured lock-wait and hoarded-idle shares each epoch.
+func adaptiveOpts(build func(b *testing.B) (*rundown.Program, rundown.Options)) func(b *testing.B) (*rundown.Program, rundown.Options) {
+	return func(b *testing.B) (*rundown.Program, rundown.Options) {
+		prog, opt := build(b)
+		opt.AdaptiveBatch = true
+		return prog, opt
+	}
+}
+
 func BenchmarkManagerChainFineSerial(b *testing.B) {
 	benchManager(b, rundown.SerialManager, buildChainFine)
 }
 
 func BenchmarkManagerChainFineSharded(b *testing.B) {
 	benchManager(b, rundown.ShardedManager, buildChainFine)
+}
+
+// BenchmarkManagerChainFineAdaptive / BenchmarkManagerCasperAdaptive are
+// the adaptive pair of the manager comparison: the same workloads as the
+// fixed-parameter sharded benchmarks with the batch controller turned on,
+// so the utilization delta prices what online tuning buys (or costs) on
+// this host.
+func BenchmarkManagerChainFineAdaptive(b *testing.B) {
+	benchManager(b, rundown.ShardedManager, adaptiveOpts(buildChainFine))
+}
+
+func BenchmarkManagerCasperAdaptive(b *testing.B) {
+	benchManager(b, rundown.ShardedManager, adaptiveOpts(buildCasperPipeline))
 }
 
 func BenchmarkManagerCasperSerial(b *testing.B) {

@@ -1,0 +1,84 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array on stdout, one object per benchmark with the metric pairs parsed
+// out (ns/op, B/op, allocs/op, and any ReportMetric extras). CI pipes the
+// deque benchmark smoke through it to emit BENCH_pr3.json, so the perf
+// trajectory has machine-readable data points per run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Deque -benchtime 1x -benchmem ./... | benchjson > BENCH_pr3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark result. The fixed fields cover the metrics the
+// perf gates care about; Extra carries everything else (ReportMetric).
+type entry struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_op"`
+	BytesPerOp  *float64           `json:"b_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	out := []entry{} // non-nil: zero benchmarks must encode as [], not null
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Benchmark lines: name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := entry{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				b := v
+				e.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				e.AllocsPerOp = &a
+			default:
+				if e.Extra == nil {
+					e.Extra = map[string]float64{}
+				}
+				e.Extra[fields[i+1]] = v
+			}
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

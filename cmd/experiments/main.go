@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|full] [-only E3] [-md] [-manager serial|sharded|both]
+//	experiments [-scale quick|full] [-only E3] [-md] [-manager serial|sharded|both] [-adaptive]
 package main
 
 import (
@@ -21,12 +21,14 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (e.g. E3)")
 	md := flag.Bool("md", false, "emit markdown tables instead of aligned text")
 	manager := flag.String("manager", "both", "executive manager for E10: serial, sharded, or both")
+	adaptive := flag.Bool("adaptive", false, "add the sharded+adaptive arm to E10 (E12 always sweeps adaptive batching)")
 	flag.Parse()
 
 	if err := experiments.SetManagerFilter(*manager); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
 	}
+	experiments.SetAdaptive(*adaptive)
 
 	var scale experiments.Scale
 	switch *scaleFlag {

@@ -10,6 +10,7 @@
 //	rundownsim -casper -procs 32 -overlap -gantt
 //	rundownsim -mapping seam -granules 8192 -procs 128 -overlap -grain 16
 //	rundownsim -mapping identity -granules 8192 -procs 64 -overlap -grain 1 -manager sharded
+//	rundownsim -mapping identity -granules 8192 -procs 16 -overlap -grain 1 -adaptive
 //	rundownsim -jobs 3 -mapping identity -granules 4096 -procs 64 -overlap
 //
 // With -jobs N (N >= 2), N copies of the configured workload (differing
@@ -42,6 +43,8 @@ func main() {
 		inline    = flag.Bool("inline-maps", false, "build composite maps inline (the paper's warned-about strategy)")
 		dedicated = flag.Bool("dedicated", false, "dedicated executive processor (default: steals a worker)")
 		manager   = flag.String("manager", "serial", "management layer: serial (one executive, per -dedicated) or sharded (per-worker management lanes)")
+		adaptive  = flag.Bool("adaptive", false, "batched executive model (worker-local buffers, Acquire-priced lock visits) with online batch tuning")
+		batch     = flag.Int("batch", 16, "refill batch for -adaptive (the controller's starting point)")
 		costLo    = flag.Int64("cost-lo", 100, "minimum granule cost")
 		costHi    = flag.Int64("cost-hi", 400, "maximum granule cost")
 		seed      = flag.Uint64("seed", 1986, "workload seed")
@@ -104,13 +107,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rundownsim: unknown -manager %q (serial|sharded)\n", *manager)
 		os.Exit(2)
 	}
+	if *adaptive {
+		if *dedicated {
+			fmt.Fprintln(os.Stderr, "rundownsim: -dedicated conflicts with -adaptive (management runs inline on the workers)")
+			os.Exit(2)
+		}
+		managerSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "manager" {
+				managerSet = true
+			}
+		})
+		if managerSet {
+			fmt.Fprintln(os.Stderr, "rundownsim: -manager conflicts with -adaptive (the adaptive model is its own management layer)")
+			os.Exit(2)
+		}
+		if *jobs >= 2 {
+			fmt.Fprintln(os.Stderr, "rundownsim: -adaptive is single-program only (drop -jobs)")
+			os.Exit(2)
+		}
+		model = rundown.AdaptiveMgmt
+		opt.AdaptiveBatch = true
+	}
 	if *jobs >= 2 {
 		runMulti(build, opt, model, *jobs, *procs, *seed)
 		return
 	}
 
 	res, err := rundown.Simulate(prog, opt, rundown.SimConfig{
-		Procs: *procs, Mgmt: model, Gantt: *gantt,
+		Procs: *procs, Mgmt: model, Gantt: *gantt, Batch: *batch,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rundownsim: %v\n", err)
@@ -127,6 +152,9 @@ func main() {
 	fmt.Printf("utilization         %s\n", metrics.FormatPercent(res.Utilization))
 	fmt.Printf("worker utilization  %s\n", metrics.FormatPercent(res.WorkerUtilization))
 	fmt.Printf("compute:management  %.1f\n", res.MgmtRatio)
+	if *adaptive {
+		fmt.Printf("batch (final)       %d (%d controller changes)\n", res.Batch, res.BatchChanges)
+	}
 	fmt.Printf("dispatches=%d splits=%d releases=%d elevations=%d deferred=%d\n",
 		res.Sched.Dispatches, res.Sched.Splits, res.Sched.Releases,
 		res.Sched.Elevations, res.Sched.DeferredItems)

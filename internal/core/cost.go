@@ -50,6 +50,16 @@ type MgmtCosts struct {
 	// Elevate is charged per description manipulated while elevating the
 	// priority of enabling current-phase granules.
 	Elevate Cost
+	// Acquire is charged per batched-executive visit: one refill
+	// (NextTasks) or one completion-batch flush (CompleteBatch) pays it
+	// once, however many tasks the visit moves. It prices what the
+	// state-machine methods cannot see — the serialization cost of
+	// entering the executive at all (lock acquisition, queue handoff) —
+	// and is what deque/batch sizing amortizes. Only the batched
+	// management models charge it (sim's Adaptive model); the per-task
+	// models reproduce the paper's executive, where every interaction
+	// already pays the full serial path.
+	Acquire Cost
 }
 
 // DefaultCosts returns the reference calibration used by the experiments.
@@ -63,6 +73,7 @@ func DefaultCosts() MgmtCosts {
 		MapEntry:  1,
 		MapChunk:  64,
 		Elevate:   1,
+		Acquire:   8,
 	}
 }
 

@@ -1,0 +1,187 @@
+package executive
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/granule"
+)
+
+// deque is a Chase-Lev work-stealing deque of core.Tasks (Chase & Lev,
+// "Dynamic Circular Work-Stealing Deque", SPAA 2005; atomics ordered per
+// Lê et al., "Correct and Efficient Work-Stealing for Weak Memory Models",
+// PPoPP 2013 — Go's sync/atomic operations are sequentially consistent, so
+// every fence in that formulation is implied). One goroutine owns the
+// deque; any number of thieves steal from it concurrently.
+//
+//   - The owner pushes and pops at the bottom with plain atomic loads and
+//     stores — no lock, no CAS — except when taking the last element,
+//     where it races the thieves with one CAS on top.
+//   - Thieves take the oldest element at the top with one CAS each. top
+//     only ever increases, so a stale read of it can only make a CAS fail,
+//     never succeed wrongly: the counter is ABA-free by monotonicity.
+//   - The circular array grows when full; the old ring is never written
+//     again after the copy, so thieves still holding it read stable values.
+//
+// Memory model (the three atomics and their happens-before edges):
+//
+//   - bottom: written only by the owner. pushBottom publishes the slot
+//     write before the bottom increment (both seq-cst), so a thief that
+//     observes the new bottom also observes the slot contents.
+//   - top: CAS'd by thieves (steal) and by the owner (last element). The
+//     owner's popBottom stores the decremented bottom *before* loading
+//     top; a thief loads top *before* loading bottom. Sequential
+//     consistency makes those two orderings a total order, so the owner
+//     and a thief can never both conclude the same last element is theirs
+//     without going through the top CAS, which only one of them wins.
+//   - ring: the pointer is republished (seq-cst) only after every live
+//     slot has been copied into the new ring, so a thief loading the
+//     pointer after a push that grew sees the copied slots; a thief
+//     holding the old pointer sees the frozen old slots.
+//
+// Slot contents are four independent atomic words (a core.Task is ID,
+// Phase, Run.Lo, Run.Hi). A thief's read of a slot can therefore tear —
+// but only if the owner concurrently reuses the slot for a new push, which
+// requires bottom - top >= ring size at push time, which requires top to
+// have already advanced past the thief's index: the thief's CAS on the old
+// top value then necessarily fails and the torn read is discarded. A
+// successful CAS proves the four words were stable for the whole read.
+// Atomic word access keeps the race detector precise about all of this:
+// every flagged interleaving would be a real protocol violation.
+type deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	ring   atomic.Pointer[dequeRing]
+}
+
+// dequeRing is one power-of-two circular array generation.
+type dequeRing struct {
+	mask  int64
+	slots []dequeSlot
+}
+
+// dequeSlot holds one core.Task as four atomic words.
+type dequeSlot struct {
+	id, phase, lo, hi atomic.Int64
+}
+
+// Compile-time guard that the slot encoding covers every core.Task field:
+// this conversion stops compiling the moment core.Task's shape changes,
+// which is the signal that load/store below must be extended — without
+// it, a new Task field would silently round-trip through the deque as
+// its zero value.
+var _ = struct {
+	ID    int
+	Phase granule.PhaseID
+	Run   granule.Range
+}(core.Task{})
+
+func newDequeRing(size int64) *dequeRing {
+	return &dequeRing{mask: size - 1, slots: make([]dequeSlot, size)}
+}
+
+func (r *dequeRing) size() int64 { return r.mask + 1 }
+
+func (r *dequeRing) load(i int64) core.Task {
+	s := &r.slots[i&r.mask]
+	return core.Task{
+		ID:    int(s.id.Load()),
+		Phase: granule.PhaseID(s.phase.Load()),
+		Run:   granule.Range{Lo: granule.ID(s.lo.Load()), Hi: granule.ID(s.hi.Load())},
+	}
+}
+
+func (r *dequeRing) store(i int64, t core.Task) {
+	s := &r.slots[i&r.mask]
+	s.id.Store(int64(t.ID))
+	s.phase.Store(int64(t.Phase))
+	s.lo.Store(int64(t.Run.Lo))
+	s.hi.Store(int64(t.Run.Hi))
+}
+
+// newDeque sizes the initial ring for capHint tasks (rounded up to a power
+// of two, minimum 8). The deque grows past the hint if needed; the hint
+// just makes the steady state allocation-free.
+func newDeque(capHint int) *deque {
+	size := int64(8)
+	for size < int64(capHint) {
+		size <<= 1
+	}
+	d := &deque{}
+	d.ring.Store(newDequeRing(size))
+	return d
+}
+
+// size reports bottom-top. It is exact for the owner; for anyone else it
+// is a moment-in-time estimate (may be stale, may briefly read as -1
+// during the owner's popBottom of an empty deque).
+func (d *deque) size() int64 {
+	return d.bottom.Load() - d.top.Load()
+}
+
+// pushBottom appends t at the bottom. Owner only.
+func (d *deque) pushBottom(t core.Task) {
+	b := d.bottom.Load()
+	top := d.top.Load()
+	r := d.ring.Load()
+	if b-top >= r.size() {
+		r = d.grow(r, top, b)
+	}
+	r.store(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// popBottom removes the most recently pushed task. Owner only.
+func (d *deque) popBottom() (core.Task, bool) {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore bottom.
+		d.bottom.Store(b + 1)
+		return core.Task{}, false
+	}
+	task := r.load(b)
+	if t == b {
+		// Last element: race the thieves for it via the top CAS.
+		if !d.top.CompareAndSwap(t, t+1) {
+			// A thief won; the deque is empty.
+			d.bottom.Store(b + 1)
+			return core.Task{}, false
+		}
+		d.bottom.Store(b + 1)
+		return task, true
+	}
+	return task, true
+}
+
+// steal removes the oldest task. Safe from any goroutine. A failed CAS
+// means another thief (or the owner, on the last element) got there first;
+// the loop re-reads top and retries until the deque is observed empty, so
+// a steal attempt never spuriously fails while work remains.
+func (d *deque) steal() (core.Task, bool) {
+	for {
+		t := d.top.Load()
+		b := d.bottom.Load()
+		if t >= b {
+			return core.Task{}, false
+		}
+		r := d.ring.Load()
+		task := r.load(t)
+		if d.top.CompareAndSwap(t, t+1) {
+			return task, true
+		}
+	}
+}
+
+// grow doubles the ring, copying the live window [top, bottom). Owner
+// only; called from pushBottom with the pre-push top and bottom.
+func (d *deque) grow(old *dequeRing, top, bottom int64) *dequeRing {
+	r := newDequeRing(old.size() * 2)
+	for i := top; i < bottom; i++ {
+		r.store(i, old.load(i))
+	}
+	d.ring.Store(r)
+	return r
+}

@@ -1,0 +1,332 @@
+package executive
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDequeOwnerOrder: with no thieves, the deque is a plain LIFO stack
+// for its owner, and size tracks it.
+func TestDequeOwnerOrder(t *testing.T) {
+	d := newDeque(4)
+	if _, ok := d.popBottom(); ok {
+		t.Fatal("popBottom on empty deque returned a task")
+	}
+	for i := 0; i < 10; i++ {
+		d.pushBottom(mkTask(i))
+	}
+	if n := d.size(); n != 10 {
+		t.Fatalf("size = %d, want 10", n)
+	}
+	for i := 9; i >= 0; i-- {
+		got, ok := d.popBottom()
+		if !ok || got.ID != i {
+			t.Fatalf("popBottom = %v,%v, want task %d", got, ok, i)
+		}
+	}
+	if _, ok := d.popBottom(); ok {
+		t.Fatal("drained deque still pops")
+	}
+}
+
+// TestDequeGrow: pushing far past the initial ring capacity must grow the
+// ring without losing or reordering anything, and steals must see the
+// grown contents.
+func TestDequeGrow(t *testing.T) {
+	d := newDeque(8)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		d.pushBottom(mkTask(i))
+	}
+	for i := 0; i < n/2; i++ {
+		got, ok := d.steal()
+		if !ok || got.ID != i {
+			t.Fatalf("steal = %v,%v, want task %d", got, ok, i)
+		}
+	}
+	for i := n - 1; i >= n/2; i-- {
+		got, ok := d.popBottom()
+		if !ok || got.ID != i {
+			t.Fatalf("popBottom = %v,%v, want task %d", got, ok, i)
+		}
+	}
+}
+
+// TestDequeStealVsPopLastElement races the owner and GOMAXPROCS thieves
+// for a deque holding exactly one task, over many rounds: exactly one
+// goroutine may win each round — the core last-element CAS arbitration.
+func TestDequeStealVsPopLastElement(t *testing.T) {
+	thieves := runtime.GOMAXPROCS(0)
+	if thieves < 2 {
+		thieves = 2
+	}
+	const rounds = 2000
+	d := newDeque(4)
+
+	var wins atomic.Int64
+	var ready, done sync.WaitGroup
+	start := make(chan struct{})
+	stop := make(chan struct{})
+	for th := 0; th < thieves; th++ {
+		ready.Add(1)
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			ready.Done()
+			<-start
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, ok := d.steal(); ok {
+					wins.Add(1)
+				}
+			}
+		}()
+	}
+	ready.Wait()
+	close(start)
+
+	ownerWins := 0
+	for r := 0; r < rounds; r++ {
+		d.pushBottom(mkTask(r))
+		if _, ok := d.popBottom(); ok {
+			ownerWins++
+		}
+		// Whoever won, the deque must now be empty for the owner.
+		if _, ok := d.popBottom(); ok {
+			t.Fatal("last element won twice in one round")
+		}
+	}
+	close(stop)
+	done.Wait()
+	total := int(wins.Load()) + ownerWins
+	if total != rounds {
+		t.Fatalf("%d tasks extracted over %d rounds (owner %d, thieves %d)",
+			total, rounds, ownerWins, wins.Load())
+	}
+}
+
+// TestDequeGrowDuringSteal: the owner pushes enough to force repeated ring
+// growth while thieves continuously steal; every task must be extracted
+// exactly once. This exercises thieves reading a stale ring pointer across
+// a grow.
+func TestDequeGrowDuringSteal(t *testing.T) {
+	thieves := runtime.GOMAXPROCS(0)
+	if thieves < 2 {
+		thieves = 2
+	}
+	const n = 20000
+	d := newDeque(8) // tiny initial ring: growth is constant
+
+	var mu sync.Mutex
+	seen := make(map[int]int, n)
+	record := func(id int) {
+		mu.Lock()
+		seen[id]++
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if task, ok := d.steal(); ok {
+					record(task.ID)
+					continue
+				}
+				select {
+				case <-stop:
+					// One last sweep so nothing pushed after our miss
+					// is stranded.
+					for {
+						task, ok := d.steal()
+						if !ok {
+							return
+						}
+						record(task.ID)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < n; i++ {
+		d.pushBottom(mkTask(i))
+		if i%7 == 0 {
+			if task, ok := d.popBottom(); ok {
+				record(task.ID)
+			}
+		}
+	}
+	for {
+		task, ok := d.popBottom()
+		if !ok {
+			break
+		}
+		record(task.ID)
+	}
+	close(stop)
+	wg.Wait()
+
+	if len(seen) != n {
+		t.Fatalf("extracted %d distinct tasks, want %d", len(seen), n)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %d extracted %d times", id, c)
+		}
+	}
+}
+
+// TestDequeTopMonotonic: the ABA guard on the steal index is top's
+// monotonicity — concurrent thieves CASing the same top value must never
+// extract the same task twice even as the owner push/pops around them.
+// GOMAXPROCS thieves hammer one owner through continuous load/unload
+// cycles that wrap the ring many times (index reuse at the same slot is
+// exactly the ABA shape).
+func TestDequeTopMonotonic(t *testing.T) {
+	thieves := runtime.GOMAXPROCS(0)
+	if thieves < 4 {
+		thieves = 4
+	}
+	const cycles = 3000
+	const burst = 8 // within the initial ring: slots are reused constantly
+	d := newDeque(burst)
+
+	var stolen sync.Map // id -> count
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if task, ok := d.steal(); ok {
+					if n, loaded := stolen.LoadOrStore(task.ID, 1); loaded {
+						stolen.Store(task.ID, n.(int)+1)
+					}
+				}
+			}
+		}()
+	}
+
+	next := 0
+	ownerSeen := make(map[int]int)
+	for c := 0; c < cycles; c++ {
+		for i := 0; i < burst; i++ {
+			d.pushBottom(mkTask(next))
+			next++
+		}
+		for {
+			task, ok := d.popBottom()
+			if !ok {
+				break
+			}
+			ownerSeen[task.ID]++
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for {
+		task, ok := d.popBottom()
+		if !ok {
+			break
+		}
+		ownerSeen[task.ID]++
+	}
+
+	total := 0
+	for id, c := range ownerSeen {
+		if c != 1 {
+			t.Fatalf("owner extracted task %d %d times", id, c)
+		}
+		if v, ok := stolen.Load(id); ok {
+			t.Fatalf("task %d extracted by owner and stolen %v times", id, v)
+		}
+		total++
+	}
+	stolen.Range(func(id, c any) bool {
+		if c.(int) != 1 {
+			t.Fatalf("task %v stolen %v times", id, c)
+		}
+		total++
+		return true
+	})
+	if total != next {
+		t.Fatalf("extracted %d distinct tasks, want %d", total, next)
+	}
+}
+
+// TestDequeStealZeroAlloc: the steady-state steal and pop paths must not
+// allocate — the per-steal allocation of the old mutex deque
+// (stolen := make([]core.Task, take)) is the regression this guards.
+func TestDequeStealZeroAlloc(t *testing.T) {
+	d := newDeque(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			d.pushBottom(mkTask(i))
+		}
+		for i := 0; i < 16; i++ {
+			if _, ok := d.steal(); !ok {
+				t.Fatal("steal failed")
+			}
+		}
+		for {
+			if _, ok := d.popBottom(); !ok {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/steal/pop allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestShardStealZeroAlloc: the manager-level steal sweep (CAS transfer
+// into the thief's own deque) must also be allocation-free once rings are
+// warm.
+func TestShardStealZeroAlloc(t *testing.T) {
+	m := shardedForTest(2, 64, 8)
+	var load []core.Task
+	for i := 0; i < 32; i++ {
+		load = append(load, mkTask(i))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		m.load(1, load)
+		for {
+			if _, ok := m.steal(0); !ok {
+				break
+			}
+			m.drainNoAlloc(0)
+		}
+		m.drainNoAlloc(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steal sweep allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// drainNoAlloc empties shard i's deque without building a slice.
+func (m *sharded) drainNoAlloc(i int) {
+	for {
+		if _, ok := m.shards[i].dq.popBottom(); !ok {
+			return
+		}
+	}
+}

@@ -43,6 +43,14 @@ type Config struct {
 	// acquisition when the batch fills (ShardedManager only). <=0
 	// selects 8.
 	Batch int
+	// Adaptive enables the adaptive batching controller (ShardedManager
+	// only): DequeCap and Batch become starting values retuned online
+	// from the observed management and idle shares each refill epoch.
+	// Run and the tenant pool set it from core.Options.AdaptiveBatch.
+	Adaptive bool
+	// MgmtTarget is the adaptive controller's lock-overhead-share
+	// setpoint; <= 0 selects 0.02. Ignored unless Adaptive.
+	MgmtTarget float64
 }
 
 // Report aggregates a run's measurements.
@@ -82,6 +90,12 @@ func Run(prog *core.Program, opt core.Options, cfg Config) (*Report, error) {
 	}
 	if opt.Workers <= 0 {
 		opt.Workers = cfg.Workers
+	}
+	if opt.AdaptiveBatch {
+		cfg.Adaptive = true
+		if cfg.MgmtTarget <= 0 {
+			cfg.MgmtTarget = opt.MgmtTarget
+		}
 	}
 	sched, err := core.New(prog, opt)
 	if err != nil {

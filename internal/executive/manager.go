@@ -164,7 +164,7 @@ func newManager(sm StateMachine, cfg Config) (Manager, error) {
 	case SerialManager:
 		return newSerial(sm, cfg.Workers), nil
 	case ShardedManager:
-		return newSharded(sm, cfg.Workers, cfg.DequeCap, cfg.Batch), nil
+		return newSharded(sm, cfg), nil
 	default:
 		return nil, fmt.Errorf("executive: unknown manager kind %v", cfg.Manager)
 	}

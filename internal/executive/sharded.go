@@ -9,19 +9,28 @@ import (
 	"repro/internal/core"
 )
 
-// sharded is the parallel Manager: each worker owns a bounded local task
-// deque and a local completion batch, so the global lock that guards the
-// state machine is acquired once per batch instead of once per task.
+// sharded is the parallel Manager: each worker owns a lock-free Chase-Lev
+// task deque and a local completion batch, so the global lock that guards
+// the state machine is acquired once per batch instead of once per task —
+// and the per-task path between acquisitions costs no lock at all.
 //
 //   - Refill: when a worker's deque drains it acquires the global lock
 //     once, submits its accumulated completions (CompleteBatch), and pulls
-//     up to DequeCap tasks (NextTasks) into its deque.
+//     up to cap tasks (NextTasks). The first refilled task is returned
+//     directly; the rest are pushed into the worker's own deque in reverse
+//     priority order, so the owner's popBottom consumes them in the state
+//     machine's priority order while thieves steal the lowest-priority
+//     end.
 //   - Batched completion: completions accumulate per worker and are
 //     applied to the state machine in one lock acquisition when the batch
 //     fills or at the next refill, whichever comes first.
-//   - Work stealing: a worker whose deque drains during rundown first
-//     steals the back half of a peer's deque before falling back to the
-//     global refill path, keeping processors busy while the queue runs dry.
+//   - Work stealing: a worker whose deque drains during rundown sweeps the
+//     other shards and CAS-steals up to half of the first non-empty deque
+//     it finds into its own — no lock, no allocation — before falling back
+//     to the global refill path.
+//   - Adaptive batching (Config.Adaptive): cap and batch are retuned
+//     online by a Tuner from the observed management and idle shares each
+//     refill epoch; see adaptive.go.
 //
 // Invariants the stall detector relies on: a worker only parks after its
 // deque is empty, a steal sweep failed, and its completion batch was
@@ -29,13 +38,17 @@ import (
 // or batch. So when every worker is parked, no task is held anywhere
 // outside the state machine and InFlight()==0 identifies a true stall.
 type sharded struct {
-	mu   sync.Mutex // guards sm, waiting, err, mgmt, idle
+	mu   sync.Mutex // guards sm, cap, waiting, err, mgmt, idle
 	cond *sync.Cond
 
 	sm      StateMachine
 	workers int
-	cap     int // deque capacity = refill batch size
-	batch   int // completion batch size
+	cap     int // deque refill batch size, guarded by mu (the tuner moves it)
+
+	// batch is the completion batch size. It is read lock-free on the
+	// per-task Complete path and rewritten under mu by the tuner, hence
+	// atomic.
+	batch atomic.Int32
 
 	shards []shard
 	failed atomic.Bool // fast-path abort flag, mirrors err != nil
@@ -44,12 +57,24 @@ type sharded struct {
 	// starving workers spread their first probes over different victims
 	// instead of all hammering the same neighbor.
 	stealTick atomic.Uint64
-	// stealNS accumulates time spent inside steal sweeps (per-shard lock
-	// acquisitions and deque copies outside the global lock). It is
-	// management work — the sharded analogue of executive dispatch — and
-	// is folded into Mgmt() so computation-to-management ratios do not
-	// undercount sharded management.
+	// stealNS accumulates time spent inside steal sweeps (CAS loops and
+	// deque transfers outside the global lock). It is management work —
+	// the sharded analogue of executive dispatch — and is folded into
+	// Mgmt() so computation-to-management ratios do not undercount
+	// sharded management.
 	stealNS atomic.Int64
+
+	// Adaptive controller state, guarded by mu; tuner is nil when
+	// adaptivity is disabled. lockNS accumulates time spent *acquiring*
+	// the global lock (contention wait, the amortizable per-visit
+	// overhead the tuner steers on — distinct from mgmt, the time spent
+	// inside it).
+	tuner      *Tuner
+	lockNS     time.Duration
+	hoardIdle  time.Duration // parked time that began with peer deques nonempty
+	epochStart time.Time
+	epochLock  time.Duration // lockNS snapshot at epoch start
+	epochHI    time.Duration // hoardIdle snapshot at epoch start
 
 	// Accumulators, guarded by mu.
 	mgmt    time.Duration
@@ -58,40 +83,22 @@ type sharded struct {
 	err     error
 }
 
-// shard is one worker's local state. tasks is the bounded local deque:
-// the owner pushes refills and pops the front; thieves take the back
-// half. done is the owner-only completion batch — it is touched by no
-// goroutine but its owner, so it needs no lock.
+// shard is one worker's local state. dq is the lock-free task deque: the
+// owner pushes refills and pops the bottom; thieves CAS the top. done is
+// the owner-only completion batch and refillBuf the owner-only scratch the
+// refill path hands to NextTasks, so steady-state refills and steals
+// allocate nothing.
 type shard struct {
-	mu    sync.Mutex
-	tasks []core.Task
-	done  []core.Task
-	// refillBuf is the owner-only scratch the refill path hands to
-	// NextTasks, so steady-state refills allocate nothing.
+	dq        *deque
+	done      []core.Task
 	refillBuf []core.Task
 }
 
-func (sh *shard) popFront() (core.Task, bool) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if len(sh.tasks) == 0 {
-		return core.Task{}, false
-	}
-	t := sh.tasks[0]
-	sh.tasks = sh.tasks[1:]
-	return t, true
-}
+// adaptiveEpoch is the minimum wall time between tuner observations.
+const adaptiveEpoch = time.Millisecond
 
-func (sh *shard) push(ts []core.Task) {
-	if len(ts) == 0 {
-		return
-	}
-	sh.mu.Lock()
-	sh.tasks = append(sh.tasks, ts...)
-	sh.mu.Unlock()
-}
-
-func newSharded(sm StateMachine, workers, dequeCap, batch int) *sharded {
+func newSharded(sm StateMachine, cfg Config) *sharded {
+	dequeCap, batch := cfg.DequeCap, cfg.Batch
 	if dequeCap <= 0 {
 		dequeCap = 16
 	}
@@ -100,10 +107,20 @@ func newSharded(sm StateMachine, workers, dequeCap, batch int) *sharded {
 	}
 	m := &sharded{
 		sm:      sm,
-		workers: workers,
+		workers: cfg.Workers,
 		cap:     dequeCap,
-		batch:   batch,
-		shards:  make([]shard, workers),
+		shards:  make([]shard, cfg.Workers),
+	}
+	m.batch.Store(int32(batch))
+	for i := range m.shards {
+		m.shards[i].dq = newDeque(dequeCap)
+	}
+	if cfg.Adaptive {
+		m.tuner = NewTuner(TunerConfig{
+			Cap: dequeCap, Batch: batch, MgmtTarget: cfg.MgmtTarget,
+		})
+		m.cap = m.tuner.Cap()
+		m.batch.Store(int32(m.tuner.Batch()))
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
@@ -115,13 +132,14 @@ func (m *sharded) Start() {
 	m0 := time.Now()
 	m.sm.Start()
 	m.mgmt += time.Since(m0)
+	m.epochStart = time.Now()
 }
 
 func (m *sharded) Next(w int) (core.Task, bool) {
 	if m.failed.Load() {
 		return core.Task{}, false
 	}
-	if t, ok := m.shards[w].popFront(); ok {
+	if t, ok := m.shards[w].dq.popBottom(); ok {
 		return t, true
 	}
 	if t, ok := m.steal(w); ok {
@@ -140,7 +158,7 @@ func (m *sharded) TryNext(w int) (core.Task, bool) {
 	if m.failed.Load() {
 		return core.Task{}, false
 	}
-	if t, ok := m.shards[w].popFront(); ok {
+	if t, ok := m.shards[w].dq.popBottom(); ok {
 		return t, true
 	}
 	if t, ok := m.steal(w); ok {
@@ -149,14 +167,15 @@ func (m *sharded) TryNext(w int) (core.Task, bool) {
 	return m.refill(w, false)
 }
 
-// steal sweeps the other shards and takes the back half of the first
-// non-empty deque it finds. The owner pops the front (the state machine's
-// priority order), so thieves taking the back trade a small priority
-// inversion for minimal contention with the victim. The sweep start
-// rotates per call (stealTick): a fixed w+1 start would make every
-// starving worker hammer the same neighbor first under contention. Sweep
-// time is charged to stealNS — it is management work done outside the
-// global lock.
+// steal sweeps the other shards and CAS-steals up to half of the first
+// non-empty deque it finds, transferring the loot into this worker's own
+// deque and popping one task to run. The owner pops the bottom (the state
+// machine's priority order), so thieves taking the top trade a small
+// priority inversion for a single CAS per task and zero allocation. The
+// sweep start rotates per call (stealTick): a fixed w+1 start would make
+// every starving worker hammer the same neighbor first under contention.
+// Sweep time is charged to stealNS — it is management work done outside
+// the global lock.
 func (m *sharded) steal(w int) (core.Task, bool) {
 	n := len(m.shards)
 	if n < 2 {
@@ -164,26 +183,36 @@ func (m *sharded) steal(w int) (core.Task, bool) {
 	}
 	t0 := time.Now()
 	defer func() { m.stealNS.Add(int64(time.Since(t0))) }()
+	own := m.shards[w].dq
 	start := int(m.stealTick.Add(1) % uint64(n))
 	for i := 0; i < n; i++ {
 		idx := (start + i) % n
 		if idx == w {
 			continue
 		}
-		v := &m.shards[idx]
-		v.mu.Lock()
-		k := len(v.tasks)
-		if k == 0 {
-			v.mu.Unlock()
+		v := m.shards[idx].dq
+		k := v.size()
+		if k <= 0 {
 			continue
 		}
 		take := (k + 1) / 2
-		stolen := make([]core.Task, take)
-		copy(stolen, v.tasks[k-take:])
-		v.tasks = v.tasks[:k-take]
-		v.mu.Unlock()
-		m.shards[w].push(stolen[1:])
-		return stolen[0], true
+		var got int64
+		for got < take {
+			t, ok := v.steal()
+			if !ok {
+				break
+			}
+			own.pushBottom(t)
+			got++
+		}
+		if got == 0 {
+			continue
+		}
+		// The last transfer is the highest-priority task stolen; run it.
+		if t, ok := own.popBottom(); ok {
+			return t, true
+		}
+		// Everything we moved was re-stolen already; keep sweeping.
 	}
 	return core.Task{}, false
 }
@@ -194,7 +223,7 @@ func (m *sharded) steal(w int) (core.Task, bool) {
 // aborted, the manager detected a stall, or — non-parking callers only —
 // nothing is dispatchable right now.
 func (m *sharded) refill(w int, park bool) (core.Task, bool) {
-	m.mu.Lock()
+	m.lockMeasured()
 	defer m.mu.Unlock()
 	triedSteal := false
 	for {
@@ -212,13 +241,25 @@ func (m *sharded) refill(w int, park bool) (core.Task, bool) {
 		ts, _ := m.sm.NextTasks(m.shards[w].refillBuf[:0], m.cap)
 		m.shards[w].refillBuf = ts[:0]
 		m.mgmt += time.Since(m0)
+		m.retuneLocked()
 		if len(ts) > 0 {
-			m.shards[w].push(ts[1:])
-			// Wake parked peers: they can pull their own refill from the
-			// state machine, or — when this refill drained it — steal from
-			// the deque we just filled.
-			if m.waiting > 0 && (len(ts) > 1 || m.sm.ReadyTasks() > 0) {
-				m.cond.Broadcast()
+			sh := &m.shards[w]
+			// Reverse push: the owner's popBottom then yields ts[1],
+			// ts[2], ... in the state machine's priority order, and
+			// thieves steal from ts[len-1], the lowest-priority end.
+			for i := len(ts) - 1; i >= 1; i-- {
+				sh.dq.pushBottom(ts[i])
+			}
+			// Wake parked peers — one per task they could acquire: they
+			// can pull their own refill from the state machine, or —
+			// when this refill drained it — steal from the deque we
+			// just filled.
+			if m.waiting > 0 {
+				if avail := len(ts) - 1 + m.sm.ReadyTasks(); avail > 0 {
+					m.wakeLocked(avail)
+				} else {
+					m.wakeStealerLocked()
+				}
 			}
 			return ts[0], true
 		}
@@ -261,12 +302,82 @@ func (m *sharded) refill(w int, park bool) (core.Task, bool) {
 				m.sm.CurrentPhase()))
 			return core.Task{}, false
 		}
+		// For the adaptive controller: a park that begins while peer
+		// deques still hold tasks is starvation a smaller refill batch
+		// would have fed (hoarded idle); a park with every deque empty
+		// is a genuine rundown tail, which must not shrink the batch.
+		hoardedAtPark := false
+		if m.tuner != nil {
+			for i := range m.shards {
+				if m.shards[i].dq.size() > 0 {
+					hoardedAtPark = true
+					break
+				}
+			}
+		}
 		i0 := time.Now()
 		m.waiting++
 		m.cond.Wait()
 		m.waiting--
-		m.idle += time.Since(i0)
+		d := time.Since(i0)
+		m.idle += d
+		if hoardedAtPark {
+			m.hoardIdle += d
+		}
 		triedSteal = false
+	}
+}
+
+// lockMeasured acquires m.mu, charging the acquisition wait to lockNS —
+// the per-visit overhead (contention) that batch sizing amortizes, which
+// the adaptive controller steers on. Without a controller it is a plain
+// Lock: the fixed-parameter manager must not pay clock reads the old code
+// did not (m.tuner is set once at construction, so the unsynchronized
+// read is safe).
+func (m *sharded) lockMeasured() {
+	if m.tuner == nil {
+		m.mu.Lock()
+		return
+	}
+	l0 := time.Now()
+	m.mu.Lock()
+	m.lockNS += time.Since(l0)
+}
+
+// retuneLocked feeds the adaptive controller one epoch when enough wall
+// time has passed since the last observation: the lock-acquisition wait
+// is the amortizable overhead, and parked time that began with peer
+// deques nonempty the hoarded-idle (starvation) share. Caller holds m.mu.
+func (m *sharded) retuneLocked() {
+	if m.tuner == nil {
+		return
+	}
+	elapsed := time.Since(m.epochStart)
+	if elapsed < adaptiveEpoch {
+		return
+	}
+	capacity := int64(elapsed) * int64(m.workers)
+	cap, batch, changed := m.tuner.Observe(capacity,
+		int64(m.lockNS-m.epochLock), int64(m.hoardIdle-m.epochHI))
+	if changed {
+		m.cap = cap
+		m.batch.Store(int32(batch))
+	}
+	m.epochStart = time.Now()
+	m.epochLock = m.lockNS
+	m.epochHI = m.hoardIdle
+}
+
+// wakeLocked wakes up to n parked workers — targeted Signals instead of a
+// Broadcast thundering herd when fewer tasks than sleepers exist. Caller
+// holds m.mu.
+func (m *sharded) wakeLocked(n int) {
+	if n >= m.waiting {
+		m.cond.Broadcast()
+		return
+	}
+	for i := 0; i < n; i++ {
+		m.cond.Signal()
 	}
 }
 
@@ -275,10 +386,10 @@ func (m *sharded) refill(w int, park bool) (core.Task, bool) {
 func (m *sharded) Complete(w int, t core.Task) bool {
 	sh := &m.shards[w]
 	sh.done = append(sh.done, t)
-	if len(sh.done) < m.batch {
+	if len(sh.done) < int(m.batch.Load()) {
 		return false
 	}
-	m.mu.Lock()
+	m.lockMeasured()
 	m0 := time.Now()
 	m.flushLocked(w)
 	m.mgmt += time.Since(m0)
@@ -287,8 +398,10 @@ func (m *sharded) Complete(w int, t core.Task) bool {
 }
 
 // flushLocked applies worker w's accumulated completions to the state
-// machine. Completions release successor work, so parked peers are woken.
-// Caller holds m.mu.
+// machine. Completions release successor work, so parked peers are woken —
+// one Signal per task now ready (or one for pending deferred management)
+// rather than an unconditional Broadcast; completion of the program or an
+// error still releases everyone. Caller holds m.mu.
 func (m *sharded) flushLocked(w int) {
 	sh := &m.shards[w]
 	if len(sh.done) == 0 {
@@ -303,7 +416,37 @@ func (m *sharded) flushLocked(w int) {
 		m.sm.CompleteBatch(sh.done)
 	}()
 	sh.done = sh.done[:0]
-	m.cond.Broadcast()
+	switch {
+	case m.err != nil || m.sm.Done():
+		m.cond.Broadcast()
+	case m.waiting > 0:
+		if avail := m.sm.ReadyTasks(); avail > 0 {
+			m.wakeLocked(avail)
+		} else if m.sm.HasDeferred() {
+			// No task is ready but deferred management is: one worker
+			// can absorb it (and wake the others if it releases work).
+			m.cond.Signal()
+		} else {
+			m.wakeStealerLocked()
+		}
+	}
+}
+
+// wakeStealerLocked wakes one parked worker when the state machine is dry
+// but a peer's deque still holds stealable tasks. A worker can park in
+// the window between its failed steal sweep and a peer's refill landing;
+// without this, a flush or refill that released nothing new would leave
+// it asleep while the remaining work drains single-threaded (the old
+// unconditional Broadcast covered the window by brute force). The woken
+// worker re-sweeps before re-parking, and its own later flushes wake the
+// next stealer if deques are still nonempty. Caller holds m.mu.
+func (m *sharded) wakeStealerLocked() {
+	for i := range m.shards {
+		if m.shards[i].dq.size() > 0 {
+			m.cond.Signal()
+			return
+		}
+	}
 }
 
 // failLocked records err (first wins) and releases everyone. Caller holds
@@ -323,7 +466,7 @@ func (m *sharded) Flush(w int) bool {
 	if len(m.shards[w].done) == 0 {
 		return false
 	}
-	m.mu.Lock()
+	m.lockMeasured()
 	defer m.mu.Unlock()
 	m0 := time.Now()
 	m.flushLocked(w)

@@ -14,12 +14,37 @@ func mkTask(id int) core.Task {
 	return core.Task{ID: id, Phase: 0, Run: granule.Range{Lo: granule.ID(id), Hi: granule.ID(id + 1)}}
 }
 
+func shardedForTest(workers, dequeCap, batch int) *sharded {
+	return newSharded(&stubSM{}, Config{Workers: workers, DequeCap: dequeCap, Batch: batch})
+}
+
+// load pushes ts into shard i's deque the way a refill would: reversed, so
+// the owner's popBottom consumes ts in order and thieves steal from the
+// ts tail.
+func (m *sharded) load(i int, ts []core.Task) {
+	for k := len(ts) - 1; k >= 0; k-- {
+		m.shards[i].dq.pushBottom(ts[k])
+	}
+}
+
+// drain pops shard i's deque empty from the owner side.
+func (m *sharded) drain(i int) []core.Task {
+	var out []core.Task
+	for {
+		t, ok := m.shards[i].dq.popBottom()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
 // TestStealSingleTaskVictim: a thief sweeping a victim whose deque holds
-// exactly one task must take that task (the "back half" of one is one),
-// leave the victim empty, and push nothing into its own deque.
+// exactly one task must take that task (half of one is one), leave the
+// victim empty, and leave nothing parked in its own deque.
 func TestStealSingleTaskVictim(t *testing.T) {
-	m := newSharded(&stubSM{}, 4, 8, 4)
-	m.shards[2].push([]core.Task{mkTask(42)})
+	m := shardedForTest(4, 8, 4)
+	m.load(2, []core.Task{mkTask(42)})
 
 	got, ok := m.steal(0)
 	if !ok {
@@ -29,38 +54,37 @@ func TestStealSingleTaskVictim(t *testing.T) {
 		t.Fatalf("stole task %d, want 42", got.ID)
 	}
 	for i := range m.shards {
-		if n := len(m.shards[i].tasks); n != 0 {
+		if n := m.shards[i].dq.size(); n != 0 {
 			t.Errorf("shard %d holds %d tasks after the steal, want 0", i, n)
 		}
 	}
 }
 
-// TestStealLandsAtDequeCap: stealing the back half of a full victim (2*cap
-// tasks) hands the thief exactly cap tasks — one in hand, cap-1 pushed —
-// so its deque lands exactly at DequeCap. Nothing may be lost or
-// duplicated at the boundary.
+// TestStealLandsAtDequeCap: stealing half of a full victim (2*cap tasks)
+// hands the thief exactly cap tasks — one in hand, cap-1 parked in its own
+// deque. Nothing may be lost or duplicated at the boundary.
 func TestStealLandsAtDequeCap(t *testing.T) {
 	const cap = 8
-	m := newSharded(&stubSM{}, 2, cap, 4)
+	m := shardedForTest(2, cap, 4)
 	var all []core.Task
 	for i := 0; i < 2*cap; i++ {
 		all = append(all, mkTask(i))
 	}
-	m.shards[1].push(all)
+	m.load(1, all)
 
 	got, ok := m.steal(0)
 	if !ok {
 		t.Fatal("steal failed against a full victim")
 	}
-	if n := len(m.shards[0].tasks); n != cap-1 {
+	if n := m.shards[0].dq.size(); n != cap-1 {
 		t.Fatalf("thief deque holds %d tasks, want %d (cap-1, one in hand)", n, cap-1)
 	}
-	if n := len(m.shards[1].tasks); n != cap {
+	if n := m.shards[1].dq.size(); n != cap {
 		t.Fatalf("victim deque holds %d tasks, want %d", n, cap)
 	}
 	seen := map[int]int{got.ID: 1}
-	for _, sh := range []*shard{&m.shards[0], &m.shards[1]} {
-		for _, task := range sh.tasks {
+	for w := 0; w < 2; w++ {
+		for _, task := range m.drain(w) {
 			seen[task.ID]++
 		}
 	}
@@ -76,31 +100,33 @@ func TestStealLandsAtDequeCap(t *testing.T) {
 // the bias this rotation removes had every starving worker hammering
 // shard w+1 first.
 func TestStealSweepRotation(t *testing.T) {
-	m := newSharded(&stubSM{}, 4, 8, 4)
+	m := shardedForTest(4, 8, 4)
 	firstVictims := map[int]bool{}
 	for round := 0; round < 3; round++ {
 		for i := 1; i < 4; i++ {
-			m.shards[i].tasks = nil
-			m.shards[i].push([]core.Task{mkTask(100*round + i)})
+			m.drain(i)
+			m.load(i, []core.Task{mkTask(100*round + i)})
 		}
 		got, ok := m.steal(0)
 		if !ok {
 			t.Fatal("steal failed with three populated victims")
 		}
 		firstVictims[got.ID%100] = true
+		m.drain(0)
 	}
 	if len(firstVictims) < 2 {
 		t.Errorf("three rotated sweeps all hit the same victim %v", firstVictims)
 	}
 }
 
-// TestStealTimeCountsAsMgmt: steal sweeps take per-shard locks outside the
-// global lock, so their time must still be folded into Mgmt() — otherwise
-// reported computation-to-management ratios undercount sharded management.
+// TestStealTimeCountsAsMgmt: steal sweeps run CAS loops and deque
+// transfers outside the global lock, so their time must still be folded
+// into Mgmt() — otherwise reported computation-to-management ratios
+// undercount sharded management.
 func TestStealTimeCountsAsMgmt(t *testing.T) {
-	m := newSharded(&stubSM{}, 2, 8, 4)
+	m := shardedForTest(2, 8, 4)
 	before := m.Mgmt()
-	m.shards[1].push([]core.Task{mkTask(1), mkTask(2)})
+	m.load(1, []core.Task{mkTask(1), mkTask(2)})
 	if _, ok := m.steal(0); !ok {
 		t.Fatal("steal failed")
 	}
@@ -112,16 +138,45 @@ func TestStealTimeCountsAsMgmt(t *testing.T) {
 	}
 }
 
-// TestStealRacesPopFront is the -race workout for the deque protocol: one
-// owner draining popFront against several thieves sweeping steal, with
-// refills, must hand every task to exactly one goroutine.
-func TestStealRacesPopFront(t *testing.T) {
+// TestStealPriorityOrder: a refill-ordered deque must hand the owner its
+// tasks in priority order while a thief's sweep returns the
+// highest-priority task of the half it stole.
+func TestStealPriorityOrder(t *testing.T) {
+	m := shardedForTest(2, 8, 4)
+	// Priority order 0,1,2,3: the owner must pop 0 first.
+	m.load(1, []core.Task{mkTask(0), mkTask(1), mkTask(2), mkTask(3)})
+	if got, ok := m.shards[1].dq.popBottom(); !ok || got.ID != 0 {
+		t.Fatalf("owner popped %v, want task 0", got)
+	}
+	// Thief steals half of {1,2,3} = 2 tasks from the low-priority end
+	// (3, then 2) and runs the better of them first.
+	got, ok := m.steal(0)
+	if !ok {
+		t.Fatal("steal failed")
+	}
+	if got.ID != 2 {
+		t.Errorf("thief ran task %d first, want 2 (best of the stolen half)", got.ID)
+	}
+	rest := m.drain(0)
+	if len(rest) != 1 || rest[0].ID != 3 {
+		t.Errorf("thief parked %v, want [task 3]", rest)
+	}
+	if got, ok := m.shards[1].dq.popBottom(); !ok || got.ID != 1 {
+		t.Fatalf("victim owner popped %v, want task 1", got)
+	}
+}
+
+// TestStealRacesPopBottom is the -race workout for the deque protocol in
+// its manager context: one owner draining popBottom against several
+// thieves sweeping steal, with refills, must hand every task to exactly
+// one goroutine.
+func TestStealRacesPopBottom(t *testing.T) {
 	const (
 		thieves = 6
 		batches = 64
 		perLoad = 32
 	)
-	m := newSharded(&stubSM{}, thieves+1, 8, 4)
+	m := shardedForTest(thieves+1, 8, 4)
 
 	var mu sync.Mutex
 	seen := map[int]int{}
@@ -146,10 +201,10 @@ func TestStealRacesPopFront(t *testing.T) {
 				if task, ok := m.steal(w); ok {
 					record(task)
 				}
-				// A successful steal parks half the loot in the thief's own
-				// deque; drain it so the count balances.
+				// A successful steal parks part of the loot in the thief's
+				// own deque; drain it so the count balances.
 				for {
-					task, ok := m.shards[w].popFront()
+					task, ok := m.shards[w].dq.popBottom()
 					if !ok {
 						break
 					}
@@ -159,8 +214,8 @@ func TestStealRacesPopFront(t *testing.T) {
 		}(th)
 	}
 
-	// The owner loads its deque in bursts and drains popFront, racing the
-	// thieves' back-half grabs.
+	// The owner loads its deque in bursts and drains popBottom, racing the
+	// thieves' top-end CAS grabs.
 	next := 0
 	for b := 0; b < batches; b++ {
 		var load []core.Task
@@ -168,9 +223,9 @@ func TestStealRacesPopFront(t *testing.T) {
 			load = append(load, mkTask(next))
 			next++
 		}
-		m.shards[0].push(load)
+		m.load(0, load)
 		for {
-			task, ok := m.shards[0].popFront()
+			task, ok := m.shards[0].dq.popBottom()
 			if !ok {
 				break
 			}
@@ -192,7 +247,7 @@ func TestStealRacesPopFront(t *testing.T) {
 	wg.Wait()
 	for w := 0; w <= thieves; w++ {
 		for {
-			task, ok := m.shards[w].popFront()
+			task, ok := m.shards[w].dq.popBottom()
 			if !ok {
 				break
 			}

@@ -14,6 +14,10 @@ import (
 // sets it from the -manager flag. Empty means run both head-to-head.
 var managerFilter = ""
 
+// adaptiveArm adds a third E10 arm — the sharded manager with the
+// adaptive batching controller — when cmd/experiments passes -adaptive.
+var adaptiveArm = false
+
 // SetManagerFilter restricts E10 to one executive manager ("serial" or
 // "sharded"); "both" or "" restores the head-to-head default.
 func SetManagerFilter(s string) error {
@@ -27,6 +31,9 @@ func SetManagerFilter(s string) error {
 	managerFilter = s
 	return nil
 }
+
+// SetAdaptive toggles E10's sharded+adaptive arm.
+func SetAdaptive(b bool) { adaptiveArm = b }
 
 // e10Workload is one real-work program generator for the manager
 // comparison.
@@ -132,11 +139,32 @@ func E10Managers(scale Scale) (*Table, error) {
 				fmt.Sprintf("%.3f", rep.Utilization),
 				fmt.Sprintf("%.1f", rep.MgmtRatio))
 		}
+		if adaptiveArm && (managerFilter == "" || managerFilter == "sharded") {
+			prog, opt, err := wl.build(scale)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", wl.name, err)
+			}
+			opt.AdaptiveBatch = true
+			rep, err := executive.Run(prog, opt, executive.Config{
+				Workers: workers, Manager: executive.ShardedManager,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s/sharded+adaptive: %w", wl.name, err)
+			}
+			t.AddRow(wl.name, "sharded+adaptive", workers, rep.Tasks,
+				rep.Wall.Round(10_000).String(),
+				fmt.Sprintf("%.3f", rep.Utilization),
+				fmt.Sprintf("%.1f", rep.MgmtRatio))
+		}
 	}
 	t.Note("wall-clock measurements vary with the host; the structural signal is the " +
 		"utilization and compute:management gap between managers at fine grain")
 	if managerFilter != "" {
 		t.Note("restricted to -manager %s", managerFilter)
+	}
+	if adaptiveArm && (managerFilter == "" || managerFilter == "sharded") {
+		t.Note("sharded+adaptive: DequeCap/Batch retuned online from lock-wait and " +
+			"hoarded-idle shares (-adaptive)")
 	}
 	return t, nil
 }

@@ -43,8 +43,8 @@ func cellFloat(t *testing.T, tbl *Table, row, col int) float64 {
 
 func TestAllRegistered(t *testing.T) {
 	specs := All()
-	if len(specs) != 11 {
-		t.Fatalf("registered %d experiments, want 11", len(specs))
+	if len(specs) != 12 {
+		t.Fatalf("registered %d experiments, want 12", len(specs))
 	}
 	for i, spec := range specs {
 		want := "E" + strconv.Itoa(i+1)
@@ -330,6 +330,78 @@ func TestE11PoolDominates(t *testing.T) {
 	}
 	if poolBackfill <= 0 {
 		t.Errorf("pool moved no cross-job work (backfill %v)", poolBackfill)
+	}
+}
+
+// TestE12AdaptiveBatch pins the adaptive-batching acceptance criteria on
+// the batched-executive model: on the fine-grain identity chain the
+// controller must beat the fixed default parameters and land near the
+// best fixed batch (final size within one multiplicative step of the
+// sweep's knee); on the coarse chain, with nothing to tune, it must match
+// the default within 3%; on the hoarding chain it must shrink and clearly
+// beat the default it started from.
+func TestE12AdaptiveBatch(t *testing.T) {
+	tbl := runExp(t, "E12")
+	if len(tbl.Rows) != 15 {
+		t.Fatalf("rows = %d, want 3 workloads x (4 fixed + adaptive)", len(tbl.Rows))
+	}
+	// Per workload block: rows base..base+3 are the fixed sweep
+	// (batches 1, 4, 16, 64), base+4 is adaptive.
+	util := func(r int) float64 { return cellFloat(t, tbl, r, 5) }
+	makespan := func(r int) float64 { return cellFloat(t, tbl, r, 4) }
+	finalBatch := func(r int) float64 { return cellFloat(t, tbl, r, 2) }
+	changes := func(r int) float64 { return cellFloat(t, tbl, r, 3) }
+	batches := []float64{1, 4, 16, 64}
+
+	// Fine grain (rows 0-4): the default (fixed 16, row 2) is too small.
+	fineBest, fineBestUtil := 0.0, 0.0
+	for i := 0; i < 4; i++ {
+		if u := util(i); u > fineBestUtil {
+			fineBestUtil = u
+		}
+	}
+	bestMk := makespan(0)
+	for i := 1; i < 4; i++ {
+		if m := makespan(i); m < bestMk {
+			bestMk = m
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if makespan(i) <= bestMk*1.02 {
+			fineBest = batches[i]
+			break
+		}
+	}
+	if util(4) < util(2) {
+		t.Errorf("fine: adaptive utilization %v below the fixed default %v", util(4), util(2))
+	}
+	if util(4) < fineBestUtil*0.9 {
+		t.Errorf("fine: adaptive utilization %v not within 10%% of best fixed %v", util(4), fineBestUtil)
+	}
+	if changes(4) == 0 {
+		t.Error("fine: controller never moved on a lock-bound workload")
+	}
+	if fb := finalBatch(4); fb < fineBest/2 || fb > fineBest*2 {
+		t.Errorf("fine: controller settled at %v, want within one step of the knee %v", fb, fineBest)
+	}
+
+	// Coarse grain (rows 5-9): nothing to tune — match the default.
+	d := util(9) - util(7)
+	if d < 0 {
+		d = -d
+	}
+	if d > 0.03*util(7) {
+		t.Errorf("coarse: adaptive utilization %v not within 3%% of the fixed default %v", util(9), util(7))
+	}
+
+	// Hoarding (rows 10-14): the default hands whole phases to two
+	// workers; adaptive must shrink and clearly beat it.
+	if finalBatch(14) >= 16 {
+		t.Errorf("hoard: controller did not shrink (final batch %v)", finalBatch(14))
+	}
+	if util(14) < util(12)*1.3 {
+		t.Errorf("hoard: adaptive utilization %v does not clearly beat the fixed default %v",
+			util(14), util(12))
 	}
 }
 

@@ -135,5 +135,6 @@ func All() []Spec {
 		{ID: "E9", Title: "Multi-job-stream batching vs phase overlap", Run: E9JobStreams},
 		{ID: "E10", Title: "Executive managers head-to-head (serial vs sharded)", Run: E10Managers},
 		{ID: "E11", Title: "Multi-tenant pool vs static split vs sequential overlap", Run: E11TenantPool},
+		{ID: "E12", Title: "Adaptive batch tuning vs fixed batches (batched executive)", Run: E12AdaptiveBatch},
 	}
 }

@@ -149,14 +149,19 @@ func (h mqueue) peekTime() (int64, bool) {
 
 // RunMulti simulates jobs sharing one machine under cfg. All jobs start
 // at t=0. Config.BucketWidth, Gantt and the timeline are not used in
-// multi-program mode; Mgmt selects the same three management models as
-// Run.
+// multi-program mode; Mgmt selects the StealsWorker, Dedicated or Sharded
+// management model (the batched Adaptive model is single-program only —
+// per-job batch controllers interleaved with cross-job backfill is an
+// open item).
 func RunMulti(jobs []JobSpec, cfg Config) (*MultiResult, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("sim: RunMulti needs at least one job")
 	}
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("sim: need at least 1 processor")
+	}
+	if cfg.Mgmt == Adaptive {
+		return nil, fmt.Errorf("sim: the Adaptive management model is single-program only (use Sharded)")
 	}
 	workers := cfg.Procs
 	if cfg.Mgmt == StealsWorker {

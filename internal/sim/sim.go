@@ -4,8 +4,8 @@
 // state machine in virtual time, charging every management cost the
 // scheduler reports to the management server.
 //
-// Three management resource models are provided. The first two reproduce
-// the paper's discussion; the third prices the parallel manager this
+// Four management resource models are provided. The first two reproduce
+// the paper's discussion; the last two price the parallel manager this
 // reproduction adds (internal/executive's ShardedManager):
 //
 //   - StealsWorker: the executive runs on one of the P processors ("in the
@@ -20,7 +20,19 @@
 //     own timeline (per-shard management), so management work from
 //     different processors proceeds concurrently instead of queueing on
 //     one serial server; only phase activation and deferred idle-time
-//     work (table builds, successor splitting) remain serialized.
+//     work (table builds, successor splitting) remain serialized. This is
+//     the optimistic bound: it assumes entering the executive costs
+//     nothing beyond the state-machine work itself.
+//   - Adaptive: the batched-executive model — the virtual-time price of
+//     the deque-based sharded manager. Workers hold local task buffers
+//     and completion batches; popping the local buffer is free, but every
+//     refill (NextTasks) and batch flush (CompleteBatch) is one visit to
+//     the serialized management server charging MgmtCosts.Acquire plus
+//     the state-machine cost. Batch size governs how many tasks amortize
+//     each Acquire — too small and the lock serializes the machine, too
+//     large and refills hoard tasks idle workers needed (the rundown
+//     tail). With Options.AdaptiveBatch the batch is retuned online by
+//     the executive.Tuner feedback loop; otherwise Config.Batch fixes it.
 //
 // The simulator is deterministic: identical inputs produce identical
 // schedules, event orders and metrics.
@@ -31,6 +43,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/executive"
 	"repro/internal/granule"
 	"repro/internal/metrics"
 )
@@ -46,6 +59,11 @@ const (
 	// Sharded distributes management across the P workers: each processor
 	// pays its own management costs inline, concurrently with the others'.
 	Sharded
+	// Adaptive is the batched-executive model: per-worker task buffers
+	// and completion batches, each refill or flush paying one serialized
+	// Acquire-priced lock visit; the batch size is fixed (Config.Batch)
+	// or retuned online (Options.AdaptiveBatch).
+	Adaptive
 )
 
 func (m MgmtModel) String() string {
@@ -56,6 +74,8 @@ func (m MgmtModel) String() string {
 		return "dedicated"
 	case Sharded:
 		return "sharded"
+	case Adaptive:
+		return "adaptive"
 	default:
 		return fmt.Sprintf("MgmtModel(%d)", uint8(m))
 	}
@@ -77,6 +97,12 @@ type Config struct {
 	// MaxOps bounds the number of management operations as a runaway
 	// guard; <= 0 means a generous default.
 	MaxOps int64
+	// Batch is the Adaptive model's refill batch size (the virtual
+	// DequeCap): how many tasks one serialized lock visit pulls; the
+	// completion batch is half of it. <= 0 selects 16. With
+	// Options.AdaptiveBatch this is the controller's starting point;
+	// otherwise it is fixed for the whole run. Other models ignore it.
+	Batch int
 }
 
 // PhaseTrace describes one phase's schedule within a run.
@@ -124,6 +150,13 @@ type Result struct {
 	MgmtRatio float64
 	// Sched is the scheduler's management statistics.
 	Sched core.Stats
+	// Batch is the refill batch size at the end of the run (Adaptive
+	// model only: the fixed Config.Batch, or wherever the controller
+	// settled). Zero under the other models.
+	Batch int
+	// BatchChanges counts the adaptive controller's parameter changes
+	// (Adaptive model with Options.AdaptiveBatch only).
+	BatchChanges int
 	// Phases traces each phase.
 	Phases []PhaseTrace
 	// Timeline is the bucketed utilization recorder.
@@ -222,6 +255,30 @@ func Run(prog *core.Program, opt core.Options, cfg Config) (*Result, error) {
 	for i, ph := range prog.Phases {
 		s.phases[i] = PhaseTrace{Name: ph.Name, Start: -1, End: -1, RundownStart: -1}
 	}
+	if cfg.Mgmt == Adaptive {
+		b := cfg.Batch
+		if b <= 0 {
+			b = 16
+		}
+		s.batchN, s.cbatchN = b, b/2
+		if s.cbatchN < 1 {
+			s.cbatchN = 1
+		}
+		if opt.AdaptiveBatch {
+			s.tuner = executive.NewTuner(executive.TunerConfig{
+				Cap: b, MgmtTarget: opt.MgmtTarget,
+			})
+			s.batchN, s.cbatchN = s.tuner.Cap(), s.tuner.Batch()
+		}
+		s.ab = make([]simShard, workers)
+		s.acquire = opt.Costs.Acquire
+		// Observation epochs: aim for ~100 per run so the multiplicative
+		// controller has room to travel and settle.
+		s.epochLen = (int64(prog.TotalCost())/int64(workers) + 1) / 100
+		if s.epochLen < 1 {
+			s.epochLen = 1
+		}
+	}
 
 	if err := s.run(maxOps); err != nil {
 		return nil, err
@@ -243,6 +300,29 @@ type state struct {
 	seq        int64
 	serverFree int64   // time the serial management server becomes free
 	workerFree []int64 // Sharded model: time each worker's own lane frees
+
+	// Adaptive model state: per-worker shards, current refill/completion
+	// batch sizes, the per-lock-visit charge, and the controller with its
+	// epoch snapshots.
+	ab           []simShard
+	batchN       int
+	cbatchN      int
+	acquire      core.Cost
+	acquireUnits int64 // summed Acquire charges (the amortizable overhead)
+	tuner        *executive.Tuner
+	epochLen     int64
+	lastObsAt    int64
+	lastObsAcq   int64
+	lastObsHI    int64
+
+	// Hoarded-idle integral: processor time spent parked while tasks sat
+	// in peer buffers — min(parked, buffered) integrated over virtual
+	// time. hoardNow counts buffered-but-unconsumed tasks, parkedN the
+	// parked workers; hiAt is the integral's frontier.
+	hoardNow int
+	parkedN  int
+	hiInt    int64
+	hiAt     int64
 
 	parked    []bool
 	parkedA   []int64 // park start per worker
@@ -302,10 +382,30 @@ func (s *state) serve(at int64, cost core.Cost) int64 {
 	return fin
 }
 
+// noteStarve advances the hoarded-idle integral to now (Adaptive model
+// only). Call before any change to the parked count or the buffered-task
+// count; out-of-order event times only stall the frontier, never rewind
+// it.
+func (s *state) noteStarve(now int64) {
+	if s.model != Adaptive || now <= s.hiAt {
+		return
+	}
+	if s.parkedN > 0 && s.hoardNow > 0 {
+		n := int64(s.parkedN)
+		if int64(s.hoardNow) < n {
+			n = int64(s.hoardNow)
+		}
+		s.hiInt += n * (now - s.hiAt)
+	}
+	s.hiAt = now
+}
+
 func (s *state) park(worker int, at int64) {
 	if s.parked[worker] {
 		return
 	}
+	s.noteStarve(at)
+	s.parkedN++
 	s.parked[worker] = true
 	s.parkedA[worker] = at
 	cur := s.sched.CurrentPhase()
@@ -318,6 +418,8 @@ func (s *state) unpark(worker int, at int64) {
 	if !s.parked[worker] {
 		return
 	}
+	s.noteStarve(at)
+	s.parkedN--
 	s.parked[worker] = false
 	d := at - s.parkedA[worker]
 	if d > 0 {
@@ -397,6 +499,10 @@ func (s *state) serveRequest(req request) {
 		s.completeTask(req)
 		return
 	}
+	if s.model == Adaptive {
+		s.adaptiveAsk(req)
+		return
+	}
 	// Task request from an idle worker.
 	task, cost, ok := s.sched.NextTask()
 	fin := s.chargeMgmt(req.proc, req.at, cost)
@@ -405,6 +511,122 @@ func (s *state) serveRequest(req request) {
 		return
 	}
 	s.dispatch(req.proc, task, fin)
+}
+
+// simShard is one worker's local state under the Adaptive model: the task
+// buffer a refill filled (tasks[next:] still pending) and the completion
+// batch awaiting a flush. buf is the scratch handed to NextTasks so
+// steady-state refills reuse one array.
+type simShard struct {
+	tasks []core.Task
+	next  int
+	done  []core.Task
+	buf   []core.Task
+}
+
+// adaptiveAsk serves a task request under the Adaptive model: pop the
+// local buffer for free, or make one serialized lock visit that flushes
+// the completion batch and pulls the next refill.
+func (s *state) adaptiveAsk(req request) {
+	ab := &s.ab[req.proc]
+	if ab.next < len(ab.tasks) {
+		// Local deque pop: the whole point — no management charge.
+		task := ab.tasks[ab.next]
+		ab.next++
+		s.noteStarve(req.at)
+		s.hoardNow--
+		s.dispatch(req.proc, task, req.at)
+		return
+	}
+	// Refill visit. Completions flush first (they may release the very
+	// work the refill then pulls), mirroring the sharded manager's refill
+	// path; one Acquire covers the combined visit.
+	var cost core.Cost
+	flushed := len(ab.done) > 0
+	if flushed {
+		cost += s.sched.CompleteBatch(ab.done)
+	}
+	ts, dc := s.sched.NextTasks(ab.buf[:0], s.batchN)
+	cost += dc
+	if flushed || len(ts) > 0 {
+		cost += s.acquire
+		s.acquireUnits += int64(s.acquire)
+	}
+	fin := s.serve(req.at, cost)
+	if flushed {
+		for _, t := range ab.done {
+			if pt := &s.phases[t.Phase]; fin > pt.End {
+				pt.End = fin
+			}
+		}
+		ab.done = ab.done[:0]
+	}
+	s.maybeRetune(fin)
+	// Wake after the refill, not just after a flush: NextTasks' liveness
+	// fallback can absorb deferred management and release work beyond
+	// what this worker's batch took, and parked peers must see it (the
+	// goroutine manager's refill wake counts ReadyTasks the same way).
+	s.wake(fin)
+	if len(ts) > 0 {
+		ab.tasks, ab.buf, ab.next = ts, ts[:0], 1
+		s.noteStarve(fin)
+		s.hoardNow += len(ts) - 1
+		s.dispatch(req.proc, ts[0], fin)
+		return
+	}
+	ab.buf = ts[:0]
+	s.park(req.proc, fin)
+}
+
+// adaptiveComplete accumulates a completion in the worker's local batch,
+// flushing it through one serialized lock visit when full.
+func (s *state) adaptiveComplete(req request) {
+	ab := &s.ab[req.proc]
+	ab.done = append(ab.done, req.task)
+	if req.at > s.lastDone {
+		s.lastDone = req.at
+	}
+	at := req.at
+	if len(ab.done) >= s.cbatchN {
+		cost := s.acquire + s.sched.CompleteBatch(ab.done)
+		s.acquireUnits += int64(s.acquire)
+		fin := s.serve(at, cost)
+		for _, t := range ab.done {
+			if pt := &s.phases[t.Phase]; fin > pt.End {
+				pt.End = fin
+			}
+		}
+		ab.done = ab.done[:0]
+		s.maybeRetune(fin)
+		s.wake(fin)
+		at = fin
+	} else if pt := &s.phases[req.task.Phase]; at > pt.End {
+		// Batched: the completion waits in the worker's local batch at no
+		// management charge; the phase still saw the event.
+		pt.End = at
+	}
+	// The worker asks for new work once its completion is handed off.
+	s.reqs = append(s.reqs, request{at: at, proc: req.proc})
+}
+
+// maybeRetune feeds the adaptive controller one epoch of virtual-time
+// measurements when enough virtual time has passed: the Acquire charges
+// are the amortizable lock overhead, and the hoarded-idle integral the
+// starvation a smaller batch would have fed.
+func (s *state) maybeRetune(now int64) {
+	if s.tuner == nil || now-s.lastObsAt < s.epochLen {
+		return
+	}
+	s.noteStarve(now)
+	capacity := (now - s.lastObsAt) * int64(s.workers)
+	cap, batch, changed := s.tuner.Observe(capacity,
+		s.acquireUnits-s.lastObsAcq, s.hiInt-s.lastObsHI)
+	if changed {
+		s.batchN, s.cbatchN = cap, batch
+	}
+	s.lastObsAt = now
+	s.lastObsAcq = s.acquireUnits
+	s.lastObsHI = s.hiInt
 }
 
 func (s *state) dispatch(worker int, task core.Task, at int64) {
@@ -432,6 +654,10 @@ func (s *state) dispatch(worker int, task core.Task, at int64) {
 }
 
 func (s *state) completeTask(req request) {
+	if s.model == Adaptive {
+		s.adaptiveComplete(req)
+		return
+	}
 	cost := s.sched.Complete(req.task)
 	fin := s.chargeMgmt(req.proc, req.at, cost)
 	if req.at > s.lastDone {
@@ -477,6 +703,12 @@ func (s *state) result() *Result {
 		Phases:       s.phases,
 		Timeline:     s.tl,
 		Gantt:        s.gantt,
+	}
+	if s.model == Adaptive {
+		res.Batch = s.batchN
+		if s.tuner != nil {
+			res.BatchChanges = s.tuner.Changes()
+		}
 	}
 	if makespan > 0 {
 		res.Utilization = float64(s.computeUnits) / (float64(s.procs) * float64(makespan))

@@ -131,6 +131,12 @@ func (p *Pool) Submit(prog *core.Program, opt core.Options, jc JobConfig) (*Job,
 	if err != nil {
 		return nil, err
 	}
+	// Options.AdaptiveBatch is deliberately NOT threaded through here:
+	// pool workers drive the non-blocking PoolDriver surface and park at
+	// pool level, never on the manager's condition variable, so the
+	// controller's hoarded-idle (shrink) signal would be structurally
+	// zero — a grow-only controller is worse than fixed parameters.
+	// Adaptive tenancy is a ROADMAP follow-on.
 	mgr, err := executive.NewPoolDriver(sched, executive.Config{
 		Workers: p.cfg.Workers, Manager: p.cfg.Manager,
 		DequeCap: p.cfg.DequeCap, Batch: p.cfg.Batch,

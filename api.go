@@ -157,6 +157,13 @@ const (
 	// size is fixed (SimConfig.Batch) or retuned online from the
 	// observed overhead and starvation shares (Options.AdaptiveBatch).
 	AdaptiveMgmt = sim.Adaptive
+	// AsyncMgmt is the Dedicated model extended with the async
+	// executive's ready-buffer protocol — the virtual-time price of
+	// AsyncManager: a separate executive processor keeps a bounded
+	// ready-buffer (SimConfig.ReadyCap) topped up, workers pop it for
+	// free and queue completions back without waiting, and deferred
+	// management overlaps computation above SimConfig.LowWater.
+	AsyncMgmt = sim.Async
 )
 
 // Simulate runs prog on the deterministic discrete-event machine model.
@@ -174,6 +181,11 @@ type (
 	// SimJobResult is one job's outcome within a multi-program run.
 	SimJobResult = sim.JobResult
 )
+
+// ErrUnsupportedMgmt reports a management model a simulation mode cannot
+// price: SimulateMulti rejects the single-program-only AdaptiveMgmt and
+// AsyncMgmt models with errors wrapping it. Test with errors.Is.
+var ErrUnsupportedMgmt = sim.ErrUnsupportedMgmt
 
 // SimulateMulti runs several jobs sharing one simulated machine under the
 // tenant pool's overlap-first dispatch policy: each worker serves its home
@@ -204,9 +216,15 @@ const (
 	// ShardedManager gives each worker a bounded local task deque with
 	// batched completion submission and work stealing between shards.
 	ShardedManager = executive.ShardedManager
+	// AsyncManager runs all management on one dedicated background
+	// goroutine — the paper's separate executive processor realized on
+	// hardware: workers pull from a bounded ready-buffer
+	// (ExecConfig.ReadyCap) and push completions into a lock-free MPSC
+	// queue, never touching the state-machine lock.
+	AsyncManager = executive.AsyncManager
 )
 
-// ParseExecManager parses a manager name ("serial" or "sharded").
+// ParseExecManager parses a manager name ("serial", "sharded" or "async").
 func ParseExecManager(s string) (ExecManager, error) { return executive.ParseManager(s) }
 
 // Execute runs prog's Work functions on real goroutine workers under the

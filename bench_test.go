@@ -372,6 +372,23 @@ func BenchmarkManagerCasperAdaptive(b *testing.B) {
 	benchManager(b, rundown.ShardedManager, adaptiveOpts(buildCasperPipeline))
 }
 
+// BenchmarkManagerChainFineAsync / BenchmarkManagerCasperAsync are the
+// async pair of the manager comparison: the dedicated-management-
+// goroutine executive on the same workloads as the serial/sharded/
+// adaptive series, so BENCH_pr4.json carries all four architectures
+// side by side.
+func BenchmarkManagerChainFineAsync(b *testing.B) {
+	benchManager(b, rundown.AsyncManager, buildChainFine)
+}
+
+func BenchmarkManagerCasperAsync(b *testing.B) {
+	benchManager(b, rundown.AsyncManager, buildCasperPipeline)
+}
+
+func BenchmarkManagerCheckerboardAsync(b *testing.B) {
+	benchManager(b, rundown.AsyncManager, buildCheckerboard)
+}
+
 func BenchmarkManagerCasperSerial(b *testing.B) {
 	benchManager(b, rundown.SerialManager, buildCasperPipeline)
 }

@@ -1,17 +1,25 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // array on stdout, one object per benchmark with the metric pairs parsed
 // out (ns/op, B/op, allocs/op, and any ReportMetric extras). CI pipes the
-// deque benchmark smoke through it to emit BENCH_pr3.json, so the perf
-// trajectory has machine-readable data points per run.
+// executive benchmark smoke (deque microbenchmarks plus the
+// serial/sharded/adaptive/async manager series) through it to emit
+// BENCH_pr4.json, so the perf trajectory has machine-readable data points
+// per run.
+//
+// -require takes a comma-separated list of substrings; benchjson exits
+// nonzero if any of them matches no benchmark name, so a renamed or
+// deleted series breaks CI instead of silently vanishing from the data.
 //
 // Usage:
 //
-//	go test -run '^$' -bench Deque -benchtime 1x -benchmem ./... | benchjson > BENCH_pr3.json
+//	go test -run '^$' -bench 'Deque|Manager' -benchtime 1x -benchmem ./... |
+//	  benchjson -require ManagerChainFineAsync,ManagerCasperAsync > BENCH_pr4.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -30,6 +38,9 @@ type entry struct {
 }
 
 func main() {
+	require := flag.String("require", "", "comma-separated name substrings that must each match at least one benchmark")
+	flag.Parse()
+
 	out := []entry{} // non-nil: zero benchmarks must encode as [], not null
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -74,6 +85,25 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if *require != "" {
+		for _, want := range strings.Split(*require, ",") {
+			want = strings.TrimSpace(want)
+			if want == "" {
+				continue
+			}
+			found := false
+			for _, e := range out {
+				if strings.Contains(e.Name, want) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "benchjson: required benchmark %q missing from input\n", want)
+				os.Exit(1)
+			}
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

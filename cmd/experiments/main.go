@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|full] [-only E3] [-md] [-manager serial|sharded|both] [-adaptive]
+//	experiments [-scale quick|full] [-only E3] [-md] [-manager serial|sharded|async|both] [-adaptive]
 package main
 
 import (
@@ -20,7 +20,7 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment sizing: quick or full")
 	only := flag.String("only", "", "run a single experiment (e.g. E3)")
 	md := flag.Bool("md", false, "emit markdown tables instead of aligned text")
-	manager := flag.String("manager", "both", "executive manager for E10: serial, sharded, or both")
+	manager := flag.String("manager", "both", "executive manager filter for E10/E13: serial, sharded, async, or both (E10 compares serial/sharded; E13 adds async)")
 	adaptive := flag.Bool("adaptive", false, "add the sharded+adaptive arm to E10 (E12 always sweeps adaptive batching)")
 	flag.Parse()
 

@@ -11,12 +11,17 @@
 //	rundownsim -mapping seam -granules 8192 -procs 128 -overlap -grain 16
 //	rundownsim -mapping identity -granules 8192 -procs 64 -overlap -grain 1 -manager sharded
 //	rundownsim -mapping identity -granules 8192 -procs 16 -overlap -grain 1 -adaptive
+//	rundownsim -mapping identity -granules 8192 -procs 16 -overlap -grain 1 -manager async -ready 32
 //	rundownsim -jobs 3 -mapping identity -granules 4096 -procs 64 -overlap
+//	rundownsim -jobs 2 -manager async -mapping identity -granules 4096 -procs 8 -overlap
 //
 // With -jobs N (N >= 2), N copies of the configured workload (differing
 // seeds) share one machine under the multi-tenant pool's overlap-first
 // dispatch policy, and the report shows per-job makespans plus the
-// pool-level utilization and cross-job backfill.
+// pool-level utilization and cross-job backfill. With -manager async the
+// multi-job run executes on the real goroutine tenant pool (one dedicated
+// management goroutine per job driving the PoolDriver surface end-to-end)
+// instead of the virtual-time queue, which does not price the async model.
 package main
 
 import (
@@ -42,9 +47,11 @@ func main() {
 		presplit  = flag.Bool("presplit", false, "pre-split descriptions at activation")
 		inline    = flag.Bool("inline-maps", false, "build composite maps inline (the paper's warned-about strategy)")
 		dedicated = flag.Bool("dedicated", false, "dedicated executive processor (default: steals a worker)")
-		manager   = flag.String("manager", "serial", "management layer: serial (one executive, per -dedicated) or sharded (per-worker management lanes)")
+		manager   = flag.String("manager", "serial", "management layer: serial (one executive, per -dedicated), sharded (per-worker management lanes), or async (dedicated management processor with a ready-buffer)")
 		adaptive  = flag.Bool("adaptive", false, "batched executive model (worker-local buffers, Acquire-priced lock visits) with online batch tuning")
 		batch     = flag.Int("batch", 16, "refill batch for -adaptive (the controller's starting point)")
+		ready     = flag.Int("ready", 0, "ready-buffer bound for -manager async (0 = 2*workers, min 8)")
+		lowWater  = flag.Int("low-water", 0, "deferred-overlap low-water mark for -manager async (0 = ready/4)")
 		costLo    = flag.Int64("cost-lo", 100, "minimum granule cost")
 		costHi    = flag.Int64("cost-hi", 400, "maximum granule cost")
 		seed      = flag.Uint64("seed", 1986, "workload seed")
@@ -103,8 +110,14 @@ func main() {
 			os.Exit(2)
 		}
 		model = rundown.ShardedMgmt
+	case "async":
+		if *dedicated {
+			fmt.Fprintln(os.Stderr, "rundownsim: -dedicated is redundant with -manager async (the async executive is the dedicated processor, extended with the ready-buffer)")
+			os.Exit(2)
+		}
+		model = rundown.AsyncMgmt
 	default:
-		fmt.Fprintf(os.Stderr, "rundownsim: unknown -manager %q (serial|sharded)\n", *manager)
+		fmt.Fprintf(os.Stderr, "rundownsim: unknown -manager %q (serial|sharded|async)\n", *manager)
 		os.Exit(2)
 	}
 	if *adaptive {
@@ -130,12 +143,21 @@ func main() {
 		opt.AdaptiveBatch = true
 	}
 	if *jobs >= 2 {
+		if model == rundown.AsyncMgmt {
+			// The virtual-time multi-program queue does not price the
+			// async model (sim.ErrUnsupportedMgmt); run the jobs on the
+			// real goroutine tenant pool instead — one dedicated
+			// management goroutine per job, PoolDriver end-to-end.
+			runPoolAsync(build, opt, *jobs, *procs, *ready, *lowWater, *seed)
+			return
+		}
 		runMulti(build, opt, model, *jobs, *procs, *seed)
 		return
 	}
 
 	res, err := rundown.Simulate(prog, opt, rundown.SimConfig{
 		Procs: *procs, Mgmt: model, Gantt: *gantt, Batch: *batch,
+		ReadyCap: *ready, LowWater: *lowWater,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rundownsim: %v\n", err)
@@ -175,6 +197,64 @@ func main() {
 	}
 	if *gantt && res.Gantt != nil {
 		fmt.Printf("\n%s", res.Gantt.Render(100))
+	}
+}
+
+// runPoolAsync runs jobs copies of the workload (differing seeds) on the
+// real goroutine tenant pool under per-job async managers: wall-clock
+// execution through the PoolDriver surface, since the virtual-time
+// multi-program queue does not price the async model. Chain programs
+// carry no Work functions, so this is a pure scheduling run — the
+// management architecture exercised end-to-end without synthetic compute.
+func runPoolAsync(build func(seed uint64) (*rundown.Program, error), opt rundown.Options,
+	jobs, procs, ready, lowWater int, seed uint64) {
+	pool, err := rundown.NewPool(rundown.PoolConfig{
+		Workers: procs, Manager: rundown.AsyncManager, ReadyCap: ready, LowWater: lowWater,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rundownsim: %v\n", err)
+		os.Exit(1)
+	}
+	handles := make([]*rundown.PoolJob, jobs)
+	for i := range handles {
+		prog, err := build(seed + uint64(i))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rundownsim: job %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		h, err := pool.Submit(prog, opt, rundown.PoolJobConfig{Name: fmt.Sprintf("job%d", i)})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rundownsim: job %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		handles[i] = h
+	}
+	reps := make([]*rundown.ExecReport, jobs)
+	for i, h := range handles {
+		rep, err := h.Wait()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rundownsim: job %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		reps[i] = rep
+	}
+	rep, err := pool.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rundownsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("jobs=%d workers=%d manager=async (goroutine tenant pool, wall-clock)\n", jobs, procs)
+	fmt.Printf("pool wall           %v\n", rep.Wall)
+	fmt.Printf("pool mgmt           %v\n", rep.Mgmt)
+	fmt.Printf("pool idle           %v\n", rep.Idle)
+	fmt.Printf("tasks               %d\n", rep.Tasks)
+	fmt.Printf("backfill tasks      %d (%.1f%% of compute)\n", rep.BackfillTasks, rep.BackfillShare*100)
+
+	fmt.Println("\nper-job:")
+	for i, r := range reps {
+		fmt.Printf("  job%-5d wall=%-12v tasks=%-6d mgmt=%-12v dispatches=%d\n",
+			i, r.Wall, r.Tasks, r.Mgmt, r.Sched.Dispatches)
 	}
 }
 

@@ -21,8 +21,10 @@
 //     makespan and the computation-to-management ratio;
 //   - Execute runs a program on real goroutine workers under a pluggable
 //     manager — the paper-faithful SerialManager (one global executive
-//     lock) or the ShardedManager (per-worker task deques, batched
-//     completion submission, work stealing) — executing the phases' Work
+//     lock), the ShardedManager (per-worker task deques, batched
+//     completion submission, work stealing), or the AsyncManager (all
+//     management on one dedicated background goroutine, the paper's
+//     separate executive processor) — executing the phases' Work
 //     functions;
 //   - ParsePax/InterpretPax accept the paper's PAX-style control language
 //     (DEFINE PHASE / DISPATCH / ENABLE, branch lookahead, interlock

@@ -114,6 +114,43 @@ func TestIntegrationSimExecutiveAgree(t *testing.T) {
 	}
 }
 
+// TestIntegrationAsyncSimExecutiveAgree is the async analogue: the
+// simulator's Async model (dedicated server + ready-buffer) and the real
+// AsyncManager (dedicated management goroutine) must dispatch the same
+// pre-split task partition — the virtual-time pricing and the hardware
+// realization describe one architecture.
+func TestIntegrationAsyncSimExecutiveAgree(t *testing.T) {
+	build := func() *rundown.Program {
+		prog, err := rundown.Chain(rundown.KindIdentity, 3, 512, rundown.UnitCost(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prog
+	}
+	opt := rundown.Options{
+		Grain: 16, Overlap: true, Split: rundown.SplitPre,
+		Costs: rundown.DefaultCosts(),
+	}
+	simRes, err := rundown.Simulate(build(), opt, rundown.SimConfig{Procs: 4, Mgmt: rundown.AsyncMgmt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	execRep, err := rundown.Execute(build(), opt, rundown.ExecConfig{
+		Workers: 4, Manager: rundown.AsyncManager,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRes.Sched.Dispatches != execRep.Sched.Dispatches {
+		t.Errorf("dispatch counts differ: sim %d vs executive %d",
+			simRes.Sched.Dispatches, execRep.Sched.Dispatches)
+	}
+	if simRes.Sched.Completions != execRep.Sched.Completions {
+		t.Errorf("completion counts differ: sim %d vs executive %d",
+			simRes.Sched.Completions, execRep.Sched.Completions)
+	}
+}
+
 // TestIntegrationCasperProfileExecutive runs the full 22-phase CASPER
 // census profile on the goroutine executive with every phase given real
 // (if tiny) work, and checks that every granule executed exactly once.

@@ -18,6 +18,18 @@ package executive
 //     controller to grow precisely when visits are already too long.
 //     Overhead falls monotonically as the batch grows, so this rule
 //     cannot run away upward.
+//   - lock-starvation share above its target, two epochs in a row ->
+//     double cap and batch. The overhead share is measured against
+//     machine capacity (workers x elapsed), so at large P a saturated
+//     global lock reads as cheap: the waiters park on the condition
+//     variable instead of spinning on the mutex, and their wait lands in
+//     idle, not in lock-acquisition time. The second grow input closes
+//     that hole — processor time spent parked while another worker
+//     actively occupied the management path is starvation that a bigger
+//     batch (fewer, larger lock visits) relieves, and it scales with P
+//     where the overhead share does not. Because it is inferred from
+//     park timing rather than measured directly, it carries the same
+//     two-epoch persistence gate as the shrink rule.
 //   - hoarded-idle share above its target -> halve cap and batch. The
 //     hoarded-idle signal is processor time spent parked *while tasks
 //     sat in peer deques* — the exact waste a smaller refill would have
@@ -57,6 +69,11 @@ type TunerConfig struct {
 	// nonempty peer deques) above which — overhead being cheap — the
 	// controller shrinks (<= 0 selects 0.25).
 	IdleTarget float64
+	// StarveTarget is the lock-starvation share (parked time overlapping
+	// another worker's occupation of the management path) above which the
+	// controller grows even though the measured acquisition overhead
+	// reads cheap — the large-P saturation signal (<= 0 selects 0.2).
+	StarveTarget float64
 	// LowBand is the fraction of MgmtTarget below which the overhead is
 	// considered cheap enough to trade batching away for distribution
 	// (<= 0 selects 0.4). The hold band [MgmtTarget*LowBand, MgmtTarget]
@@ -97,6 +114,9 @@ func (c TunerConfig) withDefaults() TunerConfig {
 	if c.IdleTarget <= 0 {
 		c.IdleTarget = 0.25
 	}
+	if c.StarveTarget <= 0 {
+		c.StarveTarget = 0.2
+	}
 	if c.LowBand <= 0 {
 		c.LowBand = 0.4
 	}
@@ -116,7 +136,8 @@ type Tuner struct {
 	cap       int
 	batch     int
 	cooldown  int
-	shrinkArm bool // starvation seen last epoch; shrink needs two in a row
+	shrinkArm bool // hoarded idle seen last epoch; shrink needs two in a row
+	starveArm bool // lock starvation seen last epoch; that grow needs two in a row
 	epochs    int  // observations consumed (diagnostics)
 	changes   int  // parameter changes made (diagnostics)
 }
@@ -142,10 +163,13 @@ func (t *Tuner) Changes() int { return t.changes }
 // (workers x elapsed); overhead is the amortizable lock-entry cost paid
 // in the epoch (lock acquisition time on hardware, Acquire charges in the
 // simulator — NOT total management time); hoardedIdle is the processor
-// time spent parked while peer deques held redistributable tasks. All in
-// one consistent unit. It returns the cap and batch to use for the next
-// epoch and whether they changed.
-func (t *Tuner) Observe(capacity, overhead, hoardedIdle int64) (cap, batch int, changed bool) {
+// time spent parked while peer deques held redistributable tasks;
+// lockStarve is the processor time spent parked while another worker
+// occupied the management path (the large-P lock-saturation signal —
+// drivers without the measurement pass 0). All in one consistent unit. It
+// returns the cap and batch to use for the next epoch and whether they
+// changed.
+func (t *Tuner) Observe(capacity, overhead, hoardedIdle, lockStarve int64) (cap, batch int, changed bool) {
 	if capacity <= 0 {
 		return t.cap, t.batch, false
 	}
@@ -156,26 +180,51 @@ func (t *Tuner) Observe(capacity, overhead, hoardedIdle int64) (cap, batch int, 
 	}
 	overShare := float64(overhead) / float64(capacity)
 	starveShare := float64(hoardedIdle) / float64(capacity)
+	lockShare := float64(lockStarve) / float64(capacity)
 
 	switch {
 	case overShare > t.cfg.MgmtTarget:
 		// Lock-entry overhead above target: workers visit the executive
 		// too often — amortize more tasks per visit.
-		t.shrinkArm = false
+		t.shrinkArm, t.starveArm = false, false
 		changed = t.set(t.cap*2, t.batch*2)
 	case starveShare > t.cfg.IdleTarget && overShare < t.cfg.MgmtTarget*t.cfg.LowBand:
 		// Workers starve while peers sit on refilled tasks: hand work
 		// out in smaller lots. The signal must persist two consecutive
 		// epochs, so a one-epoch blip (a phase boundary, the final
-		// drain) moves nothing.
+		// drain) moves nothing. Hoarded idle takes precedence over lock
+		// starvation below: tasks provably sat in peer deques, so
+		// redistribution, not amortization, is the remedy.
+		t.starveArm = false
 		if t.shrinkArm {
 			t.shrinkArm = false
 			changed = t.set(t.cap/2, t.batch/2)
 		} else {
 			t.shrinkArm = true
 		}
-	default:
+	case lockShare > t.cfg.StarveTarget && starveShare <= t.cfg.IdleTarget:
+		// Workers park behind a busy management path while the measured
+		// acquisition overhead reads ~0 (they wait on the condition
+		// variable, not the mutex, so their time never lands in
+		// overhead). The lock is saturated at this P: amortize more
+		// tasks per visit, exactly as the overhead rule would have done
+		// had it been able to see the wait. Hoarded idle above its
+		// target vetoes this grow outright — tasks provably sat in peer
+		// deques, so a bigger refill would deepen the starvation even
+		// when the shrink rule's own overhead guard keeps it from
+		// firing. Like the shrink rule — and unlike the
+		// directly-measured overhead rule — this signal is inferred
+		// from park timing, so it must persist two consecutive epochs
+		// before it moves anything.
 		t.shrinkArm = false
+		if t.starveArm {
+			t.starveArm = false
+			changed = t.set(t.cap*2, t.batch*2)
+		} else {
+			t.starveArm = true
+		}
+	default:
+		t.shrinkArm, t.starveArm = false, false
 	}
 	if changed {
 		t.changes++

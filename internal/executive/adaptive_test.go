@@ -9,7 +9,7 @@ func TestTunerDefaults(t *testing.T) {
 	if tu.Cap() != 16 || tu.Batch() != 8 {
 		t.Fatalf("defaults cap=%d batch=%d, want 16/8", tu.Cap(), tu.Batch())
 	}
-	if _, _, changed := tu.Observe(0, 0, 0); changed {
+	if _, _, changed := tu.Observe(0, 0, 0, 0); changed {
 		t.Error("empty epoch changed parameters")
 	}
 }
@@ -36,7 +36,7 @@ func TestTunerGrowsUnderLockPressure(t *testing.T) {
 	const capacity = 1_000_000
 	for e := 0; e < 40; e++ {
 		o, hi := synthEpoch(tu.Cap())
-		tu.Observe(capacity, o, hi)
+		tu.Observe(capacity, o, hi, 0)
 	}
 	// 0.5/cap <= 0.05 first holds at cap 16: growth must stop there, well
 	// short of the hoarding region.
@@ -49,7 +49,7 @@ func TestTunerGrowsUnderLockPressure(t *testing.T) {
 	settled := tu.Changes()
 	for e := 0; e < 100; e++ {
 		o, hi := synthEpoch(tu.Cap())
-		tu.Observe(capacity, o, hi)
+		tu.Observe(capacity, o, hi, 0)
 	}
 	if tu.Changes() != settled {
 		t.Fatalf("steady signal kept moving the parameters: %d changes after settling at %d",
@@ -64,7 +64,7 @@ func TestTunerShrinksOnHoardedIdle(t *testing.T) {
 	const capacity = 1_000_000
 	for e := 0; e < 60; e++ {
 		o, hi := synthEpoch(tu.Cap())
-		tu.Observe(capacity, o, hi)
+		tu.Observe(capacity, o, hi, 0)
 	}
 	// synthEpoch's starvation signal fires above cap 64, so 64 is the
 	// first quiet size; its overhead share (0.0078) is inside the hold
@@ -82,18 +82,86 @@ func TestTunerRundownTailDoesNotRatchet(t *testing.T) {
 	tu := NewTuner(TunerConfig{Cap: 64, MgmtTarget: 0.05})
 	const capacity = 1_000_000
 	for e := 0; e < 40; e++ {
-		tu.Observe(capacity, 0, 0) // idle tail: no hoarded starvation
+		tu.Observe(capacity, 0, 0, 0) // idle tail: no hoarded starvation
 	}
 	if tu.Cap() != 64 || tu.Changes() != 0 {
 		t.Fatalf("rundown tail moved the cap to %d (%d changes), want held at 64",
 			tu.Cap(), tu.Changes())
 	}
 	// One starvation blip between quiet epochs: armed, then disarmed.
-	tu.Observe(capacity, 0, capacity/2)
-	tu.Observe(capacity, 0, 0)
-	tu.Observe(capacity, 0, capacity/2)
+	tu.Observe(capacity, 0, capacity/2, 0)
+	tu.Observe(capacity, 0, 0, 0)
+	tu.Observe(capacity, 0, capacity/2, 0)
 	if tu.Changes() != 0 {
 		t.Fatalf("isolated starvation blips shrank the cap to %d", tu.Cap())
+	}
+}
+
+// TestTunerLockStarvationGrows is the ROADMAP's large-P scenario: the
+// global lock is saturated, but the waiters park on the condition
+// variable instead of spinning on the mutex, so the measured acquisition
+// overhead reads ~0 against machine capacity and the classic grow rule
+// stays silent. The parked-while-lock-busy input must trigger growth on
+// its own once it persists two epochs — a one-epoch blip moves nothing —
+// and must stay quiet below its target, and always lose to the
+// hoarded-idle shrink signal when tasks provably sat in peer deques.
+func TestTunerLockStarvationGrows(t *testing.T) {
+	const capacity = 1_000_000
+	tu := NewTuner(TunerConfig{Cap: 16, MgmtTarget: 0.05})
+	// Overhead ~0 (well under target), no hoarded idle, 30% of capacity
+	// parked behind a busy management path.
+	cap0 := tu.Cap()
+	tu.Observe(capacity, capacity/1000, 0, capacity*3/10)
+	if tu.Cap() != cap0 {
+		t.Fatalf("one lock-starvation epoch moved the cap to %d, want persistence gate to hold %d",
+			tu.Cap(), cap0)
+	}
+	tu.Observe(capacity, capacity/1000, 0, capacity*3/10)
+	if tu.Cap() != cap0*2 {
+		t.Fatalf("persistent lock starvation at 30%% grew cap to %d, want %d", tu.Cap(), cap0*2)
+	}
+
+	// An isolated blip between quiet epochs disarms the gate.
+	blip := NewTuner(TunerConfig{Cap: 16, MgmtTarget: 0.05})
+	blip.Observe(capacity, 0, 0, capacity*3/10)
+	blip.Observe(capacity, 0, 0, 0)
+	blip.Observe(capacity, 0, 0, capacity*3/10)
+	if blip.Changes() != 0 {
+		t.Fatalf("isolated lock-starvation blips grew the cap to %d", blip.Cap())
+	}
+
+	// Below the starvation target nothing moves.
+	quiet := NewTuner(TunerConfig{Cap: 16, MgmtTarget: 0.05})
+	for e := 0; e < 20; e++ {
+		quiet.Observe(capacity, capacity/1000, 0, capacity/10) // 10% < 20% target
+	}
+	if quiet.Changes() != 0 {
+		t.Fatalf("sub-target lock starvation moved the cap to %d", quiet.Cap())
+	}
+
+	// Hoarded idle wins over lock starvation: tasks sat in peer deques,
+	// so the remedy is redistribution (shrink), not amortization.
+	both := NewTuner(TunerConfig{Cap: 64, MgmtTarget: 0.05})
+	for e := 0; e < 10; e++ {
+		both.Observe(capacity, 0, capacity/2, capacity/2)
+	}
+	if both.Cap() >= 64 {
+		t.Fatalf("simultaneous hoarding+starvation grew the cap to %d, want shrink", both.Cap())
+	}
+
+	// The veto holds even when the shrink rule itself cannot fire: with
+	// the overhead share inside the hold band (above MgmtTarget*LowBand,
+	// below MgmtTarget) the shrink case's guard fails, but high hoarded
+	// idle must still block the lock-starvation grow — growing the
+	// refill while tasks sit hoarded deepens the starvation.
+	band := NewTuner(TunerConfig{Cap: 64, MgmtTarget: 0.05})
+	for e := 0; e < 10; e++ {
+		// overShare 0.03 (hold band), hoarded 40%, lock starvation 30%.
+		band.Observe(capacity, capacity*3/100, capacity*4/10, capacity*3/10)
+	}
+	if band.Cap() != 64 || band.Changes() != 0 {
+		t.Fatalf("hold-band hoarding let lock starvation move the cap to %d (%d changes), want held at 64",
+			band.Cap(), band.Changes())
 	}
 }
 
@@ -117,7 +185,7 @@ func TestTunerNeverOscillatesSteady(t *testing.T) {
 		dir := 0 // -1 shrinking, +1 growing
 		prev := tu.Cap()
 		for e := 0; e < 60; e++ {
-			tu.Observe(capacity, over, starve)
+			tu.Observe(capacity, over, starve, 0)
 			switch {
 			case tu.Cap() > prev:
 				if dir < 0 {
@@ -141,14 +209,14 @@ func TestTunerClamps(t *testing.T) {
 	tu := NewTuner(TunerConfig{Cap: 16, MaxCap: 64, MgmtTarget: 0.05})
 	const capacity = 1_000_000
 	for e := 0; e < 30; e++ {
-		tu.Observe(capacity, capacity/2, 0) // overhead share 50%: grow hard
+		tu.Observe(capacity, capacity/2, 0, 0) // overhead share 50%: grow hard
 	}
 	if tu.Cap() != 64 {
 		t.Fatalf("cap = %d, want clamped at 64", tu.Cap())
 	}
 	tu2 := NewTuner(TunerConfig{Cap: 8, MinCap: 2, MgmtTarget: 0.05})
 	for e := 0; e < 30; e++ {
-		tu2.Observe(capacity, 0, capacity/2) // hoarded idle 50%: shrink hard
+		tu2.Observe(capacity, 0, capacity/2, 0) // hoarded idle 50%: shrink hard
 	}
 	if tu2.Cap() != 2 {
 		t.Fatalf("cap = %d, want clamped at 2", tu2.Cap())

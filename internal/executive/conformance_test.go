@@ -1,6 +1,7 @@
 package executive
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -8,6 +9,21 @@ import (
 	"repro/internal/enable"
 	"repro/internal/granule"
 )
+
+// This file is the cross-manager conformance suite. Every test ranges
+// over ManagerKinds(), so a new manager inherits the barrier, mixed-
+// mapping, race, and Done-invariant checks the moment it is registered in
+// manager.go — nothing here names a specific manager.
+
+// conformanceConfig returns a Config that stresses kind's batching paths:
+// small deques, batches, and ready-buffers force constant refills,
+// flushes, steals, and drains.
+func conformanceConfig(kind ManagerKind, workers int) Config {
+	return Config{
+		Workers: workers, Manager: kind,
+		DequeCap: 8, Batch: 4, ReadyCap: 8, LowWater: 2,
+	}
+}
 
 // buildBarrierProbe builds a chain of Null-mapped phases whose work
 // functions observe the barrier guarantee: no granule of phase p may
@@ -43,17 +59,18 @@ func buildBarrierProbe(t *testing.T, phases, n int) (*core.Program, []atomic.Int
 }
 
 // TestManagerConformanceNullMappings verifies the cross-manager guarantee
-// the sharded manager must preserve: on Null mappings, phase completion
-// order is identical to the serial manager's — each phase fully completes
-// before any successor granule executes, and the results are bit-identical.
+// every non-serial manager must preserve: on Null mappings, phase
+// completion order is identical to the serial manager's — each phase
+// fully completes before any successor granule executes, and the results
+// are bit-identical across managers.
 func TestManagerConformanceNullMappings(t *testing.T) {
 	const phases, n = 4, 1024
 	results := make(map[ManagerKind][]int64)
-	for _, kind := range []ManagerKind{SerialManager, ShardedManager} {
+	for _, kind := range ManagerKinds() {
 		prog, counts, violations, out := buildBarrierProbe(t, phases, n)
 		rep, err := Run(prog, core.Options{
 			Grain: 8, Overlap: true, Costs: core.DefaultCosts(),
-		}, Config{Workers: 8, Manager: kind, DequeCap: 8, Batch: 4})
+		}, conformanceConfig(kind, 8))
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -70,21 +87,26 @@ func TestManagerConformanceNullMappings(t *testing.T) {
 		}
 		results[kind] = out
 	}
-	serial, sharded := results[SerialManager], results[ShardedManager]
-	for i := range serial {
-		if serial[i] != sharded[i] {
-			t.Fatalf("results diverge at granule %d: serial=%d sharded=%d", i, serial[i], sharded[i])
+	serial := results[SerialManager]
+	for kind, out := range results {
+		if kind == SerialManager {
+			continue
+		}
+		for i := range serial {
+			if serial[i] != out[i] {
+				t.Fatalf("results diverge at granule %d: serial=%d %v=%d", i, serial[i], kind, out[i])
+			}
 		}
 	}
 }
 
 // TestManagerConformanceMixedMappings runs the same probe logic over a
 // chain that alternates Null and overlap-permitting mappings: the Null
-// boundaries must still barrier under both managers even while the
+// boundaries must still barrier under every manager even while the
 // identity pairs overlap.
 func TestManagerConformanceMixedMappings(t *testing.T) {
 	const n = 768
-	for _, kind := range []ManagerKind{SerialManager, ShardedManager} {
+	for _, kind := range ManagerKinds() {
 		counts := make([]atomic.Int64, 4)
 		var violations atomic.Int64
 		prog, err := core.NewProgram(
@@ -118,7 +140,7 @@ func TestManagerConformanceMixedMappings(t *testing.T) {
 		}
 		if _, err := Run(prog, core.Options{
 			Grain: 8, Overlap: true, Costs: core.DefaultCosts(),
-		}, Config{Workers: 8, Manager: kind, DequeCap: 8, Batch: 4}); err != nil {
+		}, conformanceConfig(kind, 8)); err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
 		if v := violations.Load(); v != 0 {
@@ -127,51 +149,114 @@ func TestManagerConformanceMixedMappings(t *testing.T) {
 	}
 }
 
-// TestShardedManagerRace is the designated -race workout: >= 8 workers,
-// small deques and batches to force constant stealing and flushing, run
-// over every mapping kind that exercises a distinct release path.
-func TestShardedManagerRace(t *testing.T) {
-	n := 2048
-	a := make([]int64, n)
-	b := make([]int64, n)
-	c := make([]int64, n)
-	d := make([]int64, n/2)
-	prog, err := core.NewProgram(
-		&core.Phase{
-			Name: "fill", Granules: n,
-			Work:   func(g granule.ID) { a[g] = int64(g) },
-			Enable: enable.NewIdentity(),
-		},
-		&core.Phase{
-			Name: "square", Granules: n,
-			Work:   func(g granule.ID) { b[g] = a[g] * a[g] },
-			Enable: enable.NewUniversal(),
-		},
-		&core.Phase{
-			Name: "mix", Granules: n,
-			Work: func(g granule.ID) { c[g] = b[g] + 1 },
-			Enable: enable.NewReverse(func(r granule.ID) []granule.ID {
-				return []granule.ID{2 * r, 2*r + 1}
-			}),
-		},
-		&core.Phase{
-			Name: "gather", Granules: n / 2,
-			Work: func(g granule.ID) { d[g] = c[2*g] + c[2*g+1] },
-		},
-	)
-	if err != nil {
-		t.Fatal(err)
+// TestManagerDoneInvariant drives every manager through the PoolDriver
+// surface with the plain worker protocol and checks the post-run
+// invariants the pool and the report path rely on: no error, Done() true,
+// InFlight() zero, and — for managers with their own management goroutine
+// — a quiescent state machine after Join, with the computed values
+// correct.
+func TestManagerDoneInvariant(t *testing.T) {
+	for _, kind := range ManagerKinds() {
+		const workers = 8
+		prog, a, b, c := buildCopyChain(t, 1024)
+		sched, err := core.New(prog, core.Options{
+			Workers: workers, Grain: 4, Overlap: true, Costs: core.DefaultCosts(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr, err := NewPoolDriver(sched, conformanceConfig(kind, workers))
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		mgr.Start()
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for {
+					task, ok := mgr.Next(w)
+					if !ok {
+						return
+					}
+					work := prog.Phases[task.Phase].Work
+					task.Run.Each(func(g granule.ID) { work(g) })
+					mgr.Complete(w, task)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if j, ok := mgr.(Joiner); ok {
+			j.Join()
+		}
+		if err := mgr.Err(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !mgr.Done() {
+			t.Fatalf("%v: workers exited but the state machine is not done", kind)
+		}
+		if inf := mgr.InFlight(); inf != 0 {
+			t.Fatalf("%v: %d tasks still in flight after completion", kind, inf)
+		}
+		if got := sched.Stats().Completions; got == 0 {
+			t.Fatalf("%v: no completions recorded", kind)
+		}
+		checkCopyChain(t, a, b, c)
 	}
-	if _, err := Run(prog, core.Options{
-		Grain: 4, Overlap: true, Elevate: true, Costs: core.DefaultCosts(),
-	}, Config{Workers: 10, Manager: ShardedManager, DequeCap: 4, Batch: 2}); err != nil {
-		t.Fatal(err)
-	}
-	for g := 0; g < n/2; g++ {
-		i, j := int64(2*g), int64(2*g+1)
-		want := i*i + 1 + j*j + 1
-		if d[g] != want {
-			t.Fatalf("d[%d] = %d, want %d", g, d[g], want)
+}
+
+// TestManagerRace is the designated -race workout: >= 8 workers, small
+// deques, batches and ready-buffers to force constant stealing, flushing
+// and draining, run under every manager over every mapping kind that
+// exercises a distinct release path.
+func TestManagerRace(t *testing.T) {
+	for _, kind := range ManagerKinds() {
+		n := 2048
+		a := make([]int64, n)
+		b := make([]int64, n)
+		c := make([]int64, n)
+		d := make([]int64, n/2)
+		prog, err := core.NewProgram(
+			&core.Phase{
+				Name: "fill", Granules: n,
+				Work:   func(g granule.ID) { a[g] = int64(g) },
+				Enable: enable.NewIdentity(),
+			},
+			&core.Phase{
+				Name: "square", Granules: n,
+				Work:   func(g granule.ID) { b[g] = a[g] * a[g] },
+				Enable: enable.NewUniversal(),
+			},
+			&core.Phase{
+				Name: "mix", Granules: n,
+				Work: func(g granule.ID) { c[g] = b[g] + 1 },
+				Enable: enable.NewReverse(func(r granule.ID) []granule.ID {
+					return []granule.ID{2 * r, 2*r + 1}
+				}),
+			},
+			&core.Phase{
+				Name: "gather", Granules: n / 2,
+				Work: func(g granule.ID) { d[g] = c[2*g] + c[2*g+1] },
+			},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(prog, core.Options{
+			Grain: 4, Overlap: true, Elevate: true, Costs: core.DefaultCosts(),
+		}, Config{
+			Workers: 10, Manager: kind,
+			DequeCap: 4, Batch: 2, ReadyCap: 4, LowWater: 1,
+		}); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		for g := 0; g < n/2; g++ {
+			i, j := int64(2*g), int64(2*g+1)
+			want := i*i + 1 + j*j + 1
+			if d[g] != want {
+				t.Fatalf("%v: d[%d] = %d, want %d", kind, g, d[g], want)
+			}
 		}
 	}
 }

@@ -6,7 +6,7 @@
 //   - a Manager owns all synchronization policy around the state machine
 //     and drives it on behalf of a pool of worker goroutines.
 //
-// Two managers are provided. SerialManager guards every state-machine
+// Three managers are provided. SerialManager guards every state-machine
 // interaction with one global mutex, exactly serializing management the
 // way the single UNIVAC executive did — the paper-faithful baseline whose
 // lock time is measured as management time. ShardedManager gives each
@@ -14,7 +14,11 @@
 // work stealing between shards, paying the global serialization once per
 // batch instead of once per task — the management layer itself made
 // parallel, which is what the paper's rundown analysis calls for once the
-// executive becomes the bottleneck.
+// executive becomes the bottleneck. AsyncManager moves all management to
+// one dedicated background goroutine — the paper's separate executive
+// processor realized on hardware: workers pull from a ready-buffer and
+// push completions into a lock-free MPSC queue, and never touch the
+// state-machine lock at all.
 package executive
 
 import (
@@ -29,9 +33,12 @@ import (
 
 // Config parameterizes an executive run.
 type Config struct {
-	// Workers is the number of worker goroutines (>=1). The executive has
-	// no separate management processor: management runs inline on
-	// whichever worker needs it, under the manager's locks.
+	// Workers is the number of worker goroutines (>=1). Under the serial
+	// and sharded managers management runs inline on whichever worker
+	// needs it, under the manager's locks; the async manager adds one
+	// dedicated management goroutine beside the workers (not counted in
+	// Workers or in the utilization denominator — the paper's separate
+	// executive processor).
 	Workers int
 	// Manager selects the management layer (SerialManager default).
 	Manager ManagerKind
@@ -40,9 +47,20 @@ type Config struct {
 	DequeCap int
 	// Batch is the completion batch size: completions accumulate per
 	// worker and are submitted to the state machine in one lock
-	// acquisition when the batch fills (ShardedManager only). <=0
-	// selects 8.
+	// acquisition when the batch fills (ShardedManager), or set the
+	// management goroutine's per-CompleteBatch drain chunk
+	// (AsyncManager). <=0 selects 8.
 	Batch int
+	// ReadyCap bounds the async manager's shared ready-buffer — the
+	// channel of dispatched tasks the management goroutine keeps topped
+	// up (AsyncManager only). <=0 selects 2*Workers (minimum 8), the
+	// paper's two-tasks-per-processor outset condition applied to the
+	// buffer.
+	ReadyCap int
+	// LowWater is the ready-buffer level above which the async
+	// management goroutine overlaps deferred management with computation
+	// (AsyncManager only). <=0 selects ReadyCap/4 (minimum 1).
+	LowWater int
 	// Adaptive enables the adaptive batching controller (ShardedManager
 	// only): DequeCap and Batch become starting values retuned online
 	// from the observed management and idle shares each refill epoch.
@@ -120,6 +138,12 @@ func Run(prog *core.Program, opt core.Options, cfg Config) (*Report, error) {
 		}(w)
 	}
 	wg.Wait()
+	// A manager with its own management goroutine (async) may still be
+	// driving the state machine for a moment after the workers exit; join
+	// it before reading the final statistics.
+	if j, ok := mgr.(Joiner); ok {
+		j.Join()
+	}
 
 	if err := mgr.Err(); err != nil {
 		return nil, err

@@ -100,6 +100,27 @@ type PoolDriver interface {
 	InFlight() int
 }
 
+// Joiner is implemented by managers that run management on a goroutine of
+// their own (AsyncManager). Join blocks until that goroutine has exited;
+// call it only after the run is over (workers exited, or Abort was
+// called) and before reading final state-machine statistics — until Join
+// returns, the management goroutine may still be touching the state
+// machine.
+type Joiner interface {
+	Join()
+}
+
+// Notifier is implemented by managers whose scheduling progress happens
+// off the worker goroutines (AsyncManager: completions apply and refills
+// land on the management goroutine). A pool that parks workers above the
+// manager would never observe that progress through its own calls, so it
+// registers a callback here — invoked, outside all manager locks, after
+// every management cycle that applied completions, buffered new tasks, or
+// finished the run. SetNotify must be called before Start.
+type Notifier interface {
+	SetNotify(func())
+}
+
 // NewPoolDriver builds the configured Manager over sm and returns its
 // pool-driving surface. It is the constructor internal/tenant uses; Run
 // keeps its own private path.
@@ -133,7 +154,23 @@ const (
 	// other's deques when their own drains during rundown, so global
 	// serialization is paid once per batch rather than once per task.
 	ShardedManager
+	// AsyncManager runs all management on one dedicated background
+	// goroutine — the paper's separate executive processor (the sim's
+	// Dedicated model) realized on hardware. Workers pull tasks from a
+	// bounded ready-buffer the management goroutine keeps refilled and
+	// push completions into a lock-free MPSC queue; deferred management
+	// overlaps computation on the management thread whenever the buffer
+	// is above its low-water mark, and workers fall back to inline
+	// draining when GOMAXPROCS leaves the management goroutine no core.
+	AsyncManager
 )
+
+// ManagerKinds lists every built-in manager kind, in declaration order.
+// The conformance suite ranges over it so a new manager inherits the
+// stall/panic/race/Done-invariant checks the moment it is registered.
+func ManagerKinds() []ManagerKind {
+	return []ManagerKind{SerialManager, ShardedManager, AsyncManager}
+}
 
 func (k ManagerKind) String() string {
 	switch k {
@@ -141,6 +178,8 @@ func (k ManagerKind) String() string {
 		return "serial"
 	case ShardedManager:
 		return "sharded"
+	case AsyncManager:
+		return "async"
 	default:
 		return fmt.Sprintf("ManagerKind(%d)", uint8(k))
 	}
@@ -153,8 +192,10 @@ func ParseManager(s string) (ManagerKind, error) {
 		return SerialManager, nil
 	case "sharded":
 		return ShardedManager, nil
+	case "async":
+		return AsyncManager, nil
 	default:
-		return 0, fmt.Errorf("executive: unknown manager %q (serial|sharded)", s)
+		return 0, fmt.Errorf("executive: unknown manager %q (serial|sharded|async)", s)
 	}
 }
 
@@ -165,6 +206,8 @@ func newManager(sm StateMachine, cfg Config) (Manager, error) {
 		return newSerial(sm, cfg.Workers), nil
 	case ShardedManager:
 		return newSharded(sm, cfg), nil
+	case AsyncManager:
+		return newAsync(sm, cfg), nil
 	default:
 		return nil, fmt.Errorf("executive: unknown manager kind %v", cfg.Manager)
 	}

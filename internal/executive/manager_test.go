@@ -60,7 +60,7 @@ func driveWorkers(mgr Manager, workers int) error {
 // and the state machine is not done, both managers must surface a stall
 // error rather than deadlock.
 func TestStallDetector(t *testing.T) {
-	for _, kind := range []ManagerKind{SerialManager, ShardedManager} {
+	for _, kind := range ManagerKinds() {
 		for _, workers := range []int{1, 4, 9} {
 			mgr, err := newManager(&stubSM{phase: 7}, Config{
 				Workers: workers, Manager: kind, DequeCap: 4, Batch: 2,
@@ -83,7 +83,7 @@ func TestStallDetector(t *testing.T) {
 // three-phase program must surface as a run error under both managers,
 // with the remaining workers released.
 func TestWorkPanicMidPhase(t *testing.T) {
-	for _, kind := range []ManagerKind{SerialManager, ShardedManager} {
+	for _, kind := range ManagerKinds() {
 		n := 512
 		a := make([]int64, n)
 		prog, err := core.NewProgram(
@@ -189,7 +189,7 @@ func TestShardedReverseGather(t *testing.T) {
 }
 
 func TestManagerKindParse(t *testing.T) {
-	for _, kind := range []ManagerKind{SerialManager, ShardedManager} {
+	for _, kind := range ManagerKinds() {
 		got, err := ParseManager(kind.String())
 		if err != nil || got != kind {
 			t.Errorf("ParseManager(%q) = %v, %v", kind.String(), got, err)

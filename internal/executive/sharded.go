@@ -72,9 +72,19 @@ type sharded struct {
 	tuner      *Tuner
 	lockNS     time.Duration
 	hoardIdle  time.Duration // parked time that began with peer deques nonempty
+	lockStarve time.Duration // parked time that began with the mgmt path occupied
 	epochStart time.Time
 	epochLock  time.Duration // lockNS snapshot at epoch start
 	epochHI    time.Duration // hoardIdle snapshot at epoch start
+	epochLS    time.Duration // lockStarve snapshot at epoch start
+
+	// visitors counts workers currently inside the global management path
+	// (refill, batch flush). Maintained only when the tuner is enabled;
+	// read at park time to classify the wait: parking while another
+	// worker occupies the path is lock starvation — the signal the
+	// overhead share cannot see at large P, because cond-parked waiters
+	// never touch the mutex.
+	visitors atomic.Int32
 
 	// Accumulators, guarded by mu.
 	mgmt    time.Duration
@@ -223,6 +233,10 @@ func (m *sharded) steal(w int) (core.Task, bool) {
 // aborted, the manager detected a stall, or — non-parking callers only —
 // nothing is dispatchable right now.
 func (m *sharded) refill(w int, park bool) (core.Task, bool) {
+	if m.tuner != nil {
+		m.visitors.Add(1)
+		defer m.visitors.Add(-1)
+	}
 	m.lockMeasured()
 	defer m.mu.Unlock()
 	triedSteal := false
@@ -305,8 +319,17 @@ func (m *sharded) refill(w int, park bool) (core.Task, bool) {
 		// For the adaptive controller: a park that begins while peer
 		// deques still hold tasks is starvation a smaller refill batch
 		// would have fed (hoarded idle); a park with every deque empty
-		// is a genuine rundown tail, which must not shrink the batch.
-		hoardedAtPark := false
+		// is a genuine rundown tail, which must not shrink the batch. A
+		// park that begins while another worker actively occupies the
+		// management path is lock starvation — the grow signal that
+		// scales with P where the overhead share saturates; see
+		// adaptive.go. visitors counts every worker inside the path,
+		// including this one and every cond-parked waiter (they park
+		// inside refill, so their increment persists through the wait);
+		// subtracting m.waiting — stable here, under mu — leaves only
+		// the active occupants, so a phase barrier or rundown tail full
+		// of parked peers does not read as a saturated lock.
+		hoardedAtPark, lockBusyAtPark := false, false
 		if m.tuner != nil {
 			for i := range m.shards {
 				if m.shards[i].dq.size() > 0 {
@@ -314,6 +337,7 @@ func (m *sharded) refill(w int, park bool) (core.Task, bool) {
 					break
 				}
 			}
+			lockBusyAtPark = m.visitors.Load()-int32(m.waiting) > 1
 		}
 		i0 := time.Now()
 		m.waiting++
@@ -323,6 +347,9 @@ func (m *sharded) refill(w int, park bool) (core.Task, bool) {
 		m.idle += d
 		if hoardedAtPark {
 			m.hoardIdle += d
+		}
+		if lockBusyAtPark {
+			m.lockStarve += d
 		}
 		triedSteal = false
 	}
@@ -358,7 +385,8 @@ func (m *sharded) retuneLocked() {
 	}
 	capacity := int64(elapsed) * int64(m.workers)
 	cap, batch, changed := m.tuner.Observe(capacity,
-		int64(m.lockNS-m.epochLock), int64(m.hoardIdle-m.epochHI))
+		int64(m.lockNS-m.epochLock), int64(m.hoardIdle-m.epochHI),
+		int64(m.lockStarve-m.epochLS))
 	if changed {
 		m.cap = cap
 		m.batch.Store(int32(batch))
@@ -366,6 +394,7 @@ func (m *sharded) retuneLocked() {
 	m.epochStart = time.Now()
 	m.epochLock = m.lockNS
 	m.epochHI = m.hoardIdle
+	m.epochLS = m.lockStarve
 }
 
 // wakeLocked wakes up to n parked workers — targeted Signals instead of a
@@ -388,6 +417,10 @@ func (m *sharded) Complete(w int, t core.Task) bool {
 	sh.done = append(sh.done, t)
 	if len(sh.done) < int(m.batch.Load()) {
 		return false
+	}
+	if m.tuner != nil {
+		m.visitors.Add(1)
+		defer m.visitors.Add(-1)
 	}
 	m.lockMeasured()
 	m0 := time.Now()
@@ -465,6 +498,10 @@ func (m *sharded) failLocked(err error) {
 func (m *sharded) Flush(w int) bool {
 	if len(m.shards[w].done) == 0 {
 		return false
+	}
+	if m.tuner != nil {
+		m.visitors.Add(1)
+		defer m.visitors.Add(-1)
 	}
 	m.lockMeasured()
 	defer m.mu.Unlock()

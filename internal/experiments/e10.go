@@ -18,8 +18,9 @@ var managerFilter = ""
 // adaptive batching controller — when cmd/experiments passes -adaptive.
 var adaptiveArm = false
 
-// SetManagerFilter restricts E10 to one executive manager ("serial" or
-// "sharded"); "both" or "" restores the head-to-head default.
+// SetManagerFilter restricts E10 and E13 to one executive manager
+// ("serial", "sharded" or "async"); "both" or "" restores the
+// head-to-head default. E10 compares serial and sharded; E13 adds async.
 func SetManagerFilter(s string) error {
 	if s == "" || s == "both" {
 		managerFilter = ""

@@ -1,11 +1,16 @@
 package experiments
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/enable"
+	"repro/internal/executive"
+	"repro/internal/granule"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -43,8 +48,8 @@ func cellFloat(t *testing.T, tbl *Table, row, col int) float64 {
 
 func TestAllRegistered(t *testing.T) {
 	specs := All()
-	if len(specs) != 12 {
-		t.Fatalf("registered %d experiments, want 12", len(specs))
+	if len(specs) != 13 {
+		t.Fatalf("registered %d experiments, want 13", len(specs))
 	}
 	for i, spec := range specs {
 		want := "E" + strconv.Itoa(i+1)
@@ -402,6 +407,133 @@ func TestE12AdaptiveBatch(t *testing.T) {
 	if util(14) < util(12)*1.3 {
 		t.Errorf("hoard: adaptive utilization %v does not clearly beat the fixed default %v",
 			util(14), util(12))
+	}
+}
+
+// TestE13AsyncExecutive pins the async-executive acceptance criteria.
+//
+// The quantitative claims are asserted in virtual time, where they are
+// deterministic: on the fine-grain identity chain the Async model
+// (dedicated executive processor + ready-buffer) must reach at least 1.2x
+// the steals-worker utilization at 8 processors and beat it at every
+// P >= 4, and on the coarse-grain chain it must stay within a few percent
+// of the Sharded model (the optimistic distributed-management bound). The
+// same comparison on real goroutines needs real parallelism — at least a
+// core per worker plus one spare for the management goroutine — so the
+// hardware assertion skips on smaller hosts (as ROADMAP notes for the PR3
+// claim, wall-clock utilization claims want a multi-core host); the E13
+// table itself still runs everywhere.
+func TestE13AsyncExecutive(t *testing.T) {
+	tbl := runExp(t, "E13")
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("rows = %d, want 2 workloads x 2 worker counts x 3 managers", len(tbl.Rows))
+	}
+	order := []string{"serial", "sharded", "async"}
+	for i := range tbl.Rows {
+		if got, want := cell(t, tbl, i, 1), order[i%3]; got != want {
+			t.Errorf("row %d manager = %q, want %q", i, got, want)
+		}
+	}
+
+	// Virtual time: the deterministic form of the acceptance numbers.
+	fine := func(procs int, model sim.MgmtModel) *sim.Result {
+		prog, err := workload.Chain(enable.Identity, 3, 4096,
+			workload.UniformCost(30, 90, 1986), 1986)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(prog, core.Options{
+			Grain: 1, Overlap: true, Costs: core.DefaultCosts(),
+		}, sim.Config{Procs: procs, Mgmt: model})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, procs := range []int{4, 6, 8} {
+		s, a := fine(procs, sim.StealsWorker), fine(procs, sim.Async)
+		if a.Utilization <= s.Utilization {
+			t.Errorf("P=%d: async utilization %.3f not above steals-worker %.3f",
+				procs, a.Utilization, s.Utilization)
+		}
+	}
+	s8, a8 := fine(8, sim.StealsWorker), fine(8, sim.Async)
+	if a8.Utilization < 1.2*s8.Utilization {
+		t.Errorf("fine grain at 8: async utilization %.3f below 1.2x steals-worker %.3f",
+			a8.Utilization, s8.Utilization)
+	}
+
+	coarse := func(model sim.MgmtModel) *sim.Result {
+		prog, err := workload.Chain(enable.Identity, 3, 32768,
+			workload.UniformCost(100, 400, 1986), 1986)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(prog, core.Options{
+			Grain: 64, Overlap: true, Costs: core.DefaultCosts(),
+		}, sim.Config{Procs: 8, Mgmt: model})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ca, cs := coarse(sim.Async), coarse(sim.Sharded)
+	if ca.Utilization < 0.95*cs.Utilization {
+		t.Errorf("coarse grain: async utilization %.3f not within 5%% of sharded %.3f",
+			ca.Utilization, cs.Utilization)
+	}
+
+	// Hardware: one core per worker plus the management goroutine, or the
+	// dedicated-processor comparison cannot physically happen.
+	const hwWorkers = 8
+	if runtime.NumCPU() < hwWorkers+1 {
+		t.Skipf("hardware 1.2x assertion needs >= %d CPUs (have %d): a core per worker plus one spare for the management goroutine",
+			hwWorkers+1, runtime.NumCPU())
+	}
+	hw := func(kind executive.ManagerKind) float64 {
+		n := 1 << 15
+		a := make([]int64, n)
+		c := make([]int64, n)
+		prog, err := core.NewProgram(
+			&core.Phase{
+				Name: "fill", Granules: n,
+				Work:   func(g granule.ID) { a[g] = int64(g) * 3 },
+				Enable: enable.NewIdentity(),
+			},
+			&core.Phase{
+				Name: "scale", Granules: n,
+				Work:   func(g granule.ID) { c[g] = a[g] + 1 },
+				Enable: enable.NewIdentity(),
+			},
+			&core.Phase{
+				Name: "sum", Granules: n,
+				Work: func(g granule.ID) { a[g] = c[g] ^ a[g] },
+			},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := executive.Run(prog, core.Options{
+			Grain: 1, Overlap: true, IdentityVia: core.IdentityTable,
+			Costs: core.DefaultCosts(),
+		}, executive.Config{Workers: hwWorkers, Manager: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Utilization
+	}
+	// Wall-clock is noisy even on a big host: take the best of three
+	// attempts before declaring the structural claim violated.
+	for attempt := 0; ; attempt++ {
+		serial, async := hw(executive.SerialManager), hw(executive.AsyncManager)
+		if async >= 1.2*serial {
+			break
+		}
+		if attempt == 2 {
+			t.Errorf("hardware fine grain at %d workers: async utilization %.4f below 1.2x serial %.4f",
+				hwWorkers, async, serial)
+			break
+		}
 	}
 }
 

@@ -136,5 +136,6 @@ func All() []Spec {
 		{ID: "E10", Title: "Executive managers head-to-head (serial vs sharded)", Run: E10Managers},
 		{ID: "E11", Title: "Multi-tenant pool vs static split vs sequential overlap", Run: E11TenantPool},
 		{ID: "E12", Title: "Adaptive batch tuning vs fixed batches (batched executive)", Run: E12AdaptiveBatch},
+		{ID: "E13", Title: "Async executive vs steals-worker vs sharded (dedicated management goroutine)", Run: E13AsyncExecutive},
 	}
 }

@@ -1,0 +1,180 @@
+package sim
+
+import "repro/internal/core"
+
+// This file is the Async management model: the Dedicated model (a
+// separate executive processor beside all P workers) extended with the
+// async executive's ready-buffer protocol, so the virtual-time pricing
+// matches what internal/executive's AsyncManager does on hardware:
+//
+//   - the dedicated server keeps a bounded ready-buffer (Config.ReadyCap)
+//     topped up with batched NextTasks pulls, each charged on the
+//     server's own lane;
+//   - a worker's ask pops the buffer for free — the hardware channel
+//     receive — so worker latency is decoupled from management service;
+//     each buffered task carries the virtual time the server finished
+//     producing it, and a dispatch starts no earlier than that;
+//   - completions queue to the server and are applied in one fused
+//     CompleteBatch whenever the server has caught up — under load they
+//     accumulate, exactly like the MPSC queue backing up behind a busy
+//     management goroutine, which is where completion-batch fusion pays;
+//   - deferred management is absorbed on the server whenever the buffer
+//     is above Config.LowWater (the overlap-with-computation rule), on
+//     top of the generic idle-executive absorption in the main loop.
+//
+// Like Dedicated, the server's processor is not part of the utilization
+// denominator: Procs counts the computing workers only, which is the
+// resource trade the paper's steals-worker/dedicated comparison prices.
+
+// asyncSlot is one ready-buffer entry: a task plus the virtual time the
+// server finished producing it.
+type asyncSlot struct {
+	task core.Task
+	at   int64
+}
+
+// asyncInit sizes the ready buffer and low-water mark with the same
+// defaults as the hardware manager (executive.Config).
+func (s *state) asyncInit(cfg Config) {
+	rc := cfg.ReadyCap
+	if rc <= 0 {
+		rc = 2 * s.workers
+		if rc < 8 {
+			rc = 8
+		}
+	}
+	lw := cfg.LowWater
+	if lw <= 0 {
+		lw = rc / 4
+		if lw < 1 {
+			lw = 1
+		}
+	}
+	if lw >= rc {
+		lw = rc - 1
+	}
+	s.readyCap, s.lowWater = rc, lw
+}
+
+// asyncTopUp pulls one batched NextTasks refill into the ready buffer's
+// free slots, charging the server and stamping each slot with its
+// production time. It reports whether anything was buffered.
+func (s *state) asyncTopUp(now int64) bool {
+	free := s.readyCap - len(s.aready)
+	if free <= 0 {
+		return false
+	}
+	ts, dc := s.sched.NextTasks(s.abuf[:0], free)
+	fin := s.serve(now, dc)
+	for _, task := range ts {
+		s.aready = append(s.aready, asyncSlot{task: task, at: fin})
+	}
+	s.abuf = ts[:0]
+	return len(ts) > 0
+}
+
+// asyncService is one pass of the dedicated server: drain queued
+// completions when caught up (force drains regardless — the main loop's
+// last-resort path when no worker event will arrive to trigger one),
+// top the ready buffer up, and overlap deferred management while the
+// buffer is above the low-water mark. Parked workers are woken when the
+// pass buffered anything.
+func (s *state) asyncService(now int64, force bool) {
+	buffered := false
+	for {
+		worked := false
+		if len(s.acomp) > 0 && (force || s.serverFree <= now) {
+			cost := s.sched.CompleteBatch(s.acomp)
+			fin := s.serve(now, cost)
+			for _, ct := range s.acomp {
+				if pt := &s.phases[ct.Phase]; fin > pt.End {
+					pt.End = fin
+				}
+			}
+			s.acomp = s.acomp[:0]
+			worked = true
+		}
+		if s.asyncTopUp(now) {
+			worked = true
+			buffered = true
+		}
+		if !worked {
+			break
+		}
+	}
+	// At most one deferred unit per pass — the hardware cycle's rule
+	// (overlap deferred work with computation while workers are fed), and
+	// in virtual time also a modeling necessity: the buffer cannot drain
+	// mid-pass, so a per-iteration gate would let one pass absorb the
+	// whole deferred queue while workers starve behind it. Bulk
+	// absorption belongs to the main loop's idle-executive path, which is
+	// bounded by the event horizon. A unit that released work gets one
+	// refill attempt so the release reaches the buffer this pass.
+	if s.sched.HasDeferred() && len(s.aready) > s.lowWater {
+		if cost, ok := s.sched.DeferredMgmt(); ok {
+			s.serve(now, cost)
+			if s.asyncTopUp(now) {
+				buffered = true
+			}
+		}
+	}
+	if buffered {
+		s.wakeAsync()
+	}
+}
+
+// wakeAsync re-queues asks for parked workers, one per buffered task,
+// stamped with the task's production time (a worker's idle ends when a
+// task exists for it, not when the server's lane frees).
+func (s *state) wakeAsync() {
+	avail := len(s.aready)
+	i := 0
+	for w := 0; w < s.workers && i < avail; w++ {
+		if s.parked[w] {
+			at := s.aready[i].at
+			if s.parkedA[w] > at {
+				at = s.parkedA[w]
+			}
+			s.unpark(w, at)
+			s.reqs = append(s.reqs, request{at: at, proc: w})
+			i++
+		}
+	}
+}
+
+// asyncAsk serves a worker's ask: pop the ready buffer for free, or park.
+// The server gets a pass on every ask — the background thread is always
+// running; an event is just the moment virtual time can observe it.
+func (s *state) asyncAsk(req request) {
+	if len(s.aready) == 0 {
+		s.asyncService(req.at, false)
+	}
+	if len(s.aready) == 0 {
+		s.park(req.proc, req.at)
+		return
+	}
+	sl := s.aready[0]
+	s.aready = s.aready[1:]
+	at := req.at
+	if sl.at > at {
+		at = sl.at
+	}
+	s.dispatch(req.proc, sl.task, at)
+	// Top the buffer back up behind the pop so the next ask finds it warm.
+	s.asyncService(at, false)
+}
+
+// asyncComplete queues a completion to the server. The worker asks for
+// new work immediately — it hands the completion off and never waits on
+// management, which is the async executive's defining property.
+func (s *state) asyncComplete(req request) {
+	s.acomp = append(s.acomp, req.task)
+	if req.at > s.lastDone {
+		s.lastDone = req.at
+	}
+	if pt := &s.phases[req.task.Phase]; req.at > pt.End {
+		pt.End = req.at
+	}
+	s.asyncService(req.at, false)
+	s.reqs = append(s.reqs, request{at: req.at, proc: req.proc})
+}

@@ -2,11 +2,17 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/core"
 )
+
+// ErrUnsupportedMgmt reports a management model a simulation mode cannot
+// price. Errors wrapping it name the rejected model and the supported
+// alternatives; test with errors.Is.
+var ErrUnsupportedMgmt = errors.New("sim: unsupported management model")
 
 // This file is the MultiProgram mode: several jobs, each with its own
 // core.Scheduler, sharing one P-processor machine in virtual time — the
@@ -160,8 +166,13 @@ func RunMulti(jobs []JobSpec, cfg Config) (*MultiResult, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("sim: need at least 1 processor")
 	}
-	if cfg.Mgmt == Adaptive {
-		return nil, fmt.Errorf("sim: the Adaptive management model is single-program only (use Sharded)")
+	switch cfg.Mgmt {
+	case Adaptive, Async:
+		// Per-worker batch state (Adaptive) and the shared ready-buffer
+		// (Async) do not interleave with cross-job backfill — a worker
+		// switching jobs would strand buffered tasks of the job it left.
+		return nil, fmt.Errorf("%w: the %v model is single-program only (multi-program runs support steals-worker, dedicated, and sharded)",
+			ErrUnsupportedMgmt, cfg.Mgmt)
 	}
 	workers := cfg.Procs
 	if cfg.Mgmt == StealsWorker {

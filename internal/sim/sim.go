@@ -4,9 +4,10 @@
 // state machine in virtual time, charging every management cost the
 // scheduler reports to the management server.
 //
-// Four management resource models are provided. The first two reproduce
-// the paper's discussion; the last two price the parallel manager this
-// reproduction adds (internal/executive's ShardedManager):
+// Five management resource models are provided. The first two reproduce
+// the paper's discussion; the others price the parallel and asynchronous
+// managers this reproduction adds (internal/executive's ShardedManager
+// and AsyncManager):
 //
 //   - StealsWorker: the executive runs on one of the P processors ("in the
 //     PAX/CASPER UNIVAC 1100 test bed, executive computation was done at
@@ -33,6 +34,10 @@
 //     large and refills hoard tasks idle workers needed (the rundown
 //     tail). With Options.AdaptiveBatch the batch is retuned online by
 //     the executive.Tuner feedback loop; otherwise Config.Batch fixes it.
+//   - Async: the Dedicated model extended with the async executive's
+//     ready-buffer/low-water protocol — workers pop a bounded buffer the
+//     dedicated server keeps topped up and queue completions back without
+//     waiting; the virtual-time price of executive.AsyncManager.
 //
 // The simulator is deterministic: identical inputs produce identical
 // schedules, event orders and metrics.
@@ -64,6 +69,13 @@ const (
 	// Acquire-priced lock visit; the batch size is fixed (Config.Batch)
 	// or retuned online (Options.AdaptiveBatch).
 	Adaptive
+	// Async is the Dedicated model extended with the async executive's
+	// ready-buffer protocol (see async.go): a separate executive
+	// processor keeps a bounded ready-buffer topped up, workers pop it
+	// for free and queue completions back without waiting, and deferred
+	// management overlaps computation above the buffer's low-water mark
+	// — the virtual-time price of executive.AsyncManager.
+	Async
 )
 
 func (m MgmtModel) String() string {
@@ -76,6 +88,8 @@ func (m MgmtModel) String() string {
 		return "sharded"
 	case Adaptive:
 		return "adaptive"
+	case Async:
+		return "async"
 	default:
 		return fmt.Sprintf("MgmtModel(%d)", uint8(m))
 	}
@@ -103,6 +117,16 @@ type Config struct {
 	// Options.AdaptiveBatch this is the controller's starting point;
 	// otherwise it is fixed for the whole run. Other models ignore it.
 	Batch int
+	// ReadyCap bounds the Async model's ready-buffer — how many
+	// dispatched-but-unclaimed tasks the dedicated executive keeps ahead
+	// of the workers. <= 0 selects 2*workers (minimum 8), matching
+	// executive.Config.ReadyCap. Other models ignore it.
+	ReadyCap int
+	// LowWater is the Async model's deferred-overlap mark: the executive
+	// absorbs deferred management whenever the ready-buffer holds more
+	// than this many tasks. <= 0 selects ReadyCap/4 (minimum 1). Other
+	// models ignore it.
+	LowWater int
 }
 
 // PhaseTrace describes one phase's schedule within a run.
@@ -255,6 +279,9 @@ func Run(prog *core.Program, opt core.Options, cfg Config) (*Result, error) {
 	for i, ph := range prog.Phases {
 		s.phases[i] = PhaseTrace{Name: ph.Name, Start: -1, End: -1, RundownStart: -1}
 	}
+	if cfg.Mgmt == Async {
+		s.asyncInit(cfg)
+	}
 	if cfg.Mgmt == Adaptive {
 		b := cfg.Batch
 		if b <= 0 {
@@ -300,6 +327,16 @@ type state struct {
 	seq        int64
 	serverFree int64   // time the serial management server becomes free
 	workerFree []int64 // Sharded model: time each worker's own lane frees
+
+	// Async model state: the dedicated server's ready-buffer (tasks
+	// already popped from the scheduler, each stamped with its production
+	// time), completions queued behind the server, the NextTasks scratch,
+	// and the buffer knobs. See async.go.
+	aready   []asyncSlot
+	acomp    []core.Task
+	abuf     []core.Task
+	readyCap int
+	lowWater int
 
 	// Adaptive model state: per-worker shards, current refill/completion
 	// batch sizes, the per-lock-visit charge, and the controller with its
@@ -486,6 +523,14 @@ func (s *state) run(maxOps int64) error {
 			continue
 		}
 
+		// Async: completions can be parked behind a busy server with no
+		// further worker event left to trigger a drain (every worker
+		// parked); force one so the run can finish.
+		if s.model == Async && len(s.acomp) > 0 {
+			s.asyncService(s.serverFree, true)
+			continue
+		}
+
 		if s.sched.Done() {
 			return nil
 		}
@@ -501,6 +546,10 @@ func (s *state) serveRequest(req request) {
 	}
 	if s.model == Adaptive {
 		s.adaptiveAsk(req)
+		return
+	}
+	if s.model == Async {
+		s.asyncAsk(req)
 		return
 	}
 	// Task request from an idle worker.
@@ -619,8 +668,11 @@ func (s *state) maybeRetune(now int64) {
 	}
 	s.noteStarve(now)
 	capacity := (now - s.lastObsAt) * int64(s.workers)
+	// The virtual-time model has no cond-parked-behind-the-lock state —
+	// every wait is priced into the serialized server directly — so the
+	// lock-starvation input is zero here.
 	cap, batch, changed := s.tuner.Observe(capacity,
-		s.acquireUnits-s.lastObsAcq, s.hiInt-s.lastObsHI)
+		s.acquireUnits-s.lastObsAcq, s.hiInt-s.lastObsHI, 0)
 	if changed {
 		s.batchN, s.cbatchN = cap, batch
 	}
@@ -656,6 +708,10 @@ func (s *state) dispatch(worker int, task core.Task, at int64) {
 func (s *state) completeTask(req request) {
 	if s.model == Adaptive {
 		s.adaptiveComplete(req)
+		return
+	}
+	if s.model == Async {
+		s.asyncComplete(req)
 		return
 	}
 	cost := s.sched.Complete(req.task)

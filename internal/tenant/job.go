@@ -49,6 +49,12 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // zero — parked time belongs to the pool, not to any one job.
 func (j *Job) Wait() (*executive.Report, error) {
 	<-j.done
+	// An async manager's management goroutine may still be winding down
+	// for a moment after the job is retired; join it so the scheduler
+	// statistics read below are quiescent.
+	if jn, ok := j.mgr.(executive.Joiner); ok {
+		jn.Join()
+	}
 	rep := &executive.Report{
 		Manager: j.pool.cfg.Manager,
 		Wall:    j.end.Sub(j.submitted),

@@ -76,43 +76,47 @@ func runSingleJobPool(t *testing.T, prog *core.Program, opt core.Options, cfg Co
 }
 
 // TestPoolConformance proves a single-job pool is report-equivalent to
-// executive.Run under both managers. With one worker the scheduling
+// executive.Run under every manager. With one worker the scheduling
 // decision sequence is deterministic, so the state-machine statistics and
 // task counts must match Execute exactly; with several workers the
 // decision interleaving is timing-dependent, so equivalence is the
 // structural part: identical results, every granule exactly once, and a
-// complete report.
+// complete report. The async manager skips the exact part even at one
+// worker — its management goroutine's refill boundaries race the worker's
+// pulls, so the decision sequence is inherently timing-dependent.
 func TestPoolConformance(t *testing.T) {
 	const n = 2048
 	opt := func() core.Options {
 		return core.Options{Grain: 8, Overlap: true, Costs: core.DefaultCosts()}
 	}
-	for _, kind := range []executive.ManagerKind{executive.SerialManager, executive.ShardedManager} {
-		// One worker: exact equivalence.
-		prog, a1, b1, c1 := buildCopyChain(t, n)
-		execRep, err := executive.Run(prog, opt(), executive.Config{
-			Workers: 1, Manager: kind, DequeCap: 8, Batch: 4,
-		})
-		if err != nil {
-			t.Fatalf("%v: %v", kind, err)
-		}
-		checkCopyChain(t, a1, b1, c1)
+	for _, kind := range executive.ManagerKinds() {
+		if kind != executive.AsyncManager {
+			// One worker: exact equivalence.
+			prog, a1, b1, c1 := buildCopyChain(t, n)
+			execRep, err := executive.Run(prog, opt(), executive.Config{
+				Workers: 1, Manager: kind, DequeCap: 8, Batch: 4,
+			})
+			if err != nil {
+				t.Fatalf("%v: %v", kind, err)
+			}
+			checkCopyChain(t, a1, b1, c1)
 
-		prog2, a2, b2, c2 := buildCopyChain(t, n)
-		poolRep, _ := runSingleJobPool(t, prog2, opt(), Config{
-			Workers: 1, Manager: kind, DequeCap: 8, Batch: 4,
-		})
-		checkCopyChain(t, a2, b2, c2)
+			prog2, a2, b2, c2 := buildCopyChain(t, n)
+			poolRep, _ := runSingleJobPool(t, prog2, opt(), Config{
+				Workers: 1, Manager: kind, DequeCap: 8, Batch: 4,
+			})
+			checkCopyChain(t, a2, b2, c2)
 
-		if poolRep.Manager != execRep.Manager {
-			t.Errorf("%v: manager %v != %v", kind, poolRep.Manager, execRep.Manager)
-		}
-		if poolRep.Tasks != execRep.Tasks {
-			t.Errorf("%v: pool ran %d tasks, Execute ran %d", kind, poolRep.Tasks, execRep.Tasks)
-		}
-		if poolRep.Sched != execRep.Sched {
-			t.Errorf("%v: scheduler stats diverge:\npool:    %+v\nexecute: %+v",
-				kind, poolRep.Sched, execRep.Sched)
+			if poolRep.Manager != execRep.Manager {
+				t.Errorf("%v: manager %v != %v", kind, poolRep.Manager, execRep.Manager)
+			}
+			if poolRep.Tasks != execRep.Tasks {
+				t.Errorf("%v: pool ran %d tasks, Execute ran %d", kind, poolRep.Tasks, execRep.Tasks)
+			}
+			if poolRep.Sched != execRep.Sched {
+				t.Errorf("%v: scheduler stats diverge:\npool:    %+v\nexecute: %+v",
+					kind, poolRep.Sched, execRep.Sched)
+			}
 		}
 
 		// Eight workers: structural equivalence.
@@ -142,38 +146,46 @@ func TestPoolConformance(t *testing.T) {
 // cross-job dispatch), verifying both jobs' results.
 func TestPoolTwoJobsRace(t *testing.T) {
 	const n = 2048
-	p, err := NewPool(Config{Workers: 8, Manager: executive.ShardedManager, DequeCap: 4, Batch: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	progA, aA, bA, cA := buildCopyChain(t, n)
-	progB, aB, bB, cB := buildCopyChain(t, n)
-	jobA, err := p.Submit(progA, core.Options{Grain: 4, Overlap: true, Costs: core.DefaultCosts()},
-		JobConfig{Name: "A"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	jobB, err := p.Submit(progB, core.Options{Grain: 4, Overlap: true, Costs: core.DefaultCosts()},
-		JobConfig{Name: "B", Priority: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	repA, errA := jobA.Wait()
-	repB, errB := jobB.Wait()
-	if errA != nil || errB != nil {
-		t.Fatalf("job errors: A=%v B=%v", errA, errB)
-	}
-	checkCopyChain(t, aA, bA, cA)
-	checkCopyChain(t, aB, bB, cB)
-	if repA.Tasks == 0 || repB.Tasks == 0 {
-		t.Fatalf("degenerate reports: A=%v B=%v", repA, repB)
-	}
-	rep, err := p.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rep.Jobs != 2 || rep.Tasks != repA.Tasks+repB.Tasks {
-		t.Errorf("pool report %+v inconsistent with job reports", rep)
+	for _, cfg := range []Config{
+		{Workers: 8, Manager: executive.ShardedManager, DequeCap: 4, Batch: 2},
+		// The async arm runs one management goroutine per job beside the
+		// 8 shared workers, with tiny buffers forcing constant refills,
+		// MPSC drains, and pool-level notify wakeups.
+		{Workers: 8, Manager: executive.AsyncManager, ReadyCap: 4, LowWater: 1, Batch: 2},
+	} {
+		p, err := NewPool(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progA, aA, bA, cA := buildCopyChain(t, n)
+		progB, aB, bB, cB := buildCopyChain(t, n)
+		jobA, err := p.Submit(progA, core.Options{Grain: 4, Overlap: true, Costs: core.DefaultCosts()},
+			JobConfig{Name: "A"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobB, err := p.Submit(progB, core.Options{Grain: 4, Overlap: true, Costs: core.DefaultCosts()},
+			JobConfig{Name: "B", Priority: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repA, errA := jobA.Wait()
+		repB, errB := jobB.Wait()
+		if errA != nil || errB != nil {
+			t.Fatalf("%v: job errors: A=%v B=%v", cfg.Manager, errA, errB)
+		}
+		checkCopyChain(t, aA, bA, cA)
+		checkCopyChain(t, aB, bB, cB)
+		if repA.Tasks == 0 || repB.Tasks == 0 {
+			t.Fatalf("%v: degenerate reports: A=%v B=%v", cfg.Manager, repA, repB)
+		}
+		rep, err := p.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Jobs != 2 || rep.Tasks != repA.Tasks+repB.Tasks {
+			t.Errorf("%v: pool report %+v inconsistent with job reports", cfg.Manager, rep)
+		}
 	}
 }
 
@@ -209,7 +221,20 @@ func TestPoolSerialTwoJobs(t *testing.T) {
 // its home workers hit real rundown windows while the filler job still
 // has dispatchable tasks.
 func TestPoolBackfillDuringRundown(t *testing.T) {
-	p, err := NewPool(Config{Workers: 4, Manager: executive.ShardedManager, DequeCap: 2, Batch: 1})
+	runBackfillRundown(t, Config{Workers: 4, Manager: executive.ShardedManager, DequeCap: 2, Batch: 1})
+}
+
+// TestPoolBackfillAsync runs the same rundown-backfill scenario with
+// per-job async managers: the tentpole requirement that tenant backfill
+// works unchanged over the PoolDriver surface, with job progress arriving
+// through the Notifier callback instead of worker-applied completions.
+func TestPoolBackfillAsync(t *testing.T) {
+	runBackfillRundown(t, Config{Workers: 4, Manager: executive.AsyncManager, ReadyCap: 2, LowWater: 1, Batch: 1})
+}
+
+func runBackfillRundown(t *testing.T, cfg Config) {
+	t.Helper()
+	p, err := NewPool(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

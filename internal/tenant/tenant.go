@@ -43,13 +43,20 @@ type Config struct {
 	// Workers is the number of shared worker goroutines (>= 1).
 	Workers int
 	// Manager selects the per-job management layer (SerialManager
-	// default). Every job in the pool uses the same kind.
+	// default). Every job in the pool uses the same kind. An async pool
+	// runs one management goroutine per job beside the shared workers.
 	Manager executive.ManagerKind
 	// DequeCap and Batch parameterize the sharded manager per job (see
 	// executive.Config); ignored by the serial manager.
 	DequeCap int
-	// Batch is the sharded manager's completion batch size.
+	// Batch is the sharded manager's completion batch size (also the
+	// async manager's completion drain chunk).
 	Batch int
+	// ReadyCap and LowWater parameterize the async manager per job (see
+	// executive.Config); ignored by the other managers.
+	ReadyCap int
+	// LowWater is the async manager's deferred-overlap low-water mark.
+	LowWater int
 }
 
 // JobConfig describes one submitted job.
@@ -140,9 +147,18 @@ func (p *Pool) Submit(prog *core.Program, opt core.Options, jc JobConfig) (*Job,
 	mgr, err := executive.NewPoolDriver(sched, executive.Config{
 		Workers: p.cfg.Workers, Manager: p.cfg.Manager,
 		DequeCap: p.cfg.DequeCap, Batch: p.cfg.Batch,
+		ReadyCap: p.cfg.ReadyCap, LowWater: p.cfg.LowWater,
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Async managers make progress on their own management goroutine —
+	// completions apply and refills land where no pool worker sees them —
+	// so the pool registers its progress bump as the manager's notify
+	// callback: parked workers wake and re-sweep when the job's
+	// management goroutine produces work or finishes the job.
+	if n, ok := mgr.(executive.Notifier); ok {
+		n.SetNotify(p.progress)
 	}
 	if jc.Weight <= 0 {
 		jc.Weight = 1

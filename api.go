@@ -1,6 +1,8 @@
 package rundown
 
 import (
+	"context"
+
 	"repro/internal/casper"
 	"repro/internal/core"
 	"repro/internal/enable"
@@ -137,6 +139,10 @@ type (
 	PhaseTrace = sim.PhaseTrace
 	// MgmtModel selects where executive computation runs.
 	MgmtModel = sim.MgmtModel
+	// SimSnapshot is the virtual backend's native snapshot type
+	// (SimConfig.Observer); Runner observers receive the unified
+	// Snapshot instead.
+	SimSnapshot = sim.Snapshot
 )
 
 // Executive resource models.
@@ -167,8 +173,19 @@ const (
 )
 
 // Simulate runs prog on the deterministic discrete-event machine model.
+// It is a thin wrapper over the Runner front door:
+// New(WithVirtualTime(cfg)) then Run. Use a Runner directly for
+// cancellation and the unified Report.
 func Simulate(prog *Program, opt Options, cfg SimConfig) (*SimResult, error) {
-	return sim.Run(prog, opt, cfg)
+	r, err := New(WithVirtualTime(cfg))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := r.Run(context.Background(), Job{Prog: prog, Opt: opt})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Sim, nil
 }
 
 // Multi-program simulation (virtual-time tenancy).
@@ -184,16 +201,31 @@ type (
 
 // ErrUnsupportedMgmt reports a management model a simulation mode cannot
 // price: SimulateMulti rejects the single-program-only AdaptiveMgmt and
-// AsyncMgmt models with errors wrapping it. Test with errors.Is.
+// AsyncMgmt models with errors wrapping it. Test with errors.Is — or
+// avoid tripping it at all by consulting Capabilities(manager,
+// model).VirtualMulti before running.
 var ErrUnsupportedMgmt = sim.ErrUnsupportedMgmt
 
 // SimulateMulti runs several jobs sharing one simulated machine under the
 // tenant pool's overlap-first dispatch policy: each worker serves its home
 // job while anything there is dispatchable and backfills the other jobs
 // (priority first, then deficit-round-robin credit) during its home job's
-// rundown. Deterministic, like Simulate.
+// rundown. Deterministic, like Simulate. It is a thin wrapper over
+// New(WithVirtualTime(cfg)) then RunAll.
 func SimulateMulti(jobs []SimJob, cfg SimConfig) (*MultiSimResult, error) {
-	return sim.RunMulti(jobs, cfg)
+	r, err := New(WithVirtualTime(cfg))
+	if err != nil {
+		return nil, err
+	}
+	rjobs := make([]Job, len(jobs))
+	for i, j := range jobs {
+		rjobs[i] = Job{Name: j.Name, Prog: j.Prog, Opt: j.Opt, Priority: j.Priority, Weight: j.Weight}
+	}
+	rep, err := r.RunAll(context.Background(), rjobs)
+	if err != nil {
+		return nil, err
+	}
+	return rep.SimMulti, nil
 }
 
 // Execution on goroutines.
@@ -206,6 +238,10 @@ type (
 	ExecReport = executive.Report
 	// ExecManager selects the executive's management layer.
 	ExecManager = executive.ManagerKind
+	// ExecSnapshot is the goroutine executive's native snapshot type
+	// (ExecConfig.Observer); Runner observers receive the unified
+	// Snapshot instead.
+	ExecSnapshot = executive.Snapshot
 )
 
 // Executive managers.
@@ -224,13 +260,62 @@ const (
 	AsyncManager = executive.AsyncManager
 )
 
-// ParseExecManager parses a manager name ("serial", "sharded" or "async").
+// ParseExecManager parses a manager name ("serial", "sharded" or
+// "async"), case-insensitively; the error enumerates the valid names.
 func ParseExecManager(s string) (ExecManager, error) { return executive.ParseManager(s) }
 
+// ExecManagerNames lists the accepted ParseExecManager names.
+func ExecManagerNames() []string { return executive.ManagerNames() }
+
+// ParseMgmtModel parses a simulation management-model name
+// ("steals-worker", "dedicated", "sharded", "adaptive" or "async"),
+// case-insensitively; the error enumerates the valid names.
+func ParseMgmtModel(s string) (MgmtModel, error) { return sim.ParseModel(s) }
+
+// MgmtModelNames lists the accepted ParseMgmtModel names.
+func MgmtModelNames() []string { return sim.ModelNames() }
+
 // Execute runs prog's Work functions on real goroutine workers under the
-// configured manager (SerialManager by default).
+// configured manager (SerialManager by default). It is a thin wrapper
+// over the Runner front door: New with the matching options, then Run.
+// Use a Runner directly for cancellation and the unified Report.
 func Execute(prog *Program, opt Options, cfg ExecConfig) (*ExecReport, error) {
-	return executive.Run(prog, opt, cfg)
+	r, err := New(execConfigOptions(cfg)...)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := r.Run(context.Background(), Job{Prog: prog, Opt: opt})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Exec, nil
+}
+
+// managerKnobOptions converts the worker/manager knobs both legacy
+// config structs share (ExecConfig and PoolConfig carry the same six
+// fields) into Runner options — one conversion point, so a knob added
+// to the configs cannot be threaded for one wrapper and dropped for the
+// other.
+func managerKnobOptions(workers int, manager ExecManager, dequeCap, batch, readyCap, lowWater int) []Option {
+	return []Option{
+		WithWorkers(workers), WithManager(manager),
+		WithDequeCap(dequeCap), WithBatch(batch),
+		WithReadyCap(readyCap), WithLowWater(lowWater),
+	}
+}
+
+// execConfigOptions converts a legacy ExecConfig into Runner options.
+func execConfigOptions(cfg ExecConfig) []Option {
+	opts := managerKnobOptions(cfg.Workers, cfg.Manager, cfg.DequeCap, cfg.Batch, cfg.ReadyCap, cfg.LowWater)
+	if cfg.Adaptive {
+		opts = append(opts, WithAdaptiveBatching(cfg.MgmtTarget))
+	}
+	if cfg.Observer != nil {
+		// Legacy observers expect the executive's native snapshots; pass
+		// them through unadapted.
+		opts = append(opts, withExecObserver(cfg.Observer, cfg.ObservePeriod))
+	}
+	return opts
 }
 
 // Multi-tenant execution: several programs sharing one goroutine worker
@@ -252,6 +337,10 @@ type (
 	// PoolReport aggregates a pool's lifetime: utilization, idle time,
 	// and the cross-job backfill that filled rundowns.
 	PoolReport = tenant.Report
+	// PoolSnapshot is the pool's native snapshot type
+	// (PoolConfig.Observer); Runner observers receive the unified
+	// Snapshot instead.
+	PoolSnapshot = tenant.Snapshot
 )
 
 // NewPool starts a multi-tenant worker pool. Jobs submitted to it run
@@ -259,7 +348,21 @@ type (
 // serves its home job exclusively while anything there is dispatchable,
 // and backfills the other jobs — priority first, then
 // deficit-round-robin fairness — only during its home job's rundown.
-func NewPool(cfg PoolConfig) (*Pool, error) { return tenant.NewPool(cfg) }
+// It is a thin wrapper over the Runner front door: New with the matching
+// options, then StartPool. RunAll on a pool-backed Runner covers the
+// common submit-everything-and-wait case without the explicit lifecycle.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	opts := append(managerKnobOptions(cfg.Workers, cfg.Manager, cfg.DequeCap, cfg.Batch, cfg.ReadyCap, cfg.LowWater),
+		WithPool())
+	if cfg.Observer != nil {
+		opts = append(opts, withPoolObserver(cfg.Observer, cfg.ObservePeriod))
+	}
+	r, err := New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return r.StartPool()
+}
 
 // Verification and inference over access footprints.
 

@@ -1,12 +1,14 @@
 package rundown_test
 
-// One benchmark per experiment E1..E8 (see DESIGN.md section 4): each runs
+// One benchmark per experiment E1..E8 (see DESIGN.md's experiment index):
+// each runs
 // the experiment at Quick scale and reports its headline metric so `go test
 // -bench=. -benchmem` regenerates the shape of every quantitative claim in
 // the paper. cmd/experiments prints the full tables; EXPERIMENTS.md records
 // the Full-scale numbers.
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -387,6 +389,32 @@ func BenchmarkManagerCasperAsync(b *testing.B) {
 
 func BenchmarkManagerCheckerboardAsync(b *testing.B) {
 	benchManager(b, rundown.AsyncManager, buildCheckerboard)
+}
+
+// BenchmarkRunnerChainFineSharded runs the fine-grain chain through the
+// Runner front door (New + Run with a context) instead of the legacy
+// Execute wrapper — compare against BenchmarkManagerChainFineSharded to
+// see what the unified entry point costs, which must be nothing
+// measurable: the Runner resolves options once and delegates to the same
+// executive.RunContext.
+func BenchmarkRunnerChainFineSharded(b *testing.B) {
+	runner, err := rundown.New(
+		rundown.WithWorkers(8), rundown.WithManager(rundown.ShardedManager),
+		rundown.WithDequeCap(32), rundown.WithBatch(16),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var utils []float64
+	for i := 0; i < b.N; i++ {
+		prog, opt := buildChainFine(b)
+		rep, err := runner.Run(context.Background(), rundown.Job{Prog: prog, Opt: opt})
+		if err != nil {
+			b.Fatal(err)
+		}
+		utils = append(utils, rep.Utilization)
+	}
+	b.ReportMetric(stats.Percentile(utils, 50), "utilization")
 }
 
 func BenchmarkManagerCasperSerial(b *testing.B) {

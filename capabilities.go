@@ -1,0 +1,57 @@
+package rundown
+
+import (
+	"repro/internal/executive"
+	"repro/internal/sim"
+)
+
+// Caps reports what a (manager, model) pairing supports, so callers can
+// discover a backend's limits statically instead of tripping over
+// ErrUnsupportedMgmt at run time. The answers are derived from the same
+// predicates the backends enforce (sim.SupportsMulti gates RunMulti,
+// executive.SupportsPool gates NewPoolDriver), so capability and
+// behaviour cannot drift apart — a conformance test cross-checks them.
+type Caps struct {
+	// Manager and Model echo the pairing the capabilities describe.
+	Manager ExecManager
+	Model   MgmtModel
+	// VirtualSingle: the virtual backend can price a single-program run
+	// under Model (Simulate / VirtualBackend Run).
+	VirtualSingle bool
+	// VirtualMulti: the virtual backend can price a multi-program run
+	// under Model (SimulateMulti / VirtualBackend RunAll). False means
+	// those calls return an error wrapping ErrUnsupportedMgmt.
+	VirtualMulti bool
+	// RealMulti: Manager implements the PoolDriver surface, so the
+	// tenant pool (NewPool / real-backend RunAll) can drive it.
+	RealMulti bool
+	// Adaptive: the adaptive batching controller applies — Manager is
+	// the sharded manager (real) or Model is the Adaptive model
+	// (virtual). Single-program runs only: pool-backed runs ignore the
+	// controller (see WithAdaptiveBatching), just as VirtualMulti is
+	// false for the Adaptive model.
+	Adaptive bool
+	// AsyncMgmt: management runs beside the workers rather than on them —
+	// the async manager's dedicated goroutine, or the Async model's
+	// ready-buffered dedicated processor.
+	AsyncMgmt bool
+	// DedicatedProc: the virtual model gives the executive its own
+	// processor outside the utilization denominator (Dedicated, Async).
+	DedicatedProc bool
+}
+
+// Capabilities reports what the (manager, model) pairing supports:
+// manager describes the real-machine side, model the virtual-time side.
+// Use Runner.Capabilities for a configured Runner's own pairing.
+func Capabilities(manager ExecManager, model MgmtModel) Caps {
+	return Caps{
+		Manager:       manager,
+		Model:         model,
+		VirtualSingle: true,
+		VirtualMulti:  sim.SupportsMulti(model),
+		RealMulti:     executive.SupportsPool(manager),
+		Adaptive:      manager == ShardedManager || model == AdaptiveMgmt,
+		AsyncMgmt:     manager == AsyncManager || model == AsyncMgmt,
+		DedicatedProc: model == Dedicated || model == AsyncMgmt,
+	}
+}

@@ -1,7 +1,12 @@
 // Command experiments regenerates every quantitative claim of Jones (1986)
-// — the E1..E8 experiment suite indexed in DESIGN.md — and prints the
+// — the E1..E13 experiment suite indexed in DESIGN.md — and prints the
 // result tables. EXPERIMENTS.md is produced from this tool's -md output at
 // -scale full.
+//
+// The executive-selection flags (-manager, -adaptive, -ready, -low-water,
+// -batch) are the shared set from internal/cliflags, identical to
+// cmd/rundownsim's; -manager additionally accepts "both" to run the
+// manager comparisons head-to-head.
 //
 // Usage:
 //
@@ -12,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 )
 
@@ -20,15 +27,28 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment sizing: quick or full")
 	only := flag.String("only", "", "run a single experiment (e.g. E3)")
 	md := flag.Bool("md", false, "emit markdown tables instead of aligned text")
-	manager := flag.String("manager", "both", "executive manager filter for E10/E13: serial, sharded, async, or both (E10 compares serial/sharded; E13 adds async)")
-	adaptive := flag.Bool("adaptive", false, "add the sharded+adaptive arm to E10 (E12 always sweeps adaptive batching)")
+	exec := cliflags.Register(flag.CommandLine, "both",
+		"executive manager filter for E10/E13: "+cliflags.ManagerNames()+
+			", or both (E10 compares serial/sharded; E13 adds async)")
 	flag.Parse()
 
-	if err := experiments.SetManagerFilter(*manager); err != nil {
+	// The filter accepts the shared manager names (case-insensitive, via
+	// the same parser the Runner options use) plus "both".
+	filter := strings.ToLower(strings.TrimSpace(exec.Manager))
+	if filter != "both" && filter != "" {
+		kind, err := exec.Kind()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		filter = kind.String()
+	}
+	if err := experiments.SetManagerFilter(filter); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
 	}
-	experiments.SetAdaptive(*adaptive)
+	experiments.SetAdaptive(exec.Adaptive)
+	experiments.SetExecKnobs(exec.Ready, exec.LowWater, exec.Batch)
 
 	var scale experiments.Scale
 	switch *scaleFlag {

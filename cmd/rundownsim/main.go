@@ -12,24 +12,32 @@
 //	rundownsim -mapping identity -granules 8192 -procs 64 -overlap -grain 1 -manager sharded
 //	rundownsim -mapping identity -granules 8192 -procs 16 -overlap -grain 1 -adaptive
 //	rundownsim -mapping identity -granules 8192 -procs 16 -overlap -grain 1 -manager async -ready 32
+//	rundownsim -mapping identity -granules 8192 -procs 32 -overlap -observe
 //	rundownsim -jobs 3 -mapping identity -granules 4096 -procs 64 -overlap
 //	rundownsim -jobs 2 -manager async -mapping identity -granules 4096 -procs 8 -overlap
 //
-// With -jobs N (N >= 2), N copies of the configured workload (differing
-// seeds) share one machine under the multi-tenant pool's overlap-first
-// dispatch policy, and the report shows per-job makespans plus the
-// pool-level utilization and cross-job backfill. With -manager async the
-// multi-job run executes on the real goroutine tenant pool (one dedicated
-// management goroutine per job driving the PoolDriver surface end-to-end)
-// instead of the virtual-time queue, which does not price the async model.
+// The command is built on the rundown.Runner front door: one Job spec,
+// one Run/RunAll call, and the backend — virtual machine, goroutine
+// executive, or tenant pool — is chosen by options. With -jobs N
+// (N >= 2), N copies of the configured workload (differing seeds) share
+// one machine under the multi-tenant pool's overlap-first dispatch
+// policy; when the virtual queue cannot price the selected management
+// model (Capabilities reports VirtualMulti=false — the async model), the
+// jobs run on the real goroutine tenant pool instead. -observe streams
+// live utilization/overhead snapshots to stderr, and Ctrl-C cancels the
+// run through the Runner's context.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	rundown "repro"
+	"repro/internal/cliflags"
 	"repro/internal/enable"
 	"repro/internal/metrics"
 )
@@ -47,11 +55,6 @@ func main() {
 		presplit  = flag.Bool("presplit", false, "pre-split descriptions at activation")
 		inline    = flag.Bool("inline-maps", false, "build composite maps inline (the paper's warned-about strategy)")
 		dedicated = flag.Bool("dedicated", false, "dedicated executive processor (default: steals a worker)")
-		manager   = flag.String("manager", "serial", "management layer: serial (one executive, per -dedicated), sharded (per-worker management lanes), or async (dedicated management processor with a ready-buffer)")
-		adaptive  = flag.Bool("adaptive", false, "batched executive model (worker-local buffers, Acquire-priced lock visits) with online batch tuning")
-		batch     = flag.Int("batch", 16, "refill batch for -adaptive (the controller's starting point)")
-		ready     = flag.Int("ready", 0, "ready-buffer bound for -manager async (0 = 2*workers, min 8)")
-		lowWater  = flag.Int("low-water", 0, "deferred-overlap low-water mark for -manager async (0 = ready/4)")
 		costLo    = flag.Int64("cost-lo", 100, "minimum granule cost")
 		costHi    = flag.Int64("cost-hi", 400, "maximum granule cost")
 		seed      = flag.Uint64("seed", 1986, "workload seed")
@@ -60,8 +63,15 @@ func main() {
 		cycles    = flag.Int("cycles", 1, "CASPER profile cycles")
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart (small runs only)")
 		curve     = flag.Bool("curve", true, "print a utilization sparkline")
+		observe   = flag.Bool("observe", false, "stream live utilization/overhead snapshots to stderr while the run progresses")
 	)
+	exec := cliflags.Register(flag.CommandLine, "serial",
+		"management layer: "+cliflags.ManagerNames()+" (serial prices per -dedicated)")
 	flag.Parse()
+
+	// Ctrl-C cancels the run cooperatively through the Runner's context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	build := func(seed uint64) (*rundown.Program, error) {
 		if *casper {
@@ -82,8 +92,7 @@ func main() {
 	}
 	prog, err := build(*seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rundownsim: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 
 	opt := rundown.Options{
@@ -97,75 +106,40 @@ func main() {
 	if *presplit {
 		opt.Split = rundown.SplitPre
 	}
-	model := rundown.StealsWorker
-	if *dedicated {
-		model = rundown.Dedicated
-	}
-	switch *manager {
-	case "serial":
-		// model chosen above
-	case "sharded":
-		if *dedicated {
-			fmt.Fprintln(os.Stderr, "rundownsim: -dedicated conflicts with -manager sharded (management runs inline on the workers)")
-			os.Exit(2)
-		}
-		model = rundown.ShardedMgmt
-	case "async":
-		if *dedicated {
-			fmt.Fprintln(os.Stderr, "rundownsim: -dedicated is redundant with -manager async (the async executive is the dedicated processor, extended with the ready-buffer)")
-			os.Exit(2)
-		}
-		model = rundown.AsyncMgmt
-	default:
-		fmt.Fprintf(os.Stderr, "rundownsim: unknown -manager %q (serial|sharded|async)\n", *manager)
+
+	execOpts, err := exec.Options(*dedicated)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rundownsim: %v\n", err)
 		os.Exit(2)
 	}
-	if *adaptive {
-		if *dedicated {
-			fmt.Fprintln(os.Stderr, "rundownsim: -dedicated conflicts with -adaptive (management runs inline on the workers)")
-			os.Exit(2)
-		}
-		managerSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "manager" {
-				managerSet = true
-			}
-		})
-		if managerSet {
-			fmt.Fprintln(os.Stderr, "rundownsim: -manager conflicts with -adaptive (the adaptive model is its own management layer)")
-			os.Exit(2)
-		}
-		if *jobs >= 2 {
+	if *observe {
+		execOpts = append(execOpts, rundown.WithObserver(printSnapshot))
+	}
+
+	if *jobs >= 2 {
+		if exec.Adaptive {
 			fmt.Fprintln(os.Stderr, "rundownsim: -adaptive is single-program only (drop -jobs)")
 			os.Exit(2)
 		}
-		model = rundown.AdaptiveMgmt
-		opt.AdaptiveBatch = true
-	}
-	if *jobs >= 2 {
-		if model == rundown.AsyncMgmt {
-			// The virtual-time multi-program queue does not price the
-			// async model (sim.ErrUnsupportedMgmt); run the jobs on the
-			// real goroutine tenant pool instead — one dedicated
-			// management goroutine per job, PoolDriver end-to-end.
-			runPoolAsync(build, opt, *jobs, *procs, *ready, *lowWater, *seed)
-			return
-		}
-		runMulti(build, opt, model, *jobs, *procs, *seed)
+		runShared(ctx, build, opt, execOpts, *jobs, *procs, *seed)
 		return
 	}
 
-	res, err := rundown.Simulate(prog, opt, rundown.SimConfig{
-		Procs: *procs, Mgmt: model, Gantt: *gantt, Batch: *batch,
-		ReadyCap: *ready, LowWater: *lowWater,
-	})
+	runner, err := rundown.New(append(execOpts,
+		rundown.WithWorkers(*procs),
+		rundown.WithVirtualTime(rundown.SimConfig{Procs: *procs, Gantt: *gantt}),
+	)...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rundownsim: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
+	rep, err := runner.Run(ctx, rundown.Job{Prog: prog, Opt: opt})
+	if err != nil {
+		fail("%v", err)
+	}
+	res := rep.Sim
 
 	fmt.Printf("phases=%d granules=%d procs=%d workers=%d overlap=%v mgmt=%v\n",
-		len(prog.Phases), prog.TotalGranules(), res.Procs, res.Workers, *overlap, model)
+		len(prog.Phases), prog.TotalGranules(), res.Procs, res.Workers, *overlap, rep.Model)
 	fmt.Printf("makespan            %d\n", res.Makespan)
 	fmt.Printf("compute units       %d\n", res.ComputeUnits)
 	fmt.Printf("management units    %d\n", res.MgmtUnits)
@@ -174,7 +148,7 @@ func main() {
 	fmt.Printf("utilization         %s\n", metrics.FormatPercent(res.Utilization))
 	fmt.Printf("worker utilization  %s\n", metrics.FormatPercent(res.WorkerUtilization))
 	fmt.Printf("compute:management  %.1f\n", res.MgmtRatio)
-	if *adaptive {
+	if exec.Adaptive {
 		fmt.Printf("batch (final)       %d (%d controller changes)\n", res.Batch, res.BatchChanges)
 	}
 	fmt.Printf("dispatches=%d splits=%d releases=%d elevations=%d deferred=%d\n",
@@ -200,85 +174,62 @@ func main() {
 	}
 }
 
-// runPoolAsync runs jobs copies of the workload (differing seeds) on the
-// real goroutine tenant pool under per-job async managers: wall-clock
-// execution through the PoolDriver surface, since the virtual-time
-// multi-program queue does not price the async model. Chain programs
-// carry no Work functions, so this is a pure scheduling run — the
-// management architecture exercised end-to-end without synthetic compute.
-func runPoolAsync(build func(seed uint64) (*rundown.Program, error), opt rundown.Options,
-	jobs, procs, ready, lowWater int, seed uint64) {
-	pool, err := rundown.NewPool(rundown.PoolConfig{
-		Workers: procs, Manager: rundown.AsyncManager, ReadyCap: ready, LowWater: lowWater,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rundownsim: %v\n", err)
-		os.Exit(1)
-	}
-	handles := make([]*rundown.PoolJob, jobs)
-	for i := range handles {
-		prog, err := build(seed + uint64(i))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rundownsim: job %d: %v\n", i, err)
-			os.Exit(1)
-		}
-		h, err := pool.Submit(prog, opt, rundown.PoolJobConfig{Name: fmt.Sprintf("job%d", i)})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rundownsim: job %d: %v\n", i, err)
-			os.Exit(1)
-		}
-		handles[i] = h
-	}
-	reps := make([]*rundown.ExecReport, jobs)
-	for i, h := range handles {
-		rep, err := h.Wait()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rundownsim: job %d: %v\n", i, err)
-			os.Exit(1)
-		}
-		reps[i] = rep
-	}
-	rep, err := pool.Close()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rundownsim: %v\n", err)
-		os.Exit(1)
-	}
-
-	fmt.Printf("jobs=%d workers=%d manager=async (goroutine tenant pool, wall-clock)\n", jobs, procs)
-	fmt.Printf("pool wall           %v\n", rep.Wall)
-	fmt.Printf("pool mgmt           %v\n", rep.Mgmt)
-	fmt.Printf("pool idle           %v\n", rep.Idle)
-	fmt.Printf("tasks               %d\n", rep.Tasks)
-	fmt.Printf("backfill tasks      %d (%.1f%% of compute)\n", rep.BackfillTasks, rep.BackfillShare*100)
-
-	fmt.Println("\nper-job:")
-	for i, r := range reps {
-		fmt.Printf("  job%-5d wall=%-12v tasks=%-6d mgmt=%-12v dispatches=%d\n",
-			i, r.Wall, r.Tasks, r.Mgmt, r.Sched.Dispatches)
-	}
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rundownsim: "+format+"\n", args...)
+	os.Exit(1)
 }
 
-// runMulti shares the machine between jobs copies of the workload
-// (differing seeds) under the tenant pool's dispatch policy and prints
-// per-job makespans plus the pool aggregates.
-func runMulti(build func(seed uint64) (*rundown.Program, error), opt rundown.Options,
-	model rundown.MgmtModel, jobs, procs int, seed uint64) {
-	specs := make([]rundown.SimJob, jobs)
+// printSnapshot is the -observe stream: one stderr line per live
+// snapshot, wall-clock or virtual-time depending on the backend.
+func printSnapshot(s rundown.Snapshot) {
+	when := fmt.Sprintf("t=%d", s.VirtualTime)
+	if s.Backend != rundown.VirtualBackend {
+		when = fmt.Sprintf("t=%v", s.Elapsed.Round(100*time.Microsecond))
+	}
+	mark := ""
+	if s.Final {
+		mark = " (final)"
+	}
+	fmt.Fprintf(os.Stderr, "observe[%v] %-14s tasks=%-7d jobs=%d util=%.3f overhead=%.4f%s\n",
+		s.Backend, when, s.Tasks, s.Jobs, s.Utilization, s.OverheadShare, mark)
+}
+
+// runShared runs jobs copies of the workload (differing seeds) sharing
+// one machine through Runner.RunAll: in virtual time when the selected
+// management model supports multi-program pricing, otherwise (async) on
+// the real goroutine tenant pool — the capability is checked statically
+// via Capabilities instead of tripping ErrUnsupportedMgmt at run time.
+func runShared(ctx context.Context, build func(seed uint64) (*rundown.Program, error),
+	opt rundown.Options, execOpts []rundown.Option, jobs, procs int, seed uint64) {
+	specs := make([]rundown.Job, jobs)
 	for i := range specs {
 		prog, err := build(seed + uint64(i))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rundownsim: job %d: %v\n", i, err)
-			os.Exit(1)
+			fail("job %d: %v", i, err)
 		}
-		specs[i] = rundown.SimJob{Name: fmt.Sprintf("job%d", i), Prog: prog, Opt: opt}
-	}
-	res, err := rundown.SimulateMulti(specs, rundown.SimConfig{Procs: procs, Mgmt: model})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rundownsim: %v\n", err)
-		os.Exit(1)
+		specs[i] = rundown.Job{Name: fmt.Sprintf("job%d", i), Prog: prog, Opt: opt}
 	}
 
-	fmt.Printf("jobs=%d procs=%d workers=%d mgmt=%v\n", jobs, res.Procs, res.Workers, model)
+	virtual, err := rundown.New(append(execOpts,
+		rundown.WithWorkers(procs),
+		rundown.WithVirtualTime(rundown.SimConfig{Procs: procs}),
+	)...)
+	if err != nil {
+		fail("%v", err)
+	}
+	if !virtual.Capabilities().VirtualMulti {
+		// The virtual multi-program queue cannot price this model; run the
+		// jobs on the real goroutine tenant pool end-to-end instead.
+		runPool(ctx, specs, execOpts, procs)
+		return
+	}
+
+	rep, err := virtual.RunAll(ctx, specs)
+	if err != nil {
+		fail("%v", err)
+	}
+	res := rep.SimMulti
+	fmt.Printf("jobs=%d procs=%d workers=%d mgmt=%v\n", jobs, res.Procs, res.Workers, rep.Model)
 	fmt.Printf("makespan (all jobs) %d\n", res.Makespan)
 	fmt.Printf("compute units       %d\n", res.ComputeUnits)
 	fmt.Printf("management units    %d\n", res.MgmtUnits)
@@ -294,5 +245,37 @@ func runMulti(build func(seed uint64) (*rundown.Program, error), opt rundown.Opt
 		}
 		fmt.Printf("  %-8s makespan=%-10d compute=%-10d home-workers=%-3d backfill=%d (%.1f%%)\n",
 			j.Name, j.Makespan, j.ComputeUnits, j.HomeWorkers, j.BackfillUnits, share*100)
+	}
+}
+
+// runPool runs the job specs on the real goroutine tenant pool
+// (wall-clock execution through RunAll). Chain programs carry no Work
+// functions, so this is a pure scheduling run — the management
+// architecture exercised end-to-end without synthetic compute.
+func runPool(ctx context.Context, specs []rundown.Job, execOpts []rundown.Option, procs int) {
+	runner, err := rundown.New(append(execOpts,
+		rundown.WithWorkers(procs), rundown.WithPool(),
+	)...)
+	if err != nil {
+		fail("%v", err)
+	}
+	rep, err := runner.RunAll(ctx, specs)
+	if err != nil {
+		fail("%v", err)
+	}
+	pool := rep.Pool
+
+	fmt.Printf("jobs=%d workers=%d manager=%v (goroutine tenant pool, wall-clock)\n",
+		len(specs), procs, rep.Manager)
+	fmt.Printf("pool wall           %v\n", pool.Wall)
+	fmt.Printf("pool mgmt           %v\n", pool.Mgmt)
+	fmt.Printf("pool idle           %v\n", pool.Idle)
+	fmt.Printf("tasks               %d\n", pool.Tasks)
+	fmt.Printf("backfill tasks      %d (%.1f%% of compute)\n", pool.BackfillTasks, pool.BackfillShare*100)
+
+	fmt.Println("\nper-job:")
+	for i, j := range rep.Jobs {
+		fmt.Printf("  job%-5d wall=%-12v tasks=%-6d mgmt=%-12v dispatches=%d\n",
+			i, j.Exec.Wall, j.Exec.Tasks, j.Exec.Mgmt, j.Exec.Sched.Dispatches)
 	}
 }

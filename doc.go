@@ -11,21 +11,53 @@
 // Navier-Stokes code (PAX/CASPER), proposes language constructs, and
 // sketches executive control strategies.
 //
-// This package is the public facade over the reproduction:
+// # The Runner front door
+//
+// The package is used through one configured entry point. New builds a
+// Runner from functional options; Run and RunAll execute the same
+// backend-agnostic Job spec on whichever machine the options select:
+//
+//	r, _ := rundown.New(rundown.WithWorkers(8), rundown.WithManager(rundown.AsyncManager))
+//	rep, err := r.Run(ctx, rundown.Job{Prog: prog, Opt: opt})
+//
+// Three backends stand behind the same two methods:
+//
+//   - the goroutine executive (default): real workers run the phases'
+//     Work functions under a pluggable manager — the paper-faithful
+//     SerialManager (one global executive lock), the ShardedManager
+//     (per-worker task deques, batched completion submission, work
+//     stealing, optional adaptive batching), or the AsyncManager (all
+//     management on one dedicated background goroutine, the paper's
+//     separate executive processor);
+//   - the multi-tenant pool (WithPool, and RunAll on any real Runner):
+//     several jobs share one worker set under overlap-first dispatch, so
+//     one job's rundown is filled by another job's work;
+//   - the virtual machine (WithVirtualTime): a deterministic
+//     discrete-event simulation of a P-processor machine that prices
+//     every management operation, with a resource model per manager
+//     (StealsWorker, Dedicated, ShardedMgmt, AdaptiveMgmt, AsyncMgmt).
+//
+// Run and RunAll honor context cancellation end to end: cancelling ctx
+// aborts the run at the next dispatch boundary, releases parked workers,
+// joins every internal goroutine, and returns an error wrapping
+// ctx.Err(). WithObserver streams live utilization/overhead Snapshots
+// from all backends — wall-clock sampled on hardware, emitted at
+// deterministic virtual-time marks in simulation. Capabilities reports
+// statically what a manager/model pairing supports (multi-program
+// pricing, pool dispatch, adaptive batching), so ErrUnsupportedMgmt is
+// checkable before anything runs.
+//
+// # Legacy entry points
+//
+// Simulate, SimulateMulti, Execute and NewPool predate the Runner and
+// are kept as thin wrappers over it — same semantics, no context, no
+// unified Report. New code should use a Runner.
+//
+// # Describing computations
 //
 //   - Phase/Program describe phase-structured computations with declared
 //     enablement mappings (Universal, Identity, Null, Forward, Reverse,
 //     Seam);
-//   - Simulate runs a program on a deterministic discrete-event model of a
-//     P-processor machine with a serial executive, reporting utilization,
-//     makespan and the computation-to-management ratio;
-//   - Execute runs a program on real goroutine workers under a pluggable
-//     manager — the paper-faithful SerialManager (one global executive
-//     lock), the ShardedManager (per-worker task deques, batched
-//     completion submission, work stealing), or the AsyncManager (all
-//     management on one dedicated background goroutine, the paper's
-//     separate executive processor) — executing the phases' Work
-//     functions;
 //   - ParsePax/InterpretPax accept the paper's PAX-style control language
 //     (DEFINE PHASE / DISPATCH / ENABLE, branch lookahead, interlock
 //     verification);

@@ -1,11 +1,14 @@
-// Quickstart: declare two identity-mapped phases with real work, run them
-// on goroutine workers with phase overlap, and compare against the strict
-// barrier baseline.
+// Quickstart: declare two identity-mapped phases with real work, run
+// them through the rundown.Runner front door on goroutine workers with
+// phase overlap, and compare against the strict barrier baseline. The
+// same Job spec would run on the virtual machine by swapping the
+// Runner's options for rundown.WithVirtualTime.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -46,14 +49,24 @@ func build(src, dst []float64) *rundown.Program {
 }
 
 func main() {
+	// One front door: the Runner is configured once and runs every job;
+	// Run takes a context, so callers can cancel long computations.
+	runner, err := rundown.New(rundown.WithWorkers(8))
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, overlap := range []bool{false, true} {
 		src := make([]float64, n)
 		dst := make([]float64, n)
-		rep, err := rundown.Execute(build(src, dst), rundown.Options{
-			Grain:   512,
-			Overlap: overlap,
-			Costs:   rundown.DefaultCosts(),
-		}, rundown.ExecConfig{Workers: 8})
+		rep, err := runner.Run(context.Background(), rundown.Job{
+			Name: "quickstart",
+			Prog: build(src, dst),
+			Opt: rundown.Options{
+				Grain:   512,
+				Overlap: overlap,
+				Costs:   rundown.DefaultCosts(),
+			},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,5 +1,8 @@
 // Tenancy: run two jobs on one shared worker pool so that one job's
-// rundown is filled by the other job's work.
+// rundown is filled by the other job's work — through the rundown.Runner
+// front door: one RunAll call submits both jobs to the multi-tenant pool
+// and returns a unified report with per-job outcomes and the pool's
+// backfill accounting.
 //
 // The "ragged" job is phase-structured with very uneven granule times and
 // null barriers: at every phase tail most of its home workers have
@@ -7,13 +10,14 @@
 // job is a long identity-mapped stream of small granules. The pool's
 // overlap-first dispatch policy keeps each job's makespan close to
 // running alone (home workers serve their own job first) while routing
-// the ragged job's idle moments into steady-job work, which the pool
-// report shows as backfill.
+// the ragged job's idle moments into steady-job work, which the report
+// shows as backfill.
 //
 //	go run ./examples/tenancy
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -74,10 +78,10 @@ func buildSteady(acc []int32) (*rundown.Program, error) {
 }
 
 func main() {
-	pool, err := rundown.NewPool(rundown.PoolConfig{
-		Workers: 4,
-		Manager: rundown.ShardedManager,
-	})
+	runner, err := rundown.New(
+		rundown.WithWorkers(4),
+		rundown.WithManager(rundown.ShardedManager),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,28 +97,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	ragged, err := pool.Submit(raggedProg, rundown.Options{
-		Grain: 1, Costs: rundown.DefaultCosts(),
-	}, rundown.PoolJobConfig{Name: "ragged", Priority: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	steady, err := pool.Submit(steadyProg, rundown.Options{
-		Grain: 4, Overlap: true, Costs: rundown.DefaultCosts(),
-	}, rundown.PoolJobConfig{Name: "steady"})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	raggedRep, err := ragged.Wait()
-	if err != nil {
-		log.Fatal(err)
-	}
-	steadyRep, err := steady.Wait()
-	if err != nil {
-		log.Fatal(err)
-	}
-	poolRep, err := pool.Close()
+	// RunAll shares one worker set between the jobs (the tenant pool
+	// behind the front door); Priority orders the backfill.
+	rep, err := runner.RunAll(context.Background(), []rundown.Job{
+		{
+			Name: "ragged", Prog: raggedProg, Priority: 1,
+			Opt: rundown.Options{Grain: 1, Costs: rundown.DefaultCosts()},
+		},
+		{
+			Name: "steady", Prog: steadyProg,
+			Opt: rundown.Options{Grain: 4, Overlap: true, Costs: rundown.DefaultCosts()},
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -131,10 +125,10 @@ func main() {
 		}
 	}
 
-	fmt.Printf("ragged: wall=%-12v tasks=%-5d backfill-received=%d\n",
-		raggedRep.Wall, raggedRep.Tasks, ragged.BackfillTasks())
-	fmt.Printf("steady: wall=%-12v tasks=%-5d backfill-received=%d\n",
-		steadyRep.Wall, steadyRep.Tasks, steady.BackfillTasks())
-	fmt.Printf("pool:   %v\n", poolRep)
+	for _, j := range rep.Jobs {
+		fmt.Printf("%s: wall=%-12v tasks=%-5d backfill-received=%d\n",
+			j.Name, j.Exec.Wall, j.Exec.Tasks, j.Backfill)
+	}
+	fmt.Printf("pool:   %v\n", rep.Pool)
 	fmt.Println("both jobs correct; the steady job's backfill count is ragged-job rundown put to work")
 }

@@ -193,6 +193,15 @@ func (m *async) cycleLocked() (alive, progressed bool) {
 		return false, false
 	}
 	for {
+		// The failure check precedes the drain: once the run has failed
+		// (abort, cancellation, panic) queued completions are dropped,
+		// never applied — the same nothing-mutates-the-state-machine-
+		// after-the-failure-point invariant the serial and sharded
+		// managers enforce on their submission paths.
+		if m.failed.Load() {
+			m.finishLocked()
+			return false, true
+		}
 		m0 := time.Now()
 		drained := m.drainLocked()
 		if drained {
@@ -423,8 +432,12 @@ func (m *async) TryNext(w int) (core.Task, bool) {
 // management doorbell. It reports false: the completion has only been
 // handed to the management goroutine, so no successor work can have been
 // released by this call — the pool learns about releases through the
-// Notifier callback instead.
+// Notifier callback instead. A completion arriving after the run failed
+// is dropped, matching the other managers' post-failure contract.
 func (m *async) Complete(w int, t core.Task) bool {
+	if m.failed.Load() || m.finished.Load() {
+		return false
+	}
 	for !m.comp.push(t) {
 		// Queue full: the management goroutine is far behind. Help drain
 		// inline, or yield to whoever currently owns the state machine.
@@ -467,8 +480,23 @@ func (m *async) InFlight() int {
 	return m.sm.InFlight()
 }
 
+// Abort terminates the run with err — unless the state machine has
+// already completed (checked under smMu, the lock that serialized the
+// finishing cycle, so there is no window): a late cancellation must not
+// poison a fully-executed run's results. Callers observe the refusal
+// through Err() == nil.
 func (m *async) Abort(err error) {
+	m.smMu.Lock()
+	if !m.failed.Load() && m.sm.Done() {
+		m.smMu.Unlock()
+		return
+	}
+	// fail() under smMu: releasing the lock between the Done check and
+	// the error store would let a final management cycle complete the
+	// run in the gap and still get poisoned. smMu -> errMu is the
+	// established order (management cycles call fail under smMu).
 	m.fail(err)
+	m.smMu.Unlock()
 	m.ring()
 }
 

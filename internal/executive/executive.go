@@ -22,6 +22,7 @@
 package executive
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -69,6 +70,17 @@ type Config struct {
 	// MgmtTarget is the adaptive controller's lock-overhead-share
 	// setpoint; <= 0 selects 0.02. Ignored unless Adaptive.
 	MgmtTarget float64
+	// Observer, when non-nil, receives periodic Snapshots sampled on a
+	// dedicated goroutine while the run is live, plus one Final snapshot
+	// after the workers exit — built from the finished Report on
+	// success, from the counters accumulated so far on failure or
+	// cancellation. The callback must not block for long — it delays
+	// only the sampler, not the workers, but a stuck callback delays run
+	// teardown.
+	Observer func(Snapshot)
+	// ObservePeriod is the sampling period; <= 0 selects 10ms. Ignored
+	// without Observer.
+	ObservePeriod time.Duration
 }
 
 // Report aggregates a run's measurements.
@@ -103,8 +115,36 @@ func (r *Report) String() string {
 // Run executes prog on cfg.Workers goroutines with scheduler options opt
 // under the configured manager. It returns when every phase has completed.
 func Run(prog *core.Program, opt core.Options, cfg Config) (*Report, error) {
+	return RunContext(context.Background(), prog, opt, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled
+// the run aborts at the next dispatch boundary — workers finish the task
+// in hand, parked workers are released, any dedicated management
+// goroutine is joined — and the error wraps ctx.Err() (test with
+// errors.Is). Teardown leaks no goroutines. A nil ctx behaves like
+// context.Background().
+func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg Config) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// failEarly keeps the observer contract — one Final snapshot on
+	// every outcome — for runs that die before starting: the stream
+	// opens and closes with a single bare Final.
+	failEarly := func(err error) (*Report, error) {
+		if cfg.Observer != nil {
+			cfg.Observer(Snapshot{Final: true})
+		}
+		return nil, err
+	}
+	// An already-cancelled context aborts deterministically before any
+	// work: relying on the watcher goroutine alone would let a short
+	// program finish before the watcher is ever scheduled.
+	if err := ctx.Err(); err != nil {
+		return failEarly(fmt.Errorf("executive: run canceled: %w", err))
+	}
 	if cfg.Workers < 1 {
-		return nil, fmt.Errorf("executive: need at least 1 worker")
+		return failEarly(fmt.Errorf("executive: need at least 1 worker"))
 	}
 	if opt.Workers <= 0 {
 		opt.Workers = cfg.Workers
@@ -117,17 +157,32 @@ func Run(prog *core.Program, opt core.Options, cfg Config) (*Report, error) {
 	}
 	sched, err := core.New(prog, opt)
 	if err != nil {
-		return nil, err
+		return failEarly(err)
 	}
 	mgr, err := newManager(sched, cfg)
 	if err != nil {
-		return nil, err
+		return failEarly(err)
 	}
 
 	e := &engine{mgr: mgr, prog: prog}
 
 	start := time.Now()
 	mgr.Start()
+
+	// Cancellation watcher: ctx firing aborts the manager, which releases
+	// parked workers and makes every subsequent Next return ok=false. The
+	// watcher is joined before RunContext returns so teardown is
+	// goroutine-leak-free.
+	stopWatch := WatchCancel(ctx, func(err error) {
+		mgr.Abort(fmt.Errorf("executive: run canceled: %w", err))
+	})
+
+	var smp *Sampler
+	if cfg.Observer != nil {
+		smp = StartSampler(cfg.ObservePeriod, func() {
+			cfg.Observer(liveSnapshot(start, cfg.Workers, e.compute.Load(), e.tasks.Load(), mgr))
+		})
+	}
 
 	var wg sync.WaitGroup
 	wg.Add(cfg.Workers)
@@ -144,8 +199,18 @@ func Run(prog *core.Program, opt core.Options, cfg Config) (*Report, error) {
 	if j, ok := mgr.(Joiner); ok {
 		j.Join()
 	}
+	stopWatch()
+	smp.Stop()
 
 	if err := mgr.Err(); err != nil {
+		// The observer contract promises a closing Final snapshot on
+		// every outcome: a failed or cancelled run closes the stream with
+		// the counters accumulated so far.
+		if cfg.Observer != nil {
+			final := liveSnapshot(start, cfg.Workers, e.compute.Load(), e.tasks.Load(), mgr)
+			final.Final = true
+			cfg.Observer(final)
+		}
 		return nil, err
 	}
 
@@ -164,6 +229,17 @@ func Run(prog *core.Program, opt core.Options, cfg Config) (*Report, error) {
 	}
 	if wall > 0 {
 		rep.Utilization = float64(rep.Compute) / (float64(cfg.Workers) * float64(wall))
+	}
+	if cfg.Observer != nil {
+		final := Snapshot{
+			Elapsed: wall, Tasks: rep.Tasks,
+			Compute: rep.Compute, Mgmt: rep.Mgmt, Idle: rep.Idle,
+			Utilization: rep.Utilization, Final: true, Done: true,
+		}
+		if wall > 0 {
+			final.OverheadShare = float64(rep.Mgmt) / (float64(cfg.Workers) * float64(wall))
+		}
+		cfg.Observer(final)
 	}
 	return rep, nil
 }

@@ -2,6 +2,7 @@ package executive
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -185,18 +186,50 @@ func (k ManagerKind) String() string {
 	}
 }
 
-// ParseManager parses a -manager flag value.
-func ParseManager(s string) (ManagerKind, error) {
-	switch s {
-	case "serial":
-		return SerialManager, nil
-	case "sharded":
-		return ShardedManager, nil
-	case "async":
-		return AsyncManager, nil
-	default:
-		return 0, fmt.Errorf("executive: unknown manager %q (serial|sharded|async)", s)
+// ManagerNames lists the accepted ParseManager names in declaration
+// order. CLI help strings and parse errors are built from it so the
+// enumeration cannot drift from the parser.
+func ManagerNames() []string {
+	names := make([]string, 0, len(ManagerKinds()))
+	for _, k := range ManagerKinds() {
+		names = append(names, k.String())
 	}
+	return names
+}
+
+// ParseManager parses a -manager flag value. Matching is
+// case-insensitive and tolerates surrounding whitespace; the error
+// enumerates the valid names.
+func ParseManager(s string) (ManagerKind, error) {
+	name := strings.ToLower(strings.TrimSpace(s))
+	for _, k := range ManagerKinds() {
+		if name == k.String() {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("executive: unknown manager %q (valid managers: %s)",
+		s, strings.Join(ManagerNames(), "|"))
+}
+
+// Every built-in manager implements the PoolDriver surface; these
+// compile-time assertions are what keeps SupportsPool's static answer
+// honest.
+var (
+	_ PoolDriver = (*serial)(nil)
+	_ PoolDriver = (*sharded)(nil)
+	_ PoolDriver = (*async)(nil)
+)
+
+// SupportsPool reports whether kind's manager implements the PoolDriver
+// surface the multi-tenant pool drives — the static form of the
+// NewPoolDriver capability check (a conformance test pins the two
+// together). False also covers unknown kinds.
+func SupportsPool(kind ManagerKind) bool {
+	switch kind {
+	case SerialManager, ShardedManager, AsyncManager:
+		return true
+	}
+	return false
 }
 
 // newManager builds the configured Manager over sm.

@@ -105,10 +105,18 @@ func (m *serial) next(w int, park bool) (core.Task, bool) {
 	}
 }
 
-// Complete submits the completion immediately under the global lock.
+// Complete submits the completion immediately under the global lock. A
+// completion arriving after the run failed (abort, cancellation, panic)
+// is dropped without touching the state machine: the run's results are
+// void, and nothing may mutate the state machine after the failure point
+// — Job.Wait and the report path read its statistics as soon as the job
+// is retired.
 func (m *serial) Complete(w int, t core.Task) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.err != nil {
+		return false
+	}
 	m1 := time.Now()
 	func() {
 		defer func() {
@@ -140,9 +148,17 @@ func (m *serial) InFlight() int {
 	return m.sm.InFlight()
 }
 
+// Abort terminates the run with err. A run whose state machine has
+// already completed refuses the abort (checked under the same lock that
+// serialized the completion, so there is no window): every Work
+// function ran and the results are valid — a late cancellation must not
+// poison them. Callers observe the refusal through Err() == nil.
 func (m *serial) Abort(err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.err == nil && m.sm.Done() {
+		return
+	}
 	if m.err == nil {
 		m.err = err
 	}

@@ -440,6 +440,14 @@ func (m *sharded) flushLocked(w int) {
 	if len(sh.done) == 0 {
 		return
 	}
+	if m.err != nil {
+		// The run already failed (abort, cancellation, earlier panic): the
+		// batch is dropped, not applied — nothing may mutate the state
+		// machine after the failure point, because the pool and Job.Wait
+		// read its statistics as soon as the job is retired.
+		sh.done = sh.done[:0]
+		return
+	}
 	func() {
 		defer func() {
 			if r := recover(); r != nil && m.err == nil {
@@ -526,9 +534,16 @@ func (m *sharded) InFlight() int {
 	return m.sm.InFlight()
 }
 
+// Abort terminates the run with err — unless the state machine has
+// already completed (checked under the global lock, no window): a late
+// cancellation must not poison a fully-executed run's results. Callers
+// observe the refusal through Err() == nil.
 func (m *sharded) Abort(err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.err == nil && m.sm.Done() {
+		return
+	}
 	m.failLocked(err)
 }
 

@@ -36,6 +36,29 @@ func SetManagerFilter(s string) error {
 // SetAdaptive toggles E10's sharded+adaptive arm.
 func SetAdaptive(b bool) { adaptiveArm = b }
 
+// asyncReady/asyncLowWater/execBatch parameterize the goroutine
+// executives in E10 and E13: the async manager's ready-buffer bounds
+// and the completion batch size for every manager kind. Zero keeps the
+// executive defaults. cmd/experiments sets them from the shared
+// -ready/-low-water/-batch flags (internal/cliflags).
+var asyncReady, asyncLowWater, execBatch int
+
+// SetExecKnobs threads the shared CLI executive knobs into the
+// goroutine-executive experiments (E10, E13).
+func SetExecKnobs(ready, lowWater, batch int) {
+	asyncReady, asyncLowWater, execBatch = ready, lowWater, batch
+}
+
+// execConfig builds the goroutine executive configuration the
+// experiments share, applying the CLI knobs from SetExecKnobs.
+func execConfig(workers int, kind executive.ManagerKind) executive.Config {
+	cfg := executive.Config{Workers: workers, Manager: kind, Batch: execBatch}
+	if kind == executive.AsyncManager {
+		cfg.ReadyCap, cfg.LowWater = asyncReady, asyncLowWater
+	}
+	return cfg
+}
+
 // e10Workload is one real-work program generator for the manager
 // comparison.
 type e10Workload struct {
@@ -129,9 +152,7 @@ func E10Managers(scale Scale) (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", wl.name, err)
 			}
-			rep, err := executive.Run(prog, opt, executive.Config{
-				Workers: workers, Manager: kind,
-			})
+			rep, err := executive.Run(prog, opt, execConfig(workers, kind))
 			if err != nil {
 				return nil, fmt.Errorf("%s/%v: %w", wl.name, kind, err)
 			}
@@ -146,9 +167,7 @@ func E10Managers(scale Scale) (*Table, error) {
 				return nil, fmt.Errorf("%s: %w", wl.name, err)
 			}
 			opt.AdaptiveBatch = true
-			rep, err := executive.Run(prog, opt, executive.Config{
-				Workers: workers, Manager: executive.ShardedManager,
-			})
+			rep, err := executive.Run(prog, opt, execConfig(workers, executive.ShardedManager))
 			if err != nil {
 				return nil, fmt.Errorf("%s/sharded+adaptive: %w", wl.name, err)
 			}

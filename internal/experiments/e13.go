@@ -56,9 +56,7 @@ func E13AsyncExecutive(scale Scale) (*Table, error) {
 				if err != nil {
 					return nil, fmt.Errorf("%s: %w", wl.name, err)
 				}
-				rep, err := executive.Run(prog, opt, executive.Config{
-					Workers: workers, Manager: kind,
-				})
+				rep, err := executive.Run(prog, opt, execConfig(workers, kind))
 				if err != nil {
 					return nil, fmt.Errorf("%s/%v/%d: %w", wl.name, kind, workers, err)
 				}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -120,6 +121,7 @@ type mitem struct {
 	gen    int64
 	job    int
 	task   core.Task
+	dur    int64 // completed task's compute cost (isDone only)
 }
 
 type mqueue []mitem
@@ -153,36 +155,67 @@ func (h mqueue) peekTime() (int64, bool) {
 	return h[0].at, true
 }
 
+// SupportsMulti reports whether RunMulti can price model — the static
+// form of the ErrUnsupportedMgmt check, so a caller can discover the
+// rejection before building jobs and running. RunMulti's own gate is
+// derived from it, so the two can never disagree: per-worker batch state
+// (Adaptive) and the shared ready-buffer (Async) do not interleave with
+// cross-job backfill — a worker switching jobs would strand buffered
+// tasks of the job it left.
+func SupportsMulti(m MgmtModel) bool {
+	switch m {
+	case Adaptive, Async:
+		return false
+	}
+	return true
+}
+
 // RunMulti simulates jobs sharing one machine under cfg. All jobs start
 // at t=0. Config.BucketWidth, Gantt and the timeline are not used in
 // multi-program mode; Mgmt selects the StealsWorker, Dedicated or Sharded
-// management model (the batched Adaptive model is single-program only —
-// per-job batch controllers interleaved with cross-job backfill is an
-// open item).
+// management model (SupportsMulti reports the accepted set — the batched
+// Adaptive model and the ready-buffer Async model are single-program
+// only).
 func RunMulti(jobs []JobSpec, cfg Config) (*MultiResult, error) {
+	return RunMultiContext(context.Background(), jobs, cfg)
+}
+
+// RunMultiContext is RunMulti with cooperative cancellation: the event
+// loop checks ctx between management operations and a cancelled run
+// returns an error wrapping ctx.Err() (test with errors.Is). A nil ctx
+// behaves like context.Background().
+func RunMultiContext(ctx context.Context, jobs []JobSpec, cfg Config) (*MultiResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// failEarly keeps the observer contract — one Final snapshot on
+	// every outcome — for runs that die before starting.
+	failEarly := func(err error) (*MultiResult, error) {
+		if cfg.Observer != nil {
+			cfg.Observer(Snapshot{Final: true})
+		}
+		return nil, err
+	}
 	if len(jobs) == 0 {
-		return nil, fmt.Errorf("sim: RunMulti needs at least one job")
+		return failEarly(fmt.Errorf("sim: RunMulti needs at least one job"))
 	}
 	if cfg.Procs < 1 {
-		return nil, fmt.Errorf("sim: need at least 1 processor")
+		return failEarly(fmt.Errorf("sim: need at least 1 processor"))
 	}
-	switch cfg.Mgmt {
-	case Adaptive, Async:
-		// Per-worker batch state (Adaptive) and the shared ready-buffer
-		// (Async) do not interleave with cross-job backfill — a worker
-		// switching jobs would strand buffered tasks of the job it left.
-		return nil, fmt.Errorf("%w: the %v model is single-program only (multi-program runs support steals-worker, dedicated, and sharded)",
-			ErrUnsupportedMgmt, cfg.Mgmt)
+	if !SupportsMulti(cfg.Mgmt) {
+		return failEarly(fmt.Errorf("%w: the %v model is single-program only (multi-program runs support steals-worker, dedicated, and sharded)",
+			ErrUnsupportedMgmt, cfg.Mgmt))
 	}
 	workers := cfg.Procs
 	if cfg.Mgmt == StealsWorker {
 		workers = cfg.Procs - 1
 		if workers < 1 {
-			return nil, fmt.Errorf("sim: StealsWorker model needs at least 2 processors")
+			return failEarly(fmt.Errorf("sim: StealsWorker model needs at least 2 processors"))
 		}
 	}
 
 	s := &mstate{
+		ctx:        ctx,
 		model:      cfg.Mgmt,
 		workers:    workers,
 		procs:      cfg.Procs,
@@ -193,7 +226,7 @@ func RunMulti(jobs []JobSpec, cfg Config) (*MultiResult, error) {
 		askGen:     make([]int64, workers),
 		workerFree: make([]int64, workers),
 	}
-	var totalGranules int64
+	var totalGranules, totalCost int64
 	for i := range jobs {
 		spec := jobs[i]
 		if spec.Name == "" {
@@ -208,27 +241,36 @@ func RunMulti(jobs []JobSpec, cfg Config) (*MultiResult, error) {
 		}
 		sched, err := core.New(spec.Prog, opt)
 		if err != nil {
-			return nil, fmt.Errorf("sim: job %q: %w", spec.Name, err)
+			return failEarly(fmt.Errorf("sim: job %q: %w", spec.Name, err))
 		}
 		s.jobs = append(s.jobs, &mjob{spec: spec, sched: sched})
 		totalGranules += int64(spec.Prog.TotalGranules())
+		totalCost += int64(spec.Prog.TotalCost())
 	}
+	s.obs = newObserver(cfg.Observer, cfg.ObserveEvery, totalCost, workers)
 
 	maxOps := cfg.MaxOps
 	if maxOps <= 0 {
 		maxOps = totalGranules*64 + int64(workers)*1024 + 1_000_000
 	}
 	if err := s.run(maxOps); err != nil {
+		// Close the observer stream on failure too, with the counters
+		// accumulated so far.
+		s.obs.final(s.snapshot(s.frontier()))
 		return nil, err
 	}
-	return s.result(), nil
+	res := s.result()
+	s.obs.final(s.snapshot(res.Makespan))
+	return res, nil
 }
 
 type mstate struct {
+	ctx     context.Context
 	jobs    []*mjob
 	model   MgmtModel
 	workers int
 	procs   int
+	obs     *observer
 
 	queue      mqueue
 	seq        int64
@@ -243,6 +285,7 @@ type mstate struct {
 
 	idleUnits    int64
 	computeUnits int64
+	doneUnits    int64 // compute of tasks whose completion event was served
 	mgmtUnits    int64
 	lastDone     int64
 }
@@ -414,6 +457,11 @@ func (s *mstate) push(it mitem) {
 }
 
 func (s *mstate) run(maxOps int64) error {
+	// An already-cancelled context aborts before any work (the in-loop
+	// poll is batched and would let a small run finish unobserved).
+	if err := s.ctx.Err(); err != nil {
+		return fmt.Errorf("sim: multi run canceled at t=0: %w", err)
+	}
 	for _, j := range s.jobs {
 		fin := s.serve(s.serverFree, j.sched.Start())
 		if j.sched.Stats().SerialCost > 0 {
@@ -438,6 +486,18 @@ func (s *mstate) run(maxOps int64) error {
 		ops++
 		if ops > maxOps {
 			return fmt.Errorf("sim: multi run exceeded %d management operations (runaway?)", maxOps)
+		}
+		// Cooperative cancellation, as in the single-program loop: one ctx
+		// poll per batch of management operations.
+		if ops&1023 == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return fmt.Errorf("sim: multi run canceled at t=%d: %w", s.frontier(), err)
+			}
+		}
+		// Guarded here, not in maybe: an unobserved run must not pay the
+		// O(jobs) frontier scan per event.
+		if s.obs != nil {
+			s.obs.maybe(s.frontier(), s.snapshot)
 		}
 
 		// Idle executive moment (nothing due before the management
@@ -546,10 +606,13 @@ func (s *mstate) dispatch(worker, ji int, backfill bool, task core.Task, at int6
 	if end > s.workerFree[worker] {
 		s.workerFree[worker] = end
 	}
-	s.push(mitem{at: end, isDone: true, proc: worker, job: ji, task: task})
+	s.push(mitem{at: end, isDone: true, proc: worker, job: ji, task: task, dur: dur})
 }
 
 func (s *mstate) completeTask(req mitem) {
+	// Done-work accrual for the observer (see the single-program loop):
+	// snapshots count a task's compute only once it has completed.
+	s.doneUnits += req.dur
 	j := s.jobs[req.job]
 	serial0 := j.sched.Stats().SerialCost
 	cost := j.sched.Complete(req.task)
@@ -569,6 +632,48 @@ func (s *mstate) completeTask(req mitem) {
 	}
 	s.wake(fin)
 	s.push(mitem{at: fin, proc: req.proc, gen: s.askGen[req.proc]})
+}
+
+// frontier is the run's virtual-time high-water mark, matching the
+// makespan quantity result() reports: the last completion event or
+// completion-processing finish. The management server's own horizon
+// (serverFree) is deliberately excluded — trailing zero-cost asks and
+// deferred absorption can push it past the final makespan, and the
+// observer stream must never report a VirtualTime beyond the Final
+// snapshot's.
+func (s *mstate) frontier() int64 {
+	f := s.lastDone
+	for _, j := range s.jobs {
+		if j.makespan > f {
+			f = j.makespan
+		}
+	}
+	return f
+}
+
+// snapshot builds an observation of the multi-program run at virtual
+// time at. Jobs counts the still-unfinished jobs, so a live observer
+// watches the tenancy drain; ComputeUnits counts completed tasks only
+// (see the single-program snapshot).
+func (s *mstate) snapshot(at int64) Snapshot {
+	sn := Snapshot{
+		VirtualTime:  at,
+		ComputeUnits: s.doneUnits,
+		MgmtUnits:    s.mgmtUnits,
+		IdleUnits:    s.idleUnits,
+	}
+	for _, j := range s.jobs {
+		sn.Tasks += j.sched.Stats().Dispatches
+		if !j.done {
+			sn.Jobs++
+		}
+	}
+	if at > 0 {
+		capacity := float64(s.procs) * float64(at)
+		sn.Utilization = float64(sn.ComputeUnits) / capacity
+		sn.OverheadShare = float64(s.mgmtUnits) / capacity
+	}
+	return sn
 }
 
 func (s *mstate) result() *MultiResult {

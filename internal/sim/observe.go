@@ -1,0 +1,95 @@
+package sim
+
+// This file is the virtual-time observability surface: a simulation run
+// configured with Config.Observer emits periodic Snapshots as its virtual
+// frontier advances, so a caller can watch utilization and overhead build
+// up *inside* a deterministic run instead of only reading the final
+// Result. The emission points are deterministic — snapshots fire when the
+// frontier crosses fixed virtual-time marks, never from a wall-clock
+// ticker — so an observed run produces the same snapshot sequence every
+// time, and observation cannot perturb the schedule.
+
+// Snapshot is one periodic observation of a running simulation. All
+// counters are cumulative since t=0. IdleUnits only counts closed park
+// intervals (a worker still parked at the snapshot mark contributes
+// nothing until it wakes), matching how the run loop accounts idle time.
+type Snapshot struct {
+	// VirtualTime is the frontier the run had reached when the snapshot
+	// fired: the later of the management server's horizon and the last
+	// task completion.
+	VirtualTime int64
+	// Tasks is the number of tasks dispatched so far.
+	Tasks int64
+	// ComputeUnits, MgmtUnits and IdleUnits are the cumulative totals so
+	// far, in virtual units. ComputeUnits counts completed tasks only —
+	// in-flight tasks' remaining work is excluded, so Utilization can
+	// never read above 1.
+	ComputeUnits int64
+	MgmtUnits    int64
+	IdleUnits    int64
+	// Utilization is ComputeUnits / (Procs * VirtualTime) so far.
+	Utilization float64
+	// OverheadShare is MgmtUnits / (Procs * VirtualTime) so far — the
+	// work-inflation share the executive is consuming.
+	OverheadShare float64
+	// Batch is the Adaptive model's current refill batch size (zero under
+	// the other models) — live evidence of the controller moving.
+	Batch int
+	// Jobs is the number of unfinished jobs: 1 while a single-program
+	// run is live (0 on its Final snapshot); counts down to 0 in
+	// multi-program runs.
+	Jobs int
+	// Final marks the closing snapshot, emitted once at the makespan with
+	// the run's finished totals.
+	Final bool
+}
+
+// observeStride picks the default snapshot stride for a run whose total
+// cost divided over the workers estimates the makespan: about 16
+// snapshots per run.
+func observeStride(totalCost int64, workers int) int64 {
+	est := totalCost/int64(workers) + 1
+	stride := est / 16
+	if stride < 1 {
+		stride = 1
+	}
+	return stride
+}
+
+// observer is the shared emission state for both run loops.
+type observer struct {
+	fn     func(Snapshot)
+	stride int64
+	next   int64
+}
+
+func newObserver(fn func(Snapshot), every, totalCost int64, workers int) *observer {
+	if fn == nil {
+		return nil
+	}
+	if every <= 0 {
+		every = observeStride(totalCost, workers)
+	}
+	return &observer{fn: fn, stride: every, next: every}
+}
+
+// maybe emits one snapshot when frontier has crossed the next mark. snap
+// must build the snapshot at the frontier. Advancing next past the
+// frontier (not by one stride) keeps long event gaps from flushing a
+// burst of identical snapshots.
+func (o *observer) maybe(frontier int64, snap func(at int64) Snapshot) {
+	if o == nil || frontier < o.next {
+		return
+	}
+	o.fn(snap(frontier))
+	o.next = (frontier/o.stride + 1) * o.stride
+}
+
+// final emits the closing snapshot.
+func (o *observer) final(s Snapshot) {
+	if o == nil {
+		return
+	}
+	s.Final = true
+	o.fn(s)
+}

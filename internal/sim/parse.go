@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ModelNames lists the accepted ParseModel spellings, one per model, in
+// declaration order. CLI help strings and parse errors are built from it
+// so the enumeration cannot drift from the parser.
+func ModelNames() []string {
+	return []string{"steals-worker", "dedicated", "sharded", "adaptive", "async"}
+}
+
+// ParseModel parses a management-model name as written in CLI flags.
+// Matching is case-insensitive and tolerates surrounding whitespace;
+// "steals" is accepted as shorthand for "steals-worker". The error
+// enumerates the valid names.
+func ParseModel(s string) (MgmtModel, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "steals-worker", "steals":
+		return StealsWorker, nil
+	case "dedicated":
+		return Dedicated, nil
+	case "sharded":
+		return Sharded, nil
+	case "adaptive":
+		return Adaptive, nil
+	case "async":
+		return Async, nil
+	}
+	return 0, fmt.Errorf("sim: unknown management model %q (valid models: %s)",
+		s, strings.Join(ModelNames(), "|"))
+}

@@ -45,6 +45,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -127,6 +128,17 @@ type Config struct {
 	// than this many tasks. <= 0 selects ReadyCap/4 (minimum 1). Other
 	// models ignore it.
 	LowWater int
+	// Observer, when non-nil, receives periodic Snapshots as the run's
+	// virtual frontier advances, plus one Final snapshot on every
+	// outcome — at the makespan on success, at the frontier reached on
+	// failure or cancellation. Emission points are deterministic (fixed
+	// virtual-time marks), so observation never perturbs the schedule.
+	// Both Run and RunMulti honor it.
+	Observer func(Snapshot)
+	// ObserveEvery is the snapshot stride in virtual units; <= 0 selects
+	// roughly 16 snapshots from a makespan estimate. Ignored without
+	// Observer.
+	ObserveEvery int64
 }
 
 // PhaseTrace describes one phase's schedule within a run.
@@ -189,12 +201,15 @@ type Result struct {
 	Gantt *metrics.Gantt
 }
 
-// event is a scheduled future occurrence (task completion).
+// event is a scheduled future occurrence (task completion). dur carries
+// the task's compute cost so completion-time accounting (the observer's
+// done-work counter) does not re-evaluate the cost function.
 type event struct {
 	at   int64
 	seq  int64
 	task core.Task
 	proc int
+	dur  int64
 }
 
 type eventHeap []event
@@ -222,18 +237,38 @@ type request struct {
 	proc   int   // worker involved (-1 for none)
 	isDone bool  // true: completion processing; false: task request
 	task   core.Task
+	dur    int64 // completed task's compute cost (isDone only)
 }
 
 // Run simulates prog under the scheduler options opt on the machine cfg.
 func Run(prog *core.Program, opt core.Options, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), prog, opt, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the event loop checks
+// ctx between management operations and a cancelled run returns an error
+// wrapping ctx.Err() (test with errors.Is). A nil ctx behaves like
+// context.Background().
+func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// failEarly keeps the observer contract — one Final snapshot on
+	// every outcome — for runs that die before starting.
+	failEarly := func(err error) (*Result, error) {
+		if cfg.Observer != nil {
+			cfg.Observer(Snapshot{Final: true})
+		}
+		return nil, err
+	}
 	if cfg.Procs < 1 {
-		return nil, fmt.Errorf("sim: need at least 1 processor")
+		return failEarly(fmt.Errorf("sim: need at least 1 processor"))
 	}
 	workers := cfg.Procs
 	if cfg.Mgmt == StealsWorker {
 		workers = cfg.Procs - 1
 		if workers < 1 {
-			return nil, fmt.Errorf("sim: StealsWorker model needs at least 2 processors")
+			return failEarly(fmt.Errorf("sim: StealsWorker model needs at least 2 processors"))
 		}
 	}
 	if opt.Workers <= 0 {
@@ -241,7 +276,7 @@ func Run(prog *core.Program, opt core.Options, cfg Config) (*Result, error) {
 	}
 	sched, err := core.New(prog, opt)
 	if err != nil {
-		return nil, err
+		return failEarly(err)
 	}
 
 	bucket := cfg.BucketWidth
@@ -264,6 +299,7 @@ func Run(prog *core.Program, opt core.Options, cfg Config) (*Result, error) {
 	}
 
 	s := &state{
+		ctx:        ctx,
 		sched:      sched,
 		prog:       prog,
 		model:      cfg.Mgmt,
@@ -271,6 +307,7 @@ func Run(prog *core.Program, opt core.Options, cfg Config) (*Result, error) {
 		procs:      cfg.Procs,
 		tl:         tl,
 		gantt:      gantt,
+		obs:        newObserver(cfg.Observer, cfg.ObserveEvery, int64(prog.TotalCost()), workers),
 		phases:     make([]PhaseTrace, len(prog.Phases)),
 		parkedA:    make([]int64, workers),
 		parked:     make([]bool, workers),
@@ -308,12 +345,19 @@ func Run(prog *core.Program, opt core.Options, cfg Config) (*Result, error) {
 	}
 
 	if err := s.run(maxOps); err != nil {
+		// The observer contract promises a closing Final snapshot on
+		// every outcome; a failed or cancelled run closes the stream with
+		// the counters accumulated so far.
+		s.obs.final(s.snapshot(s.frontier()))
 		return nil, err
 	}
-	return s.result(), nil
+	res := s.result()
+	s.obs.final(s.snapshot(res.Makespan))
+	return res, nil
 }
 
 type state struct {
+	ctx     context.Context
 	sched   *core.Scheduler
 	prog    *core.Program
 	model   MgmtModel
@@ -321,6 +365,7 @@ type state struct {
 	procs   int
 	tl      *metrics.Timeline
 	gantt   *metrics.Gantt
+	obs     *observer
 
 	reqs       []request // FIFO management queue
 	events     eventHeap
@@ -366,6 +411,7 @@ type state struct {
 	idleUnits int64
 
 	computeUnits int64
+	doneUnits    int64 // compute of tasks whose completion event was served
 	mgmtUnits    int64
 	lastDone     int64 // completion horizon (worker-side makespan)
 
@@ -485,6 +531,12 @@ func (s *state) wake(at int64) {
 }
 
 func (s *state) run(maxOps int64) error {
+	// An already-cancelled context aborts before any work: the batched
+	// in-loop poll (every 1024 ops) would let a small run finish without
+	// ever observing the cancellation.
+	if err := s.ctx.Err(); err != nil {
+		return fmt.Errorf("sim: run canceled at t=0: %w", err)
+	}
 	startCost := s.sched.Start()
 	s.serve(0, startCost)
 	for w := 0; w < s.workers; w++ {
@@ -496,6 +548,19 @@ func (s *state) run(maxOps int64) error {
 		ops++
 		if ops > maxOps {
 			return fmt.Errorf("sim: exceeded %d management operations (runaway?)", maxOps)
+		}
+		// Cooperative cancellation: one ctx poll per batch of management
+		// operations, so a cancelled caller gets back promptly without the
+		// hot loop paying an atomic load per event.
+		if ops&1023 == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return fmt.Errorf("sim: run canceled at t=%d: %w", s.frontier(), err)
+			}
+		}
+		// Guarded here, not in maybe: an unobserved run must not pay the
+		// frontier computation per event.
+		if s.obs != nil {
+			s.obs.maybe(s.frontier(), s.snapshot)
 		}
 
 		if len(s.reqs) > 0 {
@@ -519,7 +584,7 @@ func (s *state) run(maxOps int64) error {
 
 		if haveEvent {
 			ev := heap.Pop(&s.events).(event)
-			s.reqs = append(s.reqs, request{at: ev.at, proc: ev.proc, isDone: true, task: ev.task})
+			s.reqs = append(s.reqs, request{at: ev.at, proc: ev.proc, isDone: true, task: ev.task, dur: ev.dur})
 			continue
 		}
 
@@ -702,10 +767,15 @@ func (s *state) dispatch(worker int, task core.Task, at int64) {
 		s.phases[cur].OverlapUnits += dur
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: end, seq: s.seq, task: task, proc: worker})
+	heap.Push(&s.events, event{at: end, seq: s.seq, task: task, proc: worker, dur: dur})
 }
 
 func (s *state) completeTask(req request) {
+	// Done-work accrual for the observer: computeUnits is charged in full
+	// at dispatch (it includes in-flight tasks' future work, which would
+	// read as utilization > 1 mid-run), so snapshots count a task's
+	// compute only when its completion event is served.
+	s.doneUnits += req.dur
 	if s.model == Adaptive {
 		s.adaptiveComplete(req)
 		return
@@ -727,6 +797,43 @@ func (s *state) completeTask(req request) {
 	// The completing worker asks for new work after its completion has
 	// been processed.
 	s.reqs = append(s.reqs, request{at: fin, proc: req.proc})
+}
+
+// frontier is the run's virtual-time high-water mark: the later of the
+// management server's horizon and the last task completion — the same
+// quantity result() uses as the makespan.
+func (s *state) frontier() int64 {
+	if s.lastDone > s.serverFree {
+		return s.lastDone
+	}
+	return s.serverFree
+}
+
+// snapshot builds an observation of the run at virtual time at. Jobs is
+// 1 until the program completes and 0 after, so the Final snapshot
+// reads "drained" exactly as the other backends' do. ComputeUnits
+// counts only completed tasks (doneUnits) — dispatch-time accrual would
+// include in-flight tasks' future work and read as utilization above 1.
+func (s *state) snapshot(at int64) Snapshot {
+	sn := Snapshot{
+		VirtualTime:  at,
+		Tasks:        s.sched.Stats().Dispatches,
+		ComputeUnits: s.doneUnits,
+		MgmtUnits:    s.mgmtUnits,
+		IdleUnits:    s.idleUnits,
+	}
+	if !s.sched.Done() {
+		sn.Jobs = 1
+	}
+	if s.model == Adaptive {
+		sn.Batch = s.batchN
+	}
+	if at > 0 {
+		capacity := float64(s.procs) * float64(at)
+		sn.Utilization = float64(sn.ComputeUnits) / capacity
+		sn.OverheadShare = float64(s.mgmtUnits) / capacity
+	}
+	return sn
 }
 
 func (s *state) result() *Result {

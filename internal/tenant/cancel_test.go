@@ -1,0 +1,203 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/executive"
+	"repro/internal/testutil"
+)
+
+// buildSleepChain builds the shared sleeping identity chain (see
+// testutil.SleepChain).
+func buildSleepChain(t *testing.T, phases, n int, d time.Duration) *core.Program {
+	t.Helper()
+	return testutil.SleepChain(t, phases, n, d)
+}
+
+// TestPoolAbortCancels is the pool-level cancellation check, run under
+// every manager kind the pool can drive: aborting a pool with a
+// ctx.Err()-wrapped error fails every active job with that error
+// promptly, Close returns it, and teardown leaks no goroutines.
+func TestPoolAbortCancels(t *testing.T) {
+	for _, kind := range executive.ManagerKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			pool, err := NewPool(Config{Workers: 4, Manager: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var handles []*Job
+			for i := 0; i < 2; i++ {
+				j, err := pool.Submit(buildSleepChain(t, 3, 128, time.Millisecond),
+					core.Options{Grain: 1, Overlap: true, Costs: core.DefaultCosts()},
+					JobConfig{Name: fmt.Sprintf("job%d", i)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				handles = append(handles, j)
+			}
+			time.Sleep(15 * time.Millisecond) // let both jobs get going
+
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			pool.Abort(fmt.Errorf("tenant: pool canceled: %w", ctx.Err()))
+
+			waitDone := make(chan struct{})
+			go func() {
+				defer close(waitDone)
+				for _, j := range handles {
+					if _, err := j.Wait(); !errors.Is(err, context.Canceled) {
+						t.Errorf("job %s err = %v, want wrapped context.Canceled", j.Name(), err)
+					}
+				}
+			}()
+			select {
+			case <-waitDone:
+			case <-time.After(10 * time.Second):
+				buf := make([]byte, 1<<20)
+				t.Fatalf("aborted jobs did not finish promptly\n%s", buf[:runtime.Stack(buf, true)])
+			}
+
+			if _, err := pool.Close(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Close err = %v, want wrapped context.Canceled", err)
+			}
+			testutil.WaitGoroutines(t, before)
+		})
+	}
+}
+
+// TestPoolAbortSparesFinishedJobs: a job that completed before the abort
+// keeps its nil error and its report.
+func TestPoolAbortSparesFinishedJobs(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2, Manager: executive.ShardedManager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick, err := pool.Submit(buildSleepChain(t, 1, 8, 0),
+		core.Options{Grain: 1, Costs: core.DefaultCosts()}, JobConfig{Name: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := quick.Wait(); err != nil {
+		t.Fatalf("quick job failed before abort: %v", err)
+	}
+	slow, err := pool.Submit(buildSleepChain(t, 2, 256, time.Millisecond),
+		core.Options{Grain: 1, Overlap: true, Costs: core.DefaultCosts()}, JobConfig{Name: "slow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop")
+	pool.Abort(fmt.Errorf("canceled: %w", sentinel))
+	if _, err := slow.Wait(); !errors.Is(err, sentinel) {
+		t.Errorf("slow job err = %v, want wrapped sentinel", err)
+	}
+	// The finished job's result is untouched.
+	if rep, err := quick.Wait(); err != nil || rep.Tasks == 0 {
+		t.Errorf("finished job corrupted by abort: rep=%v err=%v", rep, err)
+	}
+	if _, err := pool.Close(); !errors.Is(err, sentinel) {
+		t.Errorf("Close err = %v, want wrapped sentinel", err)
+	}
+}
+
+// TestPoolAbortSparesCompletedUnretiredJobs: a job whose state machine
+// has completed but which no worker sweep has retired yet must keep its
+// results through an Abort — once mgr.Done() is true, Abort may never
+// poison the job with the abort error.
+func TestPoolAbortSparesCompletedUnretiredJobs(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2, Manager: executive.ShardedManager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := pool.Submit(buildSleepChain(t, 1, 4, 0),
+		core.Options{Grain: 1, Costs: core.DefaultCosts()}, JobConfig{Name: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spin until the state machine reports done — the job may or may not
+	// have been retired by a worker sweep at this point; Abort must treat
+	// both states as "finished".
+	deadline := time.Now().Add(5 * time.Second)
+	for !j.mgr.Done() {
+		if time.Now().After(deadline) {
+			t.Fatal("job never completed")
+		}
+		runtime.Gosched()
+	}
+	pool.Abort(errors.New("boom"))
+	if _, err := j.Wait(); err != nil {
+		t.Fatalf("completed job poisoned by abort: %v", err)
+	}
+	if _, err := pool.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestPoolObserver checks the pool sampler: snapshots arrive while jobs
+// run, counters are monotonic, and Close emits a Final snapshot carrying
+// the report totals.
+func TestPoolObserver(t *testing.T) {
+	var mu sync.Mutex
+	var snaps []Snapshot
+	pool, err := NewPool(Config{
+		Workers: 4, Manager: executive.ShardedManager,
+		Observer: func(s Snapshot) {
+			mu.Lock()
+			snaps = append(snaps, s)
+			mu.Unlock()
+		},
+		ObservePeriod: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		j, err := pool.Submit(buildSleepChain(t, 2, 64, time.Millisecond),
+			core.Options{Grain: 1, Overlap: true, Costs: core.DefaultCosts()},
+			JobConfig{Name: fmt.Sprintf("job%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j.Done()
+	}
+	rep, err := pool.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close stays idempotent with an observer configured: the second
+	// Close must neither panic nor emit a second Final snapshot.
+	if _, err := pool.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	mu.Lock()
+	got := append([]Snapshot(nil), snaps...)
+	mu.Unlock()
+	for i, s := range got[:len(got)-1] {
+		if s.Final {
+			t.Fatalf("snapshot %d of %d is Final; only the last may be", i, len(got))
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("no snapshots")
+	}
+	last := got[len(got)-1]
+	if !last.Final {
+		t.Fatal("last snapshot not Final")
+	}
+	if last.Tasks != rep.Tasks || last.Jobs != rep.Jobs || last.ActiveJobs != 0 {
+		t.Errorf("final snapshot tasks=%d jobs=%d active=%d, report tasks=%d jobs=%d",
+			last.Tasks, last.Jobs, last.ActiveJobs, rep.Tasks, rep.Jobs)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Tasks < got[i-1].Tasks {
+			t.Errorf("snapshot %d task count went backwards", i)
+		}
+	}
+}

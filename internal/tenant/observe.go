@@ -1,0 +1,110 @@
+package tenant
+
+import (
+	"time"
+
+	"repro/internal/executive"
+)
+
+// This file is the pool's observability surface: a pool built with
+// Config.Observer is sampled by a dedicated goroutine at
+// Config.ObservePeriod for as long as the pool lives, and Close emits
+// one Final snapshot built from the pool report. Sampling only reads
+// counters the pool and its jobs already maintain, so observation does
+// not perturb dispatch.
+
+// Snapshot is one observation of a live pool. All values are cumulative
+// since NewPool.
+type Snapshot struct {
+	// Elapsed is the wall-clock time since the pool started.
+	Elapsed time.Duration
+	// Jobs is the number of jobs submitted so far; ActiveJobs how many
+	// are still incomplete.
+	Jobs       int
+	ActiveJobs int
+	// Tasks counts executed tasks across all jobs; BackfillTasks the
+	// subset run by workers homed on another job.
+	Tasks         int64
+	BackfillTasks int64
+	// Compute, Mgmt and Idle are the summed execution, management, and
+	// pool-parked durations so far.
+	Compute time.Duration
+	Mgmt    time.Duration
+	Idle    time.Duration
+	// Utilization is Compute / (Workers * Elapsed) so far; OverheadShare
+	// the same ratio for Mgmt.
+	Utilization   float64
+	OverheadShare float64
+	// Final marks the closing snapshot Close emits after the workers
+	// have joined.
+	Final bool
+}
+
+// snapshot builds a live observation of the pool.
+func (p *Pool) snapshot() Snapshot {
+	p.mu.Lock()
+	jobs := append([]*Job(nil), p.jobs...)
+	active := len(p.active)
+	p.mu.Unlock()
+	sn := Snapshot{
+		Elapsed:       time.Since(p.start),
+		Jobs:          len(jobs),
+		ActiveJobs:    active,
+		BackfillTasks: p.backfillTasks.Load(),
+		Idle:          time.Duration(p.idleNS.Load()),
+	}
+	for _, j := range jobs {
+		sn.Tasks += j.tasks.Load()
+		sn.Compute += time.Duration(j.compute.Load())
+		sn.Mgmt += j.mgr.Mgmt()
+	}
+	if sn.Elapsed > 0 {
+		capacity := float64(p.cfg.Workers) * float64(sn.Elapsed)
+		sn.Utilization = float64(sn.Compute) / capacity
+		sn.OverheadShare = float64(sn.Mgmt) / capacity
+	}
+	return sn
+}
+
+// startObserver spawns the sampling goroutine (the executive's shared
+// Sampler lifecycle). Caller ensures cfg.Observer is non-nil.
+func (p *Pool) startObserver() {
+	p.sampler = executive.StartSampler(p.cfg.ObservePeriod, func() {
+		p.cfg.Observer(p.snapshot())
+	})
+}
+
+// stopObserver joins the sampling goroutine and emits the Final
+// snapshot built from the finished report. Called by Close after the
+// workers have joined; safe when no observer was configured, and
+// idempotent so a second Close stays as harmless as it was before
+// observers existed (only the first Close emits the Final snapshot).
+func (p *Pool) stopObserver(r *Report) {
+	if p.sampler == nil {
+		return
+	}
+	p.sampler.Stop()
+	if !p.obsFinal.CompareAndSwap(false, true) {
+		return
+	}
+	p.cfg.Observer(Snapshot{
+		Elapsed:       r.Wall,
+		Jobs:          r.Jobs,
+		ActiveJobs:    0,
+		Tasks:         r.Tasks,
+		BackfillTasks: r.BackfillTasks,
+		Compute:       r.Compute,
+		Mgmt:          r.Mgmt,
+		Idle:          r.Idle,
+		Utilization:   r.Utilization,
+		OverheadShare: overheadShare(r),
+		Final:         true,
+	})
+}
+
+func overheadShare(r *Report) float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Mgmt) / (float64(r.Workers) * float64(r.Wall))
+}

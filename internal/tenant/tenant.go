@@ -57,6 +57,13 @@ type Config struct {
 	ReadyCap int
 	// LowWater is the async manager's deferred-overlap low-water mark.
 	LowWater int
+	// Observer, when non-nil, receives periodic pool-level Snapshots
+	// sampled on a dedicated goroutine for the pool's lifetime, plus one
+	// Final snapshot from Close. The callback must not block for long.
+	Observer func(Snapshot)
+	// ObservePeriod is the sampling period; <= 0 selects 10ms. Ignored
+	// without Observer.
+	ObservePeriod time.Duration
 }
 
 // JobConfig describes one submitted job.
@@ -100,6 +107,9 @@ type Pool struct {
 	start time.Time
 	end   time.Time // set by Close after the workers join
 
+	sampler  *executive.Sampler // non-nil when an Observer samples the pool
+	obsFinal atomic.Bool        // Final snapshot emitted (first Close wins)
+
 	idleNS          atomic.Int64
 	backfillTasks   atomic.Int64
 	backfillCompute atomic.Int64
@@ -120,6 +130,9 @@ func NewPool(cfg Config) (*Pool, error) {
 		start: time.Now(),
 	}
 	p.cond = sync.NewCond(&p.mu)
+	if cfg.Observer != nil {
+		p.startObserver()
+	}
 	p.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		go p.worker(w)
@@ -205,7 +218,39 @@ func (p *Pool) Close() (*Report, error) {
 			break
 		}
 	}
-	return p.report(), firstErr
+	rep := p.report()
+	p.stopObserver(rep)
+	return rep, firstErr
+}
+
+// Abort fails every active job with err (finished jobs keep their
+// results), releasing their workers and waiters; the pool itself
+// survives and Close still returns normally. It is the pool's
+// cancellation point: a caller whose context fires aborts the pool with
+// an error wrapping ctx.Err(), and every outstanding Job.Wait returns
+// that error.
+func (p *Pool) Abort(err error) {
+	p.mu.Lock()
+	jobs := append([]*Job(nil), p.active...)
+	p.mu.Unlock()
+	// Manager aborts happen outside p.mu: each takes its own manager
+	// lock, and the async manager's notify path re-enters the pool.
+	for _, j := range jobs {
+		// A manager whose state machine already completed refuses the
+		// abort under its own lock (no check-then-act window here): the
+		// job executed fully — perhaps retired by no worker sweep yet —
+		// and keeps its results instead of being poisoned with the abort
+		// error. The refusal reads back as Err() == nil.
+		j.mgr.Abort(err)
+		if merr := j.mgr.Err(); merr == nil {
+			p.checkFinished(j)
+		} else {
+			p.mu.Lock()
+			p.finishJobLocked(j, merr)
+			p.mu.Unlock()
+		}
+	}
+	p.progress()
 }
 
 // worker is the shared goroutine body: serve the home job while it has
@@ -336,8 +381,16 @@ func (p *Pool) park(w int, g0 uint64) bool {
 				err := fmt.Errorf("tenant: job %q stalled at phase %d: all pool workers idle, nothing in flight",
 					j.cfg.Name, j.sched.CurrentPhase())
 				j.mgr.Abort(err)
-				p.finishJobLocked(j, err)
-				p.stalled++
+				if merr := j.mgr.Err(); merr == nil {
+					// The manager refused the abort: the job's final
+					// completion landed (async drain) between the dry
+					// sweep and this probe — it finished, it did not
+					// stall. Retire it with its results.
+					p.finishJobLocked(j, nil)
+				} else {
+					p.finishJobLocked(j, merr)
+					p.stalled++
+				}
 			}
 		}
 		p.nWaiting.Add(-1)

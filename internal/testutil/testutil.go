@@ -1,0 +1,64 @@
+// Package testutil holds the test helpers the cancellation and observer
+// suites share across packages (root, internal/executive,
+// internal/tenant): a sleeping-chain workload whose mid-run state is
+// reachable even on a single-CPU CI host, and the goroutine-leak check
+// with retries.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/enable"
+	"repro/internal/granule"
+)
+
+// SleepChain builds an identity chain of sleeping granules: long enough
+// that a mid-run cancel lands while workers are busy and tasks sit in
+// every manager's buffers, and sleep-based (not spinning) so the timing
+// holds on a single-CPU host.
+func SleepChain(tb testing.TB, phases, n int, d time.Duration) *core.Program {
+	tb.Helper()
+	specs := make([]*core.Phase, phases)
+	for p := 0; p < phases; p++ {
+		spec := &core.Phase{
+			Name:     fmt.Sprintf("p%d", p),
+			Granules: n,
+			Work:     func(g granule.ID) { time.Sleep(d) },
+		}
+		if p < phases-1 {
+			spec.Enable = enable.NewIdentity()
+		}
+		specs[p] = spec
+	}
+	prog, err := core.NewProgram(specs...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return prog
+}
+
+// WaitGoroutines retries until the goroutine count falls back to the
+// pre-test baseline, failing with a full stack dump if it never does
+// within 5s. Retries absorb runtime-internal goroutines (timers, GC)
+// winding down.
+func WaitGoroutines(tb testing.TB, before int) {
+	tb.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			tb.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

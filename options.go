@@ -1,0 +1,355 @@
+package rundown
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/executive"
+	"repro/internal/sim"
+	"repro/internal/tenant"
+)
+
+// Option configures a Runner. Options are applied in order by New; an
+// option that conflicts with one already applied makes New fail.
+type Option func(*runnerConfig) error
+
+// runnerConfig is the resolved Runner configuration. Zero value plus
+// defaults = goroutine executive, serial manager, GOMAXPROCS workers.
+type runnerConfig struct {
+	workers    int
+	workersSet bool
+
+	manager    ExecManager
+	managerSet bool
+
+	adaptive   bool
+	mgmtTarget float64
+	dedicated  bool
+
+	dequeCap, batch    int
+	readyCap, lowWater int
+
+	pool    bool
+	virtual bool
+	simCfg  SimConfig // valid when virtual
+
+	observer      Observer
+	observePeriod time.Duration
+	observeEvery  int64
+
+	// Native-observer passthroughs for the legacy wrappers (Execute,
+	// NewPool), which accept backend-native snapshot callbacks in their
+	// config structs. They take precedence over the unified observer.
+	rawExecObs func(executive.Snapshot)
+	rawPoolObs func(tenant.Snapshot)
+}
+
+// WithWorkers sets the worker count (real backends) or the processor
+// count P (virtual backend, unless WithVirtualTime's SimConfig.Procs is
+// set). Unset, real backends use runtime.GOMAXPROCS(0); the virtual
+// backend has no default — it requires a processor count through this
+// option or SimConfig.Procs, preserving the legacy Simulate wrapper's
+// validation. Values < 1 are recorded verbatim and rejected by the
+// backend at Run time, preserving the legacy entry points' error
+// behaviour.
+func WithWorkers(n int) Option {
+	return func(c *runnerConfig) error {
+		c.workers = n
+		c.workersSet = true
+		return nil
+	}
+}
+
+// WithManager selects the executive management layer (SerialManager,
+// ShardedManager or AsyncManager; SerialManager default). On the virtual
+// backend the manager picks the matching management resource model:
+// serial prices as StealsWorker (or Dedicated under WithDedicatedExec),
+// sharded as ShardedMgmt (AdaptiveMgmt with WithAdaptiveBatching), async
+// as AsyncMgmt.
+func WithManager(m ExecManager) Option {
+	return func(c *runnerConfig) error {
+		c.manager = m
+		c.managerSet = true
+		return nil
+	}
+}
+
+// WithAdaptiveBatching enables the adaptive batching controller with the
+// given lock-overhead-share setpoint (<= 0 selects the default, 0.02).
+// Only the sharded manager honors it on real backends (matching
+// ExecConfig.Adaptive); on the virtual backend it selects the Adaptive
+// management model unless an async manager was chosen. Pool-backed runs
+// (RunAll on real backends, WithPool) deliberately do NOT honor it:
+// pool workers park at pool level, where the controller's shrink signal
+// reads zero, so pool jobs run fixed-parameter managers — adaptive
+// tenancy is a ROADMAP follow-on, and the virtual backend rejects the
+// combination the same way (Capabilities(...).VirtualMulti is false for
+// AdaptiveMgmt).
+func WithAdaptiveBatching(target float64) Option {
+	return func(c *runnerConfig) error {
+		c.adaptive = true
+		c.mgmtTarget = target
+		return nil
+	}
+}
+
+// WithDedicatedExec gives the serial executive its own processor in the
+// virtual backend (the paper's Dedicated model) instead of stealing a
+// worker. Real backends ignore it: the async manager is the dedicated
+// executive processor realized on hardware.
+func WithDedicatedExec() Option {
+	return func(c *runnerConfig) error {
+		c.dedicated = true
+		return nil
+	}
+}
+
+// WithDequeCap bounds each worker's local task deque (sharded manager).
+func WithDequeCap(n int) Option {
+	return func(c *runnerConfig) error { c.dequeCap = n; return nil }
+}
+
+// WithBatch sets the completion batch size (sharded manager) or the
+// management goroutine's drain chunk (async manager); on the virtual
+// backend it is the Adaptive model's refill batch.
+func WithBatch(n int) Option {
+	return func(c *runnerConfig) error { c.batch = n; return nil }
+}
+
+// WithReadyCap bounds the async manager's ready-buffer.
+func WithReadyCap(n int) Option {
+	return func(c *runnerConfig) error { c.readyCap = n; return nil }
+}
+
+// WithLowWater sets the async manager's deferred-overlap low-water mark.
+func WithLowWater(n int) Option {
+	return func(c *runnerConfig) error { c.lowWater = n; return nil }
+}
+
+// WithVirtualTime switches the Runner to the deterministic discrete-event
+// backend, parameterized by cfg. cfg.Procs <= 0 inherits WithWorkers.
+// cfg.Mgmt is honored as given unless a manager-shaped option
+// (WithManager, WithAdaptiveBatching, WithDedicatedExec) was also
+// applied — those take precedence, so one option set retargets cleanly
+// between real and virtual machines. The same rule covers every other
+// overlapping field: an explicit option (WithBatch, WithReadyCap,
+// WithLowWater, WithObserver, WithObserveEvery) overrides the
+// corresponding cfg value when set.
+func WithVirtualTime(cfg SimConfig) Option {
+	return func(c *runnerConfig) error {
+		if c.pool {
+			return fmt.Errorf("rundown: WithVirtualTime conflicts with WithPool (virtual tenancy runs through RunAll)")
+		}
+		c.virtual = true
+		c.simCfg = cfg
+		return nil
+	}
+}
+
+// WithPool makes Run submit its single job to a multi-tenant worker pool
+// instead of a dedicated executive, so the job runs under pool dispatch
+// exactly as RunAll jobs do. RunAll uses the pool on real backends either
+// way.
+func WithPool() Option {
+	return func(c *runnerConfig) error {
+		if c.virtual {
+			return fmt.Errorf("rundown: WithPool conflicts with WithVirtualTime (virtual tenancy runs through RunAll)")
+		}
+		c.pool = true
+		return nil
+	}
+}
+
+// WithObserver streams live progress Snapshots from every run to fn.
+func WithObserver(fn Observer) Option {
+	return func(c *runnerConfig) error { c.observer = fn; return nil }
+}
+
+// WithObservePeriod sets the wall-clock sampling period for real
+// backends (<= 0 selects 10ms).
+func WithObservePeriod(d time.Duration) Option {
+	return func(c *runnerConfig) error { c.observePeriod = d; return nil }
+}
+
+// WithObserveEvery sets the virtual-time snapshot stride for the virtual
+// backend (<= 0 selects roughly 16 snapshots per run).
+func WithObserveEvery(units int64) Option {
+	return func(c *runnerConfig) error { c.observeEvery = units; return nil }
+}
+
+// withExecObserver passes a native executive observer through unadapted;
+// the legacy Execute wrapper uses it to honor ExecConfig.Observer.
+func withExecObserver(fn func(ExecSnapshot), period time.Duration) Option {
+	return func(c *runnerConfig) error {
+		c.rawExecObs = fn
+		if period > 0 {
+			c.observePeriod = period
+		}
+		return nil
+	}
+}
+
+// withPoolObserver passes a native pool observer through unadapted; the
+// legacy NewPool wrapper uses it to honor PoolConfig.Observer.
+func withPoolObserver(fn func(PoolSnapshot), period time.Duration) Option {
+	return func(c *runnerConfig) error {
+		c.rawPoolObs = fn
+		if period > 0 {
+			c.observePeriod = period
+		}
+		return nil
+	}
+}
+
+// resolve applies defaults after every option has run.
+func (c *runnerConfig) resolve() {
+	if !c.workersSet {
+		c.workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// model resolves the virtual backend's management resource model. An
+// explicit WithVirtualTime model is honored unless a manager-shaped
+// option was applied; then the manager decides, mirroring how the same
+// configuration runs on hardware.
+func (c *runnerConfig) model() MgmtModel {
+	if c.virtual && !c.managerSet && !c.adaptive && !c.dedicated {
+		return c.simCfg.Mgmt
+	}
+	switch {
+	case c.manager == AsyncManager:
+		return AsyncMgmt
+	case c.adaptive:
+		return AdaptiveMgmt
+	case c.manager == ShardedManager:
+		return ShardedMgmt
+	case c.dedicated:
+		return Dedicated
+	default:
+		return StealsWorker
+	}
+}
+
+// jobOpt returns job's scheduler options with the Runner-level adaptive
+// setting folded in (the executive and the sim both read adaptivity from
+// the job options).
+func (c *runnerConfig) jobOpt(job Job) Options {
+	opt := job.Opt
+	if c.adaptive {
+		opt.AdaptiveBatch = true
+		if opt.MgmtTarget <= 0 {
+			opt.MgmtTarget = c.mgmtTarget
+		}
+	}
+	return opt
+}
+
+// execConfig builds the executive configuration for single-job goroutine
+// runs.
+func (c *runnerConfig) execConfig() executive.Config {
+	cfg := executive.Config{
+		Workers:  c.workers,
+		Manager:  c.manager,
+		DequeCap: c.dequeCap,
+		Batch:    c.batch,
+		ReadyCap: c.readyCap,
+		LowWater: c.lowWater,
+		Adaptive: c.adaptive,
+	}
+	if c.adaptive {
+		cfg.MgmtTarget = c.mgmtTarget
+	}
+	if c.rawExecObs != nil {
+		cfg.Observer = c.rawExecObs
+		cfg.ObservePeriod = c.observePeriod
+	} else if c.observer != nil {
+		fn := c.observer
+		cfg.Observer = func(s executive.Snapshot) {
+			// Jobs reads drained only when the program truly completed —
+			// a cancelled run's Final snapshot keeps Jobs=1, matching the
+			// virtual backend's unfinished-jobs accounting. A bare
+			// pre-start-failure Final (Elapsed zero: the run never
+			// started) reads 0, as the other backends' failEarly
+			// snapshots do.
+			jobs := 1
+			if s.Done || (s.Final && s.Elapsed == 0) {
+				jobs = 0
+			}
+			fn(Snapshot{
+				Backend: ExecBackend, Final: s.Final,
+				Elapsed: s.Elapsed, Tasks: s.Tasks, Jobs: jobs,
+				Utilization: s.Utilization, OverheadShare: s.OverheadShare,
+			})
+		}
+		cfg.ObservePeriod = c.observePeriod
+	}
+	return cfg
+}
+
+// poolConfig builds the tenant pool configuration for shared runs.
+func (c *runnerConfig) poolConfig() tenant.Config {
+	cfg := tenant.Config{
+		Workers:  c.workers,
+		Manager:  c.manager,
+		DequeCap: c.dequeCap,
+		Batch:    c.batch,
+		ReadyCap: c.readyCap,
+		LowWater: c.lowWater,
+	}
+	if c.rawPoolObs != nil {
+		cfg.Observer = c.rawPoolObs
+		cfg.ObservePeriod = c.observePeriod
+	} else if c.observer != nil {
+		fn := c.observer
+		cfg.Observer = func(s tenant.Snapshot) {
+			fn(Snapshot{
+				Backend: PoolBackend, Final: s.Final,
+				Elapsed: s.Elapsed, Tasks: s.Tasks, Jobs: s.ActiveJobs,
+				BackfillTasks: s.BackfillTasks,
+				Utilization:   s.Utilization, OverheadShare: s.OverheadShare,
+			})
+		}
+		cfg.ObservePeriod = c.observePeriod
+	}
+	return cfg
+}
+
+// simConfig builds the virtual-machine configuration, resolving the
+// model, the processor count, and the observer adapter.
+func (c *runnerConfig) simConfig() sim.Config {
+	cfg := c.simCfg
+	cfg.Mgmt = c.model()
+	if cfg.Procs <= 0 && c.workersSet {
+		cfg.Procs = c.workers
+	}
+	// Knob options override the corresponding SimConfig fields when set,
+	// matching the observer options' precedence: an explicit With*
+	// option wins over the SimConfig literal. Procs (above) is the one
+	// documented exception — an explicit SimConfig.Procs wins over
+	// WithWorkers, per the WithWorkers contract.
+	if c.batch > 0 {
+		cfg.Batch = c.batch
+	}
+	if c.readyCap > 0 {
+		cfg.ReadyCap = c.readyCap
+	}
+	if c.lowWater > 0 {
+		cfg.LowWater = c.lowWater
+	}
+	if c.observer != nil {
+		fn := c.observer
+		cfg.Observer = func(s sim.Snapshot) {
+			fn(Snapshot{
+				Backend: VirtualBackend, Final: s.Final,
+				VirtualTime: s.VirtualTime, Tasks: s.Tasks, Jobs: s.Jobs,
+				Utilization: s.Utilization, OverheadShare: s.OverheadShare,
+				Batch: s.Batch,
+			})
+		}
+	}
+	if c.observeEvery > 0 {
+		cfg.ObserveEvery = c.observeEvery
+	}
+	return cfg
+}

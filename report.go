@@ -1,0 +1,164 @@
+package rundown
+
+import (
+	"fmt"
+	"time"
+)
+
+// BackendKind identifies which machine a Runner drives.
+type BackendKind uint8
+
+const (
+	// ExecBackend runs jobs on real goroutine workers through the
+	// executive (internal/executive). Run uses one dedicated worker set
+	// per job; RunAll shares one worker set between the jobs through the
+	// tenant pool, exactly as PoolBackend does.
+	ExecBackend BackendKind = iota
+	// PoolBackend runs jobs on the multi-tenant worker pool
+	// (internal/tenant): one shared worker set, overlap-first cross-job
+	// dispatch, one job's rundown filled by another job's work. Run
+	// submits a single job to a fresh pool.
+	PoolBackend
+	// VirtualBackend runs jobs on the deterministic discrete-event
+	// machine model (internal/sim): virtual time, priced management,
+	// identical results on every host.
+	VirtualBackend
+)
+
+func (b BackendKind) String() string {
+	switch b {
+	case ExecBackend:
+		return "goroutines"
+	case PoolBackend:
+		return "pool"
+	case VirtualBackend:
+		return "virtual"
+	default:
+		return fmt.Sprintf("BackendKind(%d)", uint8(b))
+	}
+}
+
+// Job is the backend-agnostic job spec the Runner executes: the same Job
+// runs unchanged on virtual time, on goroutine workers, or inside a
+// shared tenant pool — only the Runner's options decide where.
+type Job struct {
+	// Name labels the job in reports and errors ("jobN" default where a
+	// label is needed).
+	Name string
+	// Prog is the phase program.
+	Prog *Program
+	// Opt configures the job's scheduler (grain, overlap, split policy,
+	// management costs).
+	Opt Options
+	// Priority orders cross-job backfill when several jobs share a
+	// machine (higher first). Ignored by single-job runs.
+	Priority int
+	// Weight is the job's share of home workers and backfill credit in
+	// shared runs (<= 0 selects 1). Ignored by single-job runs.
+	Weight int
+}
+
+// JobReport is one job's outcome within a RunAll.
+type JobReport struct {
+	// Name is the job's label.
+	Name string
+	// Err is the job's failure, if any (other jobs may have succeeded).
+	Err error
+	// Exec is the job's goroutine-execution report (real backends).
+	Exec *ExecReport
+	// Sim is the job's virtual-time result (virtual backend).
+	Sim *SimJobResult
+	// Backfill counts work the job received from workers homed on other
+	// jobs: tasks on real backends, virtual compute units on the virtual
+	// backend.
+	Backfill int64
+}
+
+// Report is the unified result of a Runner.Run or Runner.RunAll: one
+// headline block that reads the same across backends, plus the
+// backend-specific detail reports embedded for callers that need them.
+type Report struct {
+	// Backend identifies the machine that produced the run.
+	Backend BackendKind
+	// Manager is the executive manager that ran the job (real backends).
+	Manager ExecManager
+	// Model is the management resource model (virtual backend).
+	Model MgmtModel
+	// Workers is the worker count (real) or processor count P (virtual).
+	Workers int
+	// Tasks is the number of tasks dispatched.
+	Tasks int64
+	// Wall is the elapsed wall-clock time (real backends; zero on the
+	// virtual backend).
+	Wall time.Duration
+	// Makespan is the virtual completion time (virtual backend; zero on
+	// real backends).
+	Makespan int64
+	// Utilization is compute / (Workers * elapsed), in the backend's own
+	// time base.
+	Utilization float64
+	// MgmtRatio is the paper's computation-to-management ratio (0 when no
+	// management time was recorded).
+	MgmtRatio float64
+
+	// Sim is the single-program virtual result (VirtualBackend Run).
+	Sim *SimResult
+	// SimMulti is the multi-program virtual result (VirtualBackend
+	// RunAll).
+	SimMulti *MultiSimResult
+	// Exec is the goroutine execution report (ExecBackend Run, and each
+	// pool job's report also appears in Jobs).
+	Exec *ExecReport
+	// Pool is the pool-lifetime report (pool-backed runs).
+	Pool *PoolReport
+	// Jobs holds per-job reports for RunAll, in submission order.
+	Jobs []JobReport
+}
+
+func (r *Report) String() string {
+	if r.Backend == VirtualBackend {
+		return fmt.Sprintf("backend=%v model=%v workers=%d tasks=%d makespan=%d util=%.3f ratio=%.1f",
+			r.Backend, r.Model, r.Workers, r.Tasks, r.Makespan, r.Utilization, r.MgmtRatio)
+	}
+	return fmt.Sprintf("backend=%v manager=%v workers=%d tasks=%d wall=%v util=%.3f ratio=%.1f",
+		r.Backend, r.Manager, r.Workers, r.Tasks, r.Wall, r.Utilization, r.MgmtRatio)
+}
+
+// Snapshot is one live observation of a running job, streamed to the
+// Runner's Observer. Real backends sample it on a wall clock
+// (WithObservePeriod); the virtual backend emits it at deterministic
+// virtual-time marks (WithObserveEvery), so observed simulations remain
+// reproducible. All counters are cumulative since the run started.
+type Snapshot struct {
+	// Backend identifies the emitting machine.
+	Backend BackendKind
+	// Final marks the closing snapshot, emitted once on every outcome:
+	// with the finished run's totals on success, with the counters
+	// accumulated so far on failure or cancellation.
+	Final bool
+	// Elapsed is wall-clock time since the run started (real backends).
+	Elapsed time.Duration
+	// VirtualTime is the simulation frontier (virtual backend).
+	VirtualTime int64
+	// Tasks is the number of tasks executed so far.
+	Tasks int64
+	// Jobs is the number of still-unfinished jobs (1 for single-job
+	// runs until they finish).
+	Jobs int
+	// BackfillTasks counts cross-job tasks so far (pool runs).
+	BackfillTasks int64
+	// Utilization is compute / (Workers * elapsed) so far.
+	Utilization float64
+	// OverheadShare is management / (Workers * elapsed) so far — live
+	// work inflation, the quantity the paper's rundown analysis is
+	// about.
+	OverheadShare float64
+	// Batch is the adaptive controller's current refill batch (virtual
+	// Adaptive model; zero elsewhere).
+	Batch int
+}
+
+// Observer receives Snapshots from a running job. The callback must be
+// quick: on real backends it delays only the sampler goroutine, on the
+// virtual backend it runs inline in the event loop.
+type Observer func(Snapshot)

@@ -1,0 +1,483 @@
+package rundown_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	rundown "repro"
+	"repro/internal/testutil"
+)
+
+// buildRunnerJob builds a two-phase identity job whose Work writes
+// verifiable results (real backends) and whose costs are deterministic
+// (virtual backend) — one spec for every machine.
+func buildRunnerJob(t testing.TB, n int) (rundown.Job, []float64) {
+	t.Helper()
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	prog, err := rundown.NewProgram(
+		&rundown.Phase{
+			Name: "produce", Granules: n,
+			Work:   func(g rundown.GranuleID) { src[g] = float64(g) * 0.5 },
+			Enable: rundown.Identity(),
+		},
+		&rundown.Phase{
+			Name: "consume", Granules: n,
+			Work: func(g rundown.GranuleID) { dst[g] = src[g] + 1 },
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rundown.Job{
+		Name: "probe",
+		Prog: prog,
+		Opt:  rundown.Options{Grain: 16, Overlap: true, Costs: rundown.DefaultCosts()},
+	}, dst
+}
+
+func checkRunnerJob(t *testing.T, dst []float64) {
+	t.Helper()
+	for i := range dst {
+		if dst[i] != float64(i)*0.5+1 {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], float64(i)*0.5+1)
+		}
+	}
+}
+
+// TestRunnerThreeBackends is the tentpole acceptance check: one
+// Runner.Run call executes the same Job spec on the virtual sim, the
+// goroutine executive, and the tenant pool, selected purely by options.
+func TestRunnerThreeBackends(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []rundown.Option
+		want rundown.BackendKind
+		real bool // Work functions execute
+	}{
+		{"virtual", []rundown.Option{rundown.WithWorkers(4), rundown.WithVirtualTime(rundown.SimConfig{})}, rundown.VirtualBackend, false},
+		{"goroutines", []rundown.Option{rundown.WithWorkers(4)}, rundown.ExecBackend, true},
+		{"pool", []rundown.Option{rundown.WithWorkers(4), rundown.WithPool()}, rundown.PoolBackend, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			job, dst := buildRunnerJob(t, 1024)
+			r, err := rundown.New(c.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Backend() != c.want {
+				t.Fatalf("Backend() = %v, want %v", r.Backend(), c.want)
+			}
+			rep, err := r.Run(context.Background(), job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Backend != c.want {
+				t.Errorf("report backend = %v, want %v", rep.Backend, c.want)
+			}
+			if rep.Tasks == 0 {
+				t.Error("no tasks in report")
+			}
+			if rep.Workers != 4 {
+				t.Errorf("workers = %d, want 4", rep.Workers)
+			}
+			if c.real {
+				checkRunnerJob(t, dst)
+				if rep.Wall <= 0 {
+					t.Error("real backend reported no wall time")
+				}
+			} else {
+				if rep.Makespan <= 0 {
+					t.Error("virtual backend reported no makespan")
+				}
+				if rep.Sim == nil {
+					t.Error("virtual report missing Sim detail")
+				}
+			}
+		})
+	}
+}
+
+// TestRunnerManagerSweep runs the same job through Run under every
+// manager kind on the goroutine backend — the options-only analogue of
+// the executive conformance suite's entry.
+func TestRunnerManagerSweep(t *testing.T) {
+	for _, kind := range []rundown.ExecManager{rundown.SerialManager, rundown.ShardedManager, rundown.AsyncManager} {
+		job, dst := buildRunnerJob(t, 1024)
+		r, err := rundown.New(rundown.WithWorkers(4), rundown.WithManager(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := r.Run(context.Background(), job)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if rep.Exec == nil || rep.Exec.Manager != kind {
+			t.Fatalf("%v: exec report missing or wrong manager: %+v", kind, rep.Exec)
+		}
+		checkRunnerJob(t, dst)
+	}
+}
+
+// TestRunnerRunAllVirtualMatchesSimulateMulti pins the wrapper: RunAll
+// on a virtual Runner and SimulateMulti produce identical results (both
+// deterministic).
+func TestRunnerRunAllVirtualMatchesSimulateMulti(t *testing.T) {
+	mkJobs := func() []rundown.Job {
+		j1, _ := buildRunnerJob(t, 512)
+		j2, _ := buildRunnerJob(t, 256)
+		j1.Name, j2.Name = "a", "b"
+		j2.Priority = 1
+		return []rundown.Job{j1, j2}
+	}
+	r, err := rundown.New(rundown.WithVirtualTime(rundown.SimConfig{Procs: 8, Mgmt: rundown.ShardedMgmt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.RunAll(context.Background(), mkJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := mkJobs()
+	specs := make([]rundown.SimJob, len(jobs))
+	for i, j := range jobs {
+		specs[i] = rundown.SimJob{Name: j.Name, Prog: j.Prog, Opt: j.Opt, Priority: j.Priority, Weight: j.Weight}
+	}
+	direct, err := rundown.SimulateMulti(specs, rundown.SimConfig{Procs: 8, Mgmt: rundown.ShardedMgmt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SimMulti.Makespan != direct.Makespan || rep.SimMulti.ComputeUnits != direct.ComputeUnits {
+		t.Fatalf("RunAll makespan=%d compute=%d, SimulateMulti makespan=%d compute=%d",
+			rep.SimMulti.Makespan, rep.SimMulti.ComputeUnits, direct.Makespan, direct.ComputeUnits)
+	}
+	if len(rep.Jobs) != 2 || rep.Jobs[0].Sim == nil || rep.Jobs[1].Sim == nil {
+		t.Fatalf("per-job reports missing: %+v", rep.Jobs)
+	}
+}
+
+// TestCapabilitiesCrossCheck is the acceptance check for capability
+// introspection: Capabilities must agree with what RunAll actually
+// accepts, asserted against ErrUnsupportedMgmt for every management
+// model, and against the pool constructor for every manager kind.
+func TestCapabilitiesCrossCheck(t *testing.T) {
+	models := []rundown.MgmtModel{
+		rundown.StealsWorker, rundown.Dedicated, rundown.ShardedMgmt,
+		rundown.AdaptiveMgmt, rundown.AsyncMgmt,
+	}
+	for _, model := range models {
+		caps := rundown.Capabilities(rundown.SerialManager, model)
+		r, err := rundown.New(rundown.WithVirtualTime(rundown.SimConfig{Procs: 4, Mgmt: model}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Capabilities().VirtualMulti; got != caps.VirtualMulti {
+			t.Errorf("%v: Runner.Capabilities().VirtualMulti = %v, Capabilities() = %v", model, got, caps.VirtualMulti)
+		}
+		j1, _ := buildRunnerJob(t, 64)
+		j2, _ := buildRunnerJob(t, 64)
+		_, err = r.RunAll(context.Background(), []rundown.Job{j1, j2})
+		unsupported := errors.Is(err, rundown.ErrUnsupportedMgmt)
+		if err != nil && !unsupported {
+			t.Fatalf("%v: unexpected RunAll error: %v", model, err)
+		}
+		if unsupported == caps.VirtualMulti {
+			t.Errorf("%v: Capabilities.VirtualMulti = %v but RunAll unsupported = %v",
+				model, caps.VirtualMulti, unsupported)
+		}
+		// Single-program virtual runs accept every model.
+		if !caps.VirtualSingle {
+			t.Errorf("%v: VirtualSingle = false", model)
+		}
+		j3, _ := buildRunnerJob(t, 64)
+		if _, err := r.Run(context.Background(), j3); err != nil {
+			t.Errorf("%v: single virtual run failed: %v", model, err)
+		}
+	}
+	// Real side: RealMulti must match what a pool-backed RunAll accepts.
+	for _, kind := range []rundown.ExecManager{rundown.SerialManager, rundown.ShardedManager, rundown.AsyncManager} {
+		caps := rundown.Capabilities(kind, rundown.StealsWorker)
+		if !caps.RealMulti {
+			t.Errorf("%v: RealMulti = false", kind)
+			continue
+		}
+		r, err := rundown.New(rundown.WithWorkers(4), rundown.WithManager(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j1, d1 := buildRunnerJob(t, 256)
+		j2, d2 := buildRunnerJob(t, 256)
+		rep, err := r.RunAll(context.Background(), []rundown.Job{j1, j2})
+		if err != nil {
+			t.Fatalf("%v: RunAll: %v", kind, err)
+		}
+		if rep.Backend != rundown.PoolBackend || rep.Pool == nil {
+			t.Errorf("%v: RunAll report backend = %v, pool = %v", kind, rep.Backend, rep.Pool)
+		}
+		checkRunnerJob(t, d1)
+		checkRunnerJob(t, d2)
+	}
+}
+
+// buildSleepJob wraps the shared sleeping identity chain
+// (testutil.SleepChain) in a Job spec, so a cancel lands mid-run even
+// on a single-CPU host.
+func buildSleepJob(t testing.TB, phases, n int, d time.Duration) rundown.Job {
+	t.Helper()
+	return rundown.Job{
+		Prog: testutil.SleepChain(t, phases, n, d),
+		Opt:  rundown.Options{Grain: 1, Overlap: true, Costs: rundown.DefaultCosts()},
+	}
+}
+
+func waitGoroutineBaseline(t *testing.T, before int) {
+	t.Helper()
+	testutil.WaitGoroutines(t, before)
+}
+
+// TestRunnerCancellation cancels a running job on each real backend and
+// a virtual run, asserting a prompt ctx.Err()-wrapped return and zero
+// leaked goroutines.
+func TestRunnerCancellation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []rundown.Option
+	}{
+		{"goroutines-serial", []rundown.Option{rundown.WithWorkers(4)}},
+		{"goroutines-sharded", []rundown.Option{rundown.WithWorkers(4), rundown.WithManager(rundown.ShardedManager)}},
+		{"goroutines-async", []rundown.Option{rundown.WithWorkers(4), rundown.WithManager(rundown.AsyncManager)}},
+		{"pool", []rundown.Option{rundown.WithWorkers(4), rundown.WithPool()}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			r, err := rundown.New(c.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				_, err := r.Run(ctx, buildSleepJob(t, 3, 256, time.Millisecond))
+				done <- err
+			}()
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("err = %v, want wrapped context.Canceled", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("cancelled run did not return promptly")
+			}
+			waitGoroutineBaseline(t, before)
+		})
+	}
+
+	// A context cancelled before RunAll is even called returns
+	// deterministically at entry — no pool is spun up, no jobs run, and
+	// the error wraps ctx.Err() even for jobs fast enough to finish
+	// before a watcher goroutine would be scheduled.
+	t.Run("pool-precancelled", func(t *testing.T) {
+		before := runtime.NumGoroutine()
+		r, err := rundown.New(rundown.WithWorkers(4), rundown.WithPool())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err = r.RunAll(ctx, []rundown.Job{
+			buildSleepJob(t, 1, 2, 0), // fast enough to outrun a watcher
+			buildSleepJob(t, 1, 2, 0),
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want wrapped context.Canceled", err)
+		}
+		waitGoroutineBaseline(t, before)
+	})
+
+	t.Run("virtual", func(t *testing.T) {
+		r, err := rundown.New(rundown.WithVirtualTime(rundown.SimConfig{Procs: 8}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		job, _ := buildRunnerJob(t, 8192)
+		job.Opt.Grain = 1
+		if _, err := r.Run(ctx, job); !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want wrapped context.Canceled", err)
+		}
+	})
+
+	t.Run("pool-runall", func(t *testing.T) {
+		before := runtime.NumGoroutine()
+		r, err := rundown.New(rundown.WithWorkers(4), rundown.WithManager(rundown.ShardedManager))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		type res struct {
+			rep *rundown.Report
+			err error
+		}
+		done := make(chan res, 1)
+		go func() {
+			rep, err := r.RunAll(ctx, []rundown.Job{
+				buildSleepJob(t, 3, 256, time.Millisecond),
+				buildSleepJob(t, 3, 256, time.Millisecond),
+			})
+			done <- res{rep, err}
+		}()
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		select {
+		case out := <-done:
+			if !errors.Is(out.err, context.Canceled) {
+				t.Fatalf("err = %v, want wrapped context.Canceled", out.err)
+			}
+			if out.rep == nil || len(out.rep.Jobs) != 2 {
+				t.Fatalf("cancelled RunAll should still report per-job outcomes: %+v", out.rep)
+			}
+			for _, j := range out.rep.Jobs {
+				if !errors.Is(j.Err, context.Canceled) {
+					t.Errorf("job %s err = %v, want wrapped context.Canceled", j.Name, j.Err)
+				}
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("cancelled RunAll did not return promptly")
+		}
+		waitGoroutineBaseline(t, before)
+	})
+}
+
+// TestRunnerObserver checks the unified observer across backends: every
+// snapshot carries the right backend kind, and the stream closes with a
+// Final snapshot.
+func TestRunnerObserver(t *testing.T) {
+	collect := func(opts ...rundown.Option) []rundown.Snapshot {
+		var mu sync.Mutex
+		var snaps []rundown.Snapshot
+		opts = append(opts, rundown.WithObserver(func(s rundown.Snapshot) {
+			mu.Lock()
+			snaps = append(snaps, s)
+			mu.Unlock()
+		}), rundown.WithObservePeriod(2*time.Millisecond))
+		r, err := rundown.New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(context.Background(), buildSleepJob(t, 2, 64, time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]rundown.Snapshot(nil), snaps...)
+	}
+
+	for _, c := range []struct {
+		name string
+		opts []rundown.Option
+		want rundown.BackendKind
+	}{
+		{"goroutines", []rundown.Option{rundown.WithWorkers(4)}, rundown.ExecBackend},
+		{"pool", []rundown.Option{rundown.WithWorkers(4), rundown.WithPool()}, rundown.PoolBackend},
+		{"virtual", []rundown.Option{rundown.WithWorkers(4), rundown.WithVirtualTime(rundown.SimConfig{})}, rundown.VirtualBackend},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			snaps := collect(c.opts...)
+			if len(snaps) == 0 {
+				t.Fatal("no snapshots")
+			}
+			for i, s := range snaps {
+				if s.Backend != c.want {
+					t.Fatalf("snapshot %d backend = %v, want %v", i, s.Backend, c.want)
+				}
+			}
+			if !snaps[len(snaps)-1].Final {
+				t.Error("stream did not close with a Final snapshot")
+			}
+		})
+	}
+}
+
+// TestRunnerStartPool covers the incremental pool lifecycle behind the
+// front door, and the virtual Runner's refusal to start one.
+func TestRunnerStartPool(t *testing.T) {
+	r, err := rundown.New(rundown.WithWorkers(4), rundown.WithManager(rundown.ShardedManager))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := r.StartPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, dst := buildRunnerJob(t, 512)
+	h, err := pool.Submit(job.Prog, job.Opt, rundown.PoolJobConfig{Name: "one"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkRunnerJob(t, dst)
+
+	vr, err := rundown.New(rundown.WithVirtualTime(rundown.SimConfig{Procs: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vr.StartPool(); err == nil {
+		t.Fatal("virtual Runner started a goroutine pool")
+	}
+}
+
+// TestRunnerOptionConflicts: incompatible options fail at New, in either
+// order.
+func TestRunnerOptionConflicts(t *testing.T) {
+	if _, err := rundown.New(rundown.WithPool(), rundown.WithVirtualTime(rundown.SimConfig{Procs: 2})); err == nil {
+		t.Error("WithPool then WithVirtualTime accepted")
+	}
+	if _, err := rundown.New(rundown.WithVirtualTime(rundown.SimConfig{Procs: 2}), rundown.WithPool()); err == nil {
+		t.Error("WithVirtualTime then WithPool accepted")
+	}
+}
+
+// TestRunnerManagerDrivesVirtualModel: the manager option retargets the
+// virtual model, so one option set moves between machines.
+func TestRunnerManagerDrivesVirtualModel(t *testing.T) {
+	cases := []struct {
+		opts []rundown.Option
+		want rundown.MgmtModel
+	}{
+		{[]rundown.Option{rundown.WithWorkers(4), rundown.WithVirtualTime(rundown.SimConfig{})}, rundown.StealsWorker},
+		{[]rundown.Option{rundown.WithWorkers(4), rundown.WithVirtualTime(rundown.SimConfig{}), rundown.WithDedicatedExec()}, rundown.Dedicated},
+		{[]rundown.Option{rundown.WithWorkers(4), rundown.WithVirtualTime(rundown.SimConfig{}), rundown.WithManager(rundown.ShardedManager)}, rundown.ShardedMgmt},
+		{[]rundown.Option{rundown.WithWorkers(4), rundown.WithVirtualTime(rundown.SimConfig{}), rundown.WithManager(rundown.ShardedManager), rundown.WithAdaptiveBatching(0)}, rundown.AdaptiveMgmt},
+		{[]rundown.Option{rundown.WithWorkers(4), rundown.WithVirtualTime(rundown.SimConfig{}), rundown.WithManager(rundown.AsyncManager)}, rundown.AsyncMgmt},
+		// Explicit model in SimConfig honored when no manager option given.
+		{[]rundown.Option{rundown.WithWorkers(4), rundown.WithVirtualTime(rundown.SimConfig{Mgmt: rundown.AdaptiveMgmt})}, rundown.AdaptiveMgmt},
+	}
+	for i, c := range cases {
+		r, err := rundown.New(c.opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, _ := buildRunnerJob(t, 128)
+		rep, err := r.Run(context.Background(), job)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if rep.Model != c.want {
+			t.Errorf("case %d: model = %v, want %v", i, rep.Model, c.want)
+		}
+	}
+}

@@ -200,9 +200,10 @@ type (
 )
 
 // ErrUnsupportedMgmt reports a management model a simulation mode cannot
-// price: SimulateMulti rejects the single-program-only AdaptiveMgmt and
-// AsyncMgmt models with errors wrapping it. Test with errors.Is — or
-// avoid tripping it at all by consulting Capabilities(manager,
+// price. Every current model prices multi-program runs (SupportsMulti
+// accepts them all, AdaptiveMgmt and AsyncMgmt included), so only an
+// unknown or future model trips it. Test with errors.Is — or avoid
+// tripping it at all by consulting Capabilities(manager,
 // model).VirtualMulti before running.
 var ErrUnsupportedMgmt = sim.ErrUnsupportedMgmt
 

@@ -27,9 +27,9 @@ type Caps struct {
 	RealMulti bool
 	// Adaptive: the adaptive batching controller applies — Manager is
 	// the sharded manager (real) or Model is the Adaptive model
-	// (virtual). Single-program runs only: pool-backed runs ignore the
-	// controller (see WithAdaptiveBatching), just as VirtualMulti is
-	// false for the Adaptive model.
+	// (virtual). Virtual multi-program runs price the controller
+	// pool-wide; REAL pool-backed runs ignore it (see
+	// WithAdaptiveBatching).
 	Adaptive bool
 	// AsyncMgmt: management runs beside the workers rather than on them —
 	// the async manager's dedicated goroutine, or the Async model's

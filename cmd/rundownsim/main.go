@@ -15,17 +15,19 @@
 //	rundownsim -mapping identity -granules 8192 -procs 32 -overlap -observe
 //	rundownsim -jobs 3 -mapping identity -granules 4096 -procs 64 -overlap
 //	rundownsim -jobs 2 -manager async -mapping identity -granules 4096 -procs 8 -overlap
+//	rundownsim -jobs 4 -adaptive -mapping identity -granules 4096 -procs 32 -overlap
 //
 // The command is built on the rundown.Runner front door: one Job spec,
 // one Run/RunAll call, and the backend — virtual machine, goroutine
 // executive, or tenant pool — is chosen by options. With -jobs N
 // (N >= 2), N copies of the configured workload (differing seeds) share
 // one machine under the multi-tenant pool's overlap-first dispatch
-// policy; when the virtual queue cannot price the selected management
-// model (Capabilities reports VirtualMulti=false — the async model), the
-// jobs run on the real goroutine tenant pool instead. -observe streams
-// live utilization/overhead snapshots to stderr, and Ctrl-C cancels the
-// run through the Runner's context.
+// policy, priced in virtual time under every management model — the
+// async ready buffer and the adaptive batch controller included. (Were a
+// model ever to lose virtual multi-program pricing, Capabilities'
+// VirtualMulti gate would route the jobs to the real goroutine tenant
+// pool instead.) -observe streams live utilization/overhead snapshots to
+// stderr, and Ctrl-C cancels the run through the Runner's context.
 package main
 
 import (
@@ -117,10 +119,6 @@ func main() {
 	}
 
 	if *jobs >= 2 {
-		if exec.Adaptive {
-			fmt.Fprintln(os.Stderr, "rundownsim: -adaptive is single-program only (drop -jobs)")
-			os.Exit(2)
-		}
 		runShared(ctx, build, opt, execOpts, *jobs, *procs, *seed)
 		return
 	}
@@ -196,9 +194,10 @@ func printSnapshot(s rundown.Snapshot) {
 
 // runShared runs jobs copies of the workload (differing seeds) sharing
 // one machine through Runner.RunAll: in virtual time when the selected
-// management model supports multi-program pricing, otherwise (async) on
-// the real goroutine tenant pool — the capability is checked statically
-// via Capabilities instead of tripping ErrUnsupportedMgmt at run time.
+// management model supports multi-program pricing (every current model
+// does), otherwise on the real goroutine tenant pool — the capability is
+// checked statically via Capabilities instead of tripping
+// ErrUnsupportedMgmt at run time.
 func runShared(ctx context.Context, build func(seed uint64) (*rundown.Program, error),
 	opt rundown.Options, execOpts []rundown.Option, jobs, procs int, seed uint64) {
 	specs := make([]rundown.Job, jobs)
@@ -236,6 +235,9 @@ func runShared(ctx context.Context, build func(seed uint64) (*rundown.Program, e
 	fmt.Printf("idle units          %d\n", res.IdleUnits)
 	fmt.Printf("backfill units      %d\n", res.BackfillUnits)
 	fmt.Printf("utilization         %s\n", metrics.FormatPercent(res.Utilization))
+	if res.Batch > 0 {
+		fmt.Printf("batch (final)       %d (%d controller changes)\n", res.Batch, res.BatchChanges)
+	}
 
 	fmt.Println("\nper-job:")
 	for _, j := range res.Jobs {

@@ -15,11 +15,10 @@ import (
 // descriptions, decrements enablement counters, and advances the phase
 // window when the current phase finishes. It returns the management cost.
 func (s *Scheduler) Complete(t Task) Cost {
-	d, ok := s.inflight[t.ID]
+	d, ok := s.inflight.take(t.ID)
 	if !ok {
 		panic(fmt.Sprintf("core: Complete of unknown %v", t))
 	}
-	delete(s.inflight, t.ID)
 	pr := s.phases[d.phase]
 
 	cost := s.opt.Costs.Complete + s.opt.Costs.Merge
@@ -33,12 +32,16 @@ func (s *Scheduler) Complete(t Task) Cost {
 	pr.completed.AddRange(d.run)
 	pr.nComplete += d.run.Len()
 
-	// Release conflict-queued successor descriptions: "upon completion of
-	// the described computation, all the queued conflicting computations
+	// Release the conflict-queued successor: "upon completion of the
+	// described computation, all the queued conflicting computations
 	// became unconditionally computable and were placed in the waiting
-	// computation queue" — ahead of normal work.
-	for _, sd := range d.detachAll() {
-		cost += s.pushDesc(sd, s.releasedClass())
+	// computation queue" — ahead of normal work. The successor
+	// description is materialized only now, typically reusing the
+	// allocation the enabler retires below.
+	if !d.succ.Empty() {
+		run := d.succ
+		d.succ = granule.Range{}
+		cost += s.pushDesc(s.getDesc(d.phase+1, run), s.releasedClass())
 		s.stats.Releases++
 	}
 
@@ -79,9 +82,9 @@ func (s *Scheduler) Complete(t Task) Cost {
 
 		// Subset counter: the paper's status-bit-plus-counter mechanism.
 		if pr.subsetCounter.Armed() {
-			hits := pr.subsetPreds.IntersectRange(d.run)
+			hits := pr.subsetPreds.CountRange(d.run)
 			fired := false
-			for i := 0; i < hits.Len(); i++ {
+			for i := 0; i < hits; i++ {
 				if pr.subsetCounter.Dec() {
 					fired = true
 				}
@@ -156,23 +159,20 @@ func (s *Scheduler) completeGroup(ts []Task) Cost {
 	merged := granule.NewSet()
 	var succ *granule.Set // conflict-released successor granules
 	for _, t := range ts {
-		d, ok := s.inflight[t.ID]
+		d, ok := s.inflight.take(t.ID)
 		if !ok {
 			panic(fmt.Sprintf("core: Complete of unknown %v", t))
 		}
-		delete(s.inflight, t.ID)
 		if pr.completed.ContainsRange(d.run) && !d.run.Empty() {
 			panic(fmt.Sprintf("core: double completion of %v in phase %d", d.run, d.phase))
 		}
 		merged.AddRange(d.run)
-		if !d.conflict.Empty() {
+		if !d.succ.Empty() {
 			if succ == nil {
 				succ = granule.NewSet()
 			}
-			for _, sd := range d.detachAll() {
-				succ.AddRange(sd.run)
-				s.putDesc(sd)
-			}
+			succ.AddRange(d.succ)
+			d.succ = granule.Range{}
 		}
 		s.putDesc(d)
 	}
@@ -229,8 +229,8 @@ func (s *Scheduler) completeGroup(ts []Task) Cost {
 		if pr.subsetCounter.Armed() {
 			fired := false
 			for _, run := range merged.Runs() {
-				hits := pr.subsetPreds.IntersectRange(run)
-				for i := 0; i < hits.Len(); i++ {
+				hits := pr.subsetPreds.CountRange(run)
+				for i := 0; i < hits; i++ {
 					if pr.subsetCounter.Dec() {
 						fired = true
 					}

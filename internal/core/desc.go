@@ -26,42 +26,36 @@ func (t Task) String() string {
 // apart "as necessary to produce conveniently sized tasks for workers".
 //
 // A desc lives in exactly one place at a time: the waiting computation
-// queue (node attached), the conflict ring of another desc (cnode
-// attached), or in flight as a dispatched task.
+// queue (node attached) or in flight as a dispatched task.
 type desc struct {
 	phase granule.PhaseID
 	run   granule.Range
 	class queue.Class
 
-	// node links the desc into the waiting computation queue.
-	node *queue.Node[*desc]
-	// conflict is the desc's queue head for the double circularly-linked
-	// list of computable-but-conflicting descriptions — here, identity-
-	// mapped successor descriptions enabled by this desc's completion.
-	conflict queue.Ring[*desc]
-	// cnode links the desc into another desc's conflict ring.
-	cnode *queue.Node[*desc]
-}
+	// succ is the PAX conflict queue of this description, in its only
+	// occurring shape: identity-mapped successor work enabled by this
+	// description's completion ("upon completion of the described
+	// computation, all the queued conflicting computations became
+	// unconditionally computable"). The identity mechanism attaches
+	// exactly one successor description per enabler, always a contiguous
+	// subrange of the enabler's own run (dispatch splits mirror-split it,
+	// keeping the invariant), so the queue is represented as the bare
+	// range — empty meaning none — and the successor description is
+	// materialized only at completion time, when it enters the waiting
+	// queue. Compared to carrying a linked ring of successor
+	// descriptions, this halves the per-description footprint and lets a
+	// completion's released successor reuse the enabler's just-retired
+	// allocation: the description working set stops growing with the
+	// phase.
+	succ granule.Range
 
-func newDesc(phase granule.PhaseID, run granule.Range) *desc {
-	d := &desc{phase: phase, run: run}
-	d.node = queue.NewNode(d)
-	d.cnode = queue.NewNode(d)
-	return d
+	// node links the desc into the waiting computation queue. It is
+	// embedded by value (not a *Node) so a description is one allocation,
+	// not two — at fine grain the extra node allocation per description
+	// dominated the dispatch path's allocation profile.
+	node queue.Node[*desc]
 }
 
 func (d *desc) String() string {
 	return fmt.Sprintf("desc{phase=%d run=%v class=%v}", d.phase, d.run, d.class)
-}
-
-// attachSuccessor queues s on d's conflict ring.
-func (d *desc) attachSuccessor(s *desc) {
-	d.conflict.PushBack(s.cnode)
-}
-
-// detachAll removes and returns all successor descs queued on d.
-func (d *desc) detachAll() []*desc {
-	var out []*desc
-	d.conflict.Drain(func(s *desc) { out = append(out, s) })
-	return out
 }

@@ -28,7 +28,7 @@ func (s *Scheduler) NextTask() (t Task, cost Cost, ok bool) {
 		// (and the driver's own idle-executive DeferredMgmt calls) will
 		// make progress, and an unfinished composite-map build can still
 		// be cancelled by the predecessor completing.
-		for s.wait.Empty() && len(s.inflight) == 0 {
+		for s.wait.Empty() && s.inflight.len() == 0 {
 			dc, any := s.DeferredMgmt()
 			if !any {
 				return Task{}, cost, false
@@ -53,7 +53,7 @@ func (s *Scheduler) NextTask() (t Task, cost Cost, ok bool) {
 	}
 
 	// Double-dispatch guard: a granule must never be handed out twice.
-	if !pr.dispatched.IntersectRange(d.run).Empty() {
+	if pr.dispatched.IntersectsRange(d.run) {
 		panic(fmt.Sprintf("core: double dispatch of %v in phase %d", d.run, d.phase))
 	}
 	pr.dispatched.AddRange(d.run)
@@ -61,7 +61,7 @@ func (s *Scheduler) NextTask() (t Task, cost Cost, ok bool) {
 	s.nextID++
 	s.stats.Dispatches++
 	t = Task{ID: s.nextID, Phase: d.phase, Run: d.run}
-	s.inflight[t.ID] = d
+	s.inflight.put(t.ID, d)
 	return t, cost, true
 }
 
@@ -81,7 +81,7 @@ func (s *Scheduler) NextTasks(dst []Task, max int) ([]Task, Cost) {
 	var cost Cost
 	for n := 0; n < max; {
 		node, class, ok := s.wait.Peek()
-		if !ok || !node.Value.conflict.Empty() || node.Value.run.Len() <= s.opt.Grain {
+		if !ok || !node.Value.succ.Empty() || node.Value.run.Len() <= s.opt.Grain {
 			// Empty queue (let NextTask run its liveness fallback),
 			// attached successor descriptions to mirror-split, or a
 			// description that already fits the grain: sequential path.
@@ -108,7 +108,7 @@ func (s *Scheduler) NextTasks(dst []Task, max int) ([]Task, Cost) {
 		span, rest := d.run.TakeFront((max - n) * s.opt.Grain)
 
 		// Double-dispatch guard, once for the whole carved span.
-		if !pr.dispatched.IntersectRange(span).Empty() {
+		if pr.dispatched.IntersectsRange(span) {
 			panic(fmt.Sprintf("core: double dispatch of %v in phase %d", span, d.phase))
 		}
 		pr.dispatched.AddRange(span)
@@ -133,7 +133,7 @@ func (s *Scheduler) NextTasks(dst []Task, max int) ([]Task, Cost) {
 			s.nextID++
 			s.stats.Dispatches++
 			t := Task{ID: s.nextID, Phase: d.phase, Run: front}
-			s.inflight[t.ID] = s.getDesc(d.phase, front)
+			s.inflight.put(t.ID, s.getDesc(d.phase, front))
 			dst = append(dst, t)
 			n++
 		}
@@ -149,10 +149,11 @@ func (s *Scheduler) NextTasks(dst []Task, max int) ([]Task, Cost) {
 
 // splitForDispatch splits description d so its front fits the grain,
 // requeueing the remainder at the front of its class, and handles the
-// attached successor descriptions per the successor-split mode.
+// attached successor range per the successor-split mode.
 func (s *Scheduler) splitForDispatch(d *desc, class queue.Class, pr *phaseRun) Cost {
 	var cost Cost
-	attachments := d.detachAll()
+	succ := d.succ
+	d.succ = granule.Range{}
 
 	front, rest := d.run.TakeFront(s.opt.Grain)
 	d.run = front
@@ -163,23 +164,22 @@ func (s *Scheduler) splitForDispatch(d *desc, class queue.Class, pr *phaseRun) C
 	s.stats.SplitCost += sc
 	cost += sc
 
-	for _, sd := range attachments {
+	if !succ.Empty() {
 		switch s.opt.SuccSplit {
 		case SuccSplitInline:
-			sf := sd.run.Intersect(front)
-			sr := sd.run.Intersect(rest)
+			sf := succ.Intersect(front)
+			sr := succ.Intersect(rest)
 			switch {
 			case sf.Empty():
-				rd.attachSuccessor(sd)
+				rd.succ = succ
 			case sr.Empty():
-				d.attachSuccessor(sd)
+				d.succ = succ
 			default:
-				// Split the queued successor description to mirror
-				// the split of its enabler, paying the split cost on
-				// the dispatch path.
-				sd.run = sf
-				d.attachSuccessor(sd)
-				rd.attachSuccessor(s.getDesc(sd.phase, sr))
+				// Split the queued successor range to mirror the split
+				// of its enabler, paying the split cost on the
+				// dispatch path.
+				d.succ = sf
+				rd.succ = sr
 				s.stats.Splits++
 				s.stats.SplitCost += s.opt.Costs.Split
 				cost += s.opt.Costs.Split
@@ -193,11 +193,10 @@ func (s *Scheduler) splitForDispatch(d *desc, class queue.Class, pr *phaseRun) C
 			s.deferred = append(s.deferred, deferredItem{
 				kind:      deferSplitSucc,
 				predPhase: int(pr.idx),
-				succPhase: int(sd.phase),
-				run:       sd.run,
+				succPhase: int(d.phase) + 1,
+				run:       succ,
 			})
 			s.stats.DeferredItems++
-			s.putDesc(sd)
 		}
 	}
 	return cost

@@ -1,0 +1,107 @@
+package core
+
+// inflightTable maps dispatched task IDs to their computation
+// descriptions. It replaces a map[int]*desc on the hot dispatch/complete
+// path: IDs are small, dense, positive ints (the scheduler's own
+// monotonic counter), and every entry is inserted exactly once and
+// removed exactly once, so a linear-probing table with backward-shift
+// deletion does the same job with no hashing, no tombstones, and far
+// less per-operation bookkeeping than the general map.
+//
+// ID 0 is never issued (nextID pre-increments), so a zero id marks an
+// empty slot.
+type inflightTable struct {
+	slots []inflightSlot
+	n     int
+}
+
+type inflightSlot struct {
+	id int
+	d  *desc
+}
+
+const inflightMinSize = 64 // power of two
+
+// inflightHash spreads the sequential IDs across the table (Fibonacci
+// hashing). Using the ID directly would map consecutive IDs to
+// consecutive slots, forming one long probe run that makes
+// backward-shift deletion O(live entries) instead of O(1).
+func inflightHash(id, mask int) int {
+	return int(uint64(id)*0x9E3779B97F4A7C15>>17) & mask
+}
+
+func (t *inflightTable) len() int { return t.n }
+
+// put inserts id -> d. id must be non-zero and not present.
+func (t *inflightTable) put(id int, d *desc) {
+	if t.slots == nil {
+		t.slots = make([]inflightSlot, inflightMinSize)
+	} else if t.n*4 >= len(t.slots)*3 {
+		t.grow()
+	}
+	mask := len(t.slots) - 1
+	i := inflightHash(id, mask)
+	for t.slots[i].id != 0 {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = inflightSlot{id: id, d: d}
+	t.n++
+}
+
+// take removes and returns the description for id, or (nil, false) when
+// id is not present.
+func (t *inflightTable) take(id int) (*desc, bool) {
+	if t.n == 0 {
+		return nil, false
+	}
+	mask := len(t.slots) - 1
+	i := inflightHash(id, mask)
+	for {
+		s := t.slots[i]
+		if s.id == id {
+			break
+		}
+		if s.id == 0 {
+			return nil, false
+		}
+		i = (i + 1) & mask
+	}
+	d := t.slots[i].d
+	t.n--
+
+	// Backward-shift deletion: close the hole so probe chains stay
+	// contiguous without tombstones.
+	j := i
+	for {
+		j = (j + 1) & mask
+		s := t.slots[j]
+		if s.id == 0 {
+			break
+		}
+		k := inflightHash(s.id, mask)
+		// Slot j's entry may move into the hole at i only if its home
+		// position k does not lie in the cyclic interval (i, j].
+		if (j > i && (k <= i || k > j)) || (j < i && k <= i && k > j) {
+			t.slots[i] = s
+			i = j
+		}
+	}
+	t.slots[i] = inflightSlot{}
+	return d, true
+}
+
+func (t *inflightTable) grow() {
+	old := t.slots
+	t.slots = make([]inflightSlot, len(old)*2)
+	mask := len(t.slots) - 1
+	for _, s := range old {
+		if s.id == 0 {
+			continue
+		}
+		i := inflightHash(s.id, mask)
+		for t.slots[i].id != 0 {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = s
+	}
+}

@@ -58,7 +58,7 @@ type Scheduler struct {
 	phases     []*phaseRun
 	current    int // index of the oldest incomplete phase; len(phases) when done
 	readyTasks int // queued descriptions counted at grain granularity
-	inflight   map[int]*desc
+	inflight   inflightTable
 	deferred   []deferredItem
 	nextID     int
 	started    bool
@@ -67,8 +67,15 @@ type Scheduler struct {
 	// freeDescs recycles retired computation descriptions (and their
 	// embedded queue nodes): at fine grain the dispatch path would
 	// otherwise allocate one description per task, and the allocator
-	// dominates management time.
+	// dominates management time. descSlab batch-allocates fresh
+	// descriptions 256 at a time, so cold-start growth costs one
+	// allocation per 256 descriptions rather than one each. In steady
+	// state the identity-overlap cycle is allocation-free: each
+	// completion retires its enabler description right after
+	// materializing the released successor, so the free list feeds
+	// itself.
 	freeDescs []*desc
+	descSlab  []desc
 }
 
 // getDesc returns a recycled description, or a fresh one when the free
@@ -78,17 +85,25 @@ func (s *Scheduler) getDesc(phase granule.PhaseID, run granule.Range) *desc {
 		d := s.freeDescs[n-1]
 		s.freeDescs = s.freeDescs[:n-1]
 		d.phase, d.run, d.class = phase, run, 0
+		d.succ = granule.Range{}
 		return d
 	}
-	return newDesc(phase, run)
+	if len(s.descSlab) == 0 {
+		s.descSlab = make([]desc, 256)
+	}
+	d := &s.descSlab[0]
+	s.descSlab = s.descSlab[1:]
+	d.phase, d.run = phase, run
+	d.node.Value = d
+	return d
 }
 
 // putDesc retires a description to the free list. Descriptions still
-// linked into a queue or ring, or with a non-empty conflict ring, are
-// never recycled (defensive: recycling an aliased description would
-// corrupt the scheduler).
+// linked into the waiting queue, or with a pending successor, are never
+// recycled (defensive: recycling an aliased description would corrupt
+// the scheduler).
 func (s *Scheduler) putDesc(d *desc) {
-	if d == nil || d.node.Attached() || d.cnode.Attached() || !d.conflict.Empty() {
+	if d == nil || d.node.Attached() || !d.succ.Empty() {
 		return
 	}
 	s.freeDescs = append(s.freeDescs, d)
@@ -101,10 +116,9 @@ func New(prog *Program, opt Options) (*Scheduler, error) {
 	}
 	opt = opt.withDefaults(prog)
 	s := &Scheduler{
-		prog:     prog,
-		opt:      opt,
-		wait:     queue.NewWait[*desc](),
-		inflight: make(map[int]*desc),
+		prog: prog,
+		opt:  opt,
+		wait: queue.NewWait[*desc](),
 	}
 	for i, ph := range prog.Phases {
 		s.phases = append(s.phases, &phaseRun{
@@ -126,6 +140,16 @@ func (s *Scheduler) Program() *Program { return s.prog }
 
 // Stats returns a copy of the management statistics so far.
 func (s *Scheduler) Stats() Stats { return s.stats }
+
+// SerialCost reports the serial-action cost accumulated so far — the
+// Stats().SerialCost field without copying the whole Stats struct, for
+// drivers that probe it around every completion (the multi-program
+// simulator's openAt gate).
+func (s *Scheduler) SerialCost() Cost { return s.stats.SerialCost }
+
+// Dispatches reports the number of tasks dispatched so far, without
+// copying the whole Stats struct.
+func (s *Scheduler) Dispatches() int64 { return s.stats.Dispatches }
 
 // Done reports whether every phase has completed.
 func (s *Scheduler) Done() bool { return s.started && s.current >= len(s.phases) }
@@ -149,7 +173,7 @@ func (s *Scheduler) Ready() int {
 // InFlight reports the number of dispatched-but-incomplete tasks. With a
 // sharded driver this includes tasks parked in worker-local deques and
 // completions not yet submitted, not only tasks actually executing.
-func (s *Scheduler) InFlight() int { return len(s.inflight) }
+func (s *Scheduler) InFlight() int { return s.inflight.len() }
 
 // QueueDescs reports the number of descriptions in the waiting queue — a
 // lower bound on the number of NextTask calls that will succeed right now.

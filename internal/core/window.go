@@ -118,7 +118,7 @@ func (s *Scheduler) enqueueRange(pr *phaseRun, run granule.Range, class queue.Cl
 
 // pushDesc appends d to the waiting computation queue.
 func (s *Scheduler) pushDesc(d *desc, class queue.Class) Cost {
-	s.wait.Push(d.node, class)
+	s.wait.Push(&d.node, class)
 	s.phases[d.phase].nQueued += d.run.Len()
 	s.readyTasks += s.taskCount(d.run.Len())
 	s.stats.DispatchCost += s.opt.Costs.Dispatch
@@ -128,7 +128,7 @@ func (s *Scheduler) pushDesc(d *desc, class queue.Class) Cost {
 // pushDescFront inserts d at the front of its class (split remainders keep
 // their place at the head of the queue).
 func (s *Scheduler) pushDescFront(d *desc, class queue.Class) {
-	s.wait.PushFront(d.node, class)
+	s.wait.PushFront(&d.node, class)
 	s.phases[d.phase].nQueued += d.run.Len()
 	s.readyTasks += s.taskCount(d.run.Len())
 }
@@ -259,7 +259,8 @@ func (s *Scheduler) publishPair(pr, next *phaseRun, tab *enable.Table) Cost {
 
 // attachIdentitySuccessors walks the waiting queue and, for every queued
 // description of the current phase, attaches the matching successor
-// description to its conflict ring.
+// range to its conflict queue (see desc.succ: the successor description
+// itself is materialized at completion time).
 func (s *Scheduler) attachIdentitySuccessors(pr, next *phaseRun) Cost {
 	lim := pr.total
 	if next.total < lim {
@@ -275,8 +276,7 @@ func (s *Scheduler) attachIdentitySuccessors(pr, next *phaseRun) Cost {
 		if run.Empty() {
 			return
 		}
-		sd := s.getDesc(next.idx, run)
-		d.attachSuccessor(sd)
+		d.succ = run
 		pr.cqManaged.AddRange(run)
 		s.stats.Releases++ // queue insertion onto the conflict ring
 		cost += s.opt.Costs.Dispatch

@@ -192,6 +192,32 @@ func (s *Set) Subtract(t *Set) {
 	}
 }
 
+// IntersectsRange reports whether any granule of r is in the set. It is
+// IntersectRange(r).Empty() negated, without materializing a set — the
+// dispatch path's double-dispatch guard runs once per task and must not
+// allocate.
+func (s *Set) IntersectsRange(r Range) bool {
+	if r.Empty() {
+		return false
+	}
+	lo := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].Hi > r.Lo })
+	return lo < len(s.runs) && s.runs[lo].Lo < r.Hi
+}
+
+// CountRange reports how many granules of r are in the set, without
+// materializing the intersection.
+func (s *Set) CountRange(r Range) int {
+	if r.Empty() {
+		return 0
+	}
+	n := 0
+	lo := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].Hi > r.Lo })
+	for i := lo; i < len(s.runs) && s.runs[i].Lo < r.Hi; i++ {
+		n += s.runs[i].Intersect(r).Len()
+	}
+	return n
+}
+
 // IntersectRange returns the granules of s that lie inside r, as a new set.
 func (s *Set) IntersectRange(r Range) *Set {
 	out := &Set{}

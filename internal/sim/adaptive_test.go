@@ -203,14 +203,22 @@ func TestAdaptiveShedsHoarding(t *testing.T) {
 	}
 }
 
-// TestAdaptiveRejectedInMulti: the Adaptive model is single-program only;
-// RunMulti must say so rather than misprice it.
-func TestAdaptiveRejectedInMulti(t *testing.T) {
+// TestAdaptiveAcceptedInMulti: the Adaptive model prices multi-program
+// runs (job-tagged shards with flush-before-switch); a single-job multi
+// run must complete and execute every granule.
+func TestAdaptiveAcceptedInMulti(t *testing.T) {
 	prog := fineChain(t, 2, 64)
-	_, err := RunMulti([]JobSpec{{Name: "a", Prog: prog, Opt: fineOpts()}},
+	res, err := RunMulti([]JobSpec{{Name: "a", Prog: prog, Opt: fineOpts()}},
 		Config{Procs: 4, Mgmt: Adaptive})
-	if err == nil {
-		t.Fatal("RunMulti accepted the Adaptive model")
+	if err != nil {
+		t.Fatalf("RunMulti rejected the Adaptive model: %v", err)
+	}
+	if res.ComputeUnits != int64(prog.TotalCost()) {
+		t.Errorf("compute units %d, want the program's total cost %d",
+			res.ComputeUnits, prog.TotalCost())
+	}
+	if res.Batch == 0 {
+		t.Error("Adaptive multi run reported Batch = 0")
 	}
 }
 

@@ -136,7 +136,7 @@ func (s *state) wakeAsync() {
 				at = s.parkedA[w]
 			}
 			s.unpark(w, at)
-			s.reqs = append(s.reqs, request{at: at, proc: w})
+			s.reqs.push(request{at: at, proc: w})
 			i++
 		}
 	}
@@ -176,5 +176,5 @@ func (s *state) asyncComplete(req request) {
 		pt.End = req.at
 	}
 	s.asyncService(req.at, false)
-	s.reqs = append(s.reqs, request{at: req.at, proc: req.proc})
+	s.reqs.push(request{at: req.at, proc: req.proc})
 }

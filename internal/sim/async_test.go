@@ -1,9 +1,7 @@
 package sim
 
 import (
-	"errors"
 	"math/rand"
-	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -260,30 +258,25 @@ func TestAsyncConservationRandomPrograms(t *testing.T) {
 	}
 }
 
-// TestMultiRejectsUnsupportedMgmt: RunMulti must reject the
-// single-program-only models with an error that wraps ErrUnsupportedMgmt
-// and names the rejected model.
-func TestMultiRejectsUnsupportedMgmt(t *testing.T) {
-	prog := twoPhase(t, 64, enable.NewIdentity())
-	for _, model := range []MgmtModel{Adaptive, Async} {
-		jobs := []JobSpec{{Prog: prog, Opt: core.Options{Grain: 4, Costs: core.DefaultCosts()}}}
-		_, err := RunMulti(jobs, Config{Procs: 4, Mgmt: model})
-		if err == nil {
-			t.Fatalf("%v: RunMulti accepted a single-program-only model", model)
+// TestMultiAcceptsEveryModel: RunMulti prices every management model —
+// the Async ready buffer and the Adaptive shards included — and each run
+// executes every granule of every job.
+func TestMultiAcceptsEveryModel(t *testing.T) {
+	for _, model := range []MgmtModel{StealsWorker, Dedicated, Sharded, Adaptive, Async} {
+		jobs := []JobSpec{
+			{Prog: twoPhase(t, 64, enable.NewIdentity()),
+				Opt: core.Options{Grain: 4, Costs: core.DefaultCosts()}},
+			{Prog: twoPhase(t, 48, enable.NewIdentity()),
+				Opt: core.Options{Grain: 4, Costs: core.DefaultCosts()}},
 		}
-		if !errors.Is(err, ErrUnsupportedMgmt) {
-			t.Errorf("%v: error %v does not wrap ErrUnsupportedMgmt", model, err)
-		}
-		if !strings.Contains(err.Error(), model.String()) {
-			t.Errorf("%v: error %q does not name the rejected model", model, err)
-		}
-	}
-	// The supported models must still be accepted.
-	for _, model := range []MgmtModel{StealsWorker, Dedicated, Sharded} {
-		jobs := []JobSpec{{Prog: twoPhase(t, 64, enable.NewIdentity()),
-			Opt: core.Options{Grain: 4, Costs: core.DefaultCosts()}}}
-		if _, err := RunMulti(jobs, Config{Procs: 4, Mgmt: model}); err != nil {
+		want := int64(jobs[0].Prog.TotalCost() + jobs[1].Prog.TotalCost())
+		res, err := RunMulti(jobs, Config{Procs: 4, Mgmt: model})
+		if err != nil {
 			t.Errorf("%v: RunMulti rejected a supported model: %v", model, err)
+			continue
+		}
+		if res.ComputeUnits != want {
+			t.Errorf("%v: compute units %d, want %d", model, res.ComputeUnits, want)
 		}
 	}
 }

@@ -1,13 +1,15 @@
 package sim
 
 import (
-	"container/heap"
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
 
 	"repro/internal/core"
+	"repro/internal/executive"
 )
 
 // ErrUnsupportedMgmt reports a management model a simulation mode cannot
@@ -76,6 +78,12 @@ type MultiResult struct {
 	Procs   int
 	// Utilization is ComputeUnits / (Procs * Makespan).
 	Utilization float64
+	// Batch is the pool-wide refill batch size at the end of the run
+	// (Adaptive model only; see Result.Batch). Zero under other models.
+	Batch int
+	// BatchChanges counts the pool-wide adaptive controller's parameter
+	// changes (Adaptive model with Options.AdaptiveBatch on any job).
+	BatchChanges int
 	// Jobs holds the per-job results in submission order.
 	Jobs []JobResult
 }
@@ -86,6 +94,12 @@ type mjob struct {
 	sched   *core.Scheduler
 	deficit int64
 	done    bool
+	// ready and hasDef cache sched.ReadyTasks() and sched.HasDeferred(),
+	// refreshed by mstate.syncReady after every scheduler call, so wake
+	// and the idle-absorption probe read counters instead of re-querying
+	// every job per event.
+	ready  int
+	hasDef bool
 	// openAt gates dispatch: a serial action between phases (charged
 	// inside the completion that advanced the phase window) must finish
 	// before the next phase's queued granules may be handed out. The
@@ -99,6 +113,14 @@ type mjob struct {
 	compute  int64
 	backfill int64
 	homeAt0  int
+
+	// Async model state: the job's slice of the shared dedicated server's
+	// ready buffer (tasks already pulled from this job's scheduler, each
+	// stamped with its production time), the completions queued behind the
+	// server, and the NextTasks scratch. See multi_async.go.
+	aready []asyncSlot
+	acomp  []core.Task
+	abuf   []core.Task
 }
 
 // mitem is one queue entry: a task completion (isDone) or an idle
@@ -124,58 +146,34 @@ type mitem struct {
 	dur    int64 // completed task's compute cost (isDone only)
 }
 
-type mqueue []mitem
-
-func (h mqueue) Len() int { return len(h) }
-func (h mqueue) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	// Asks before completions at equal times, matching the single-program
-	// loop (which drains every pending request before the next event).
-	if h[i].isDone != h[j].isDone {
-		return !h[i].isDone
-	}
-	return h[i].seq < h[j].seq
-}
-func (h mqueue) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *mqueue) Push(x any)   { *h = append(*h, x.(mitem)) }
-func (h *mqueue) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-func (h mqueue) peekTime() (int64, bool) {
-	if len(h) == 0 {
-		return 0, false
-	}
-	return h[0].at, true
-}
+// The queue holding mitems is the typed 4-ary mqueue in heap.go, ordered
+// by (at, asks-before-completions, seq).
 
 // SupportsMulti reports whether RunMulti can price model — the static
-// form of the ErrUnsupportedMgmt check, so a caller can discover the
-// rejection before building jobs and running. RunMulti's own gate is
-// derived from it, so the two can never disagree: per-worker batch state
-// (Adaptive) and the shared ready-buffer (Async) do not interleave with
-// cross-job backfill — a worker switching jobs would strand buffered
-// tasks of the job it left.
+// form of the ErrUnsupportedMgmt check, so a caller can discover a
+// rejection before building jobs and running. Every current model is
+// supported: the Async model keeps per-job ready buffers on the shared
+// dedicated server (an ask pops the asker's candidate buffers in
+// dispatch-policy order, so cross-job backfill never strands a buffered
+// task), and the Adaptive model tags each worker's batch shard with the
+// job it was refilled from, flushing the shard's completion batch before
+// the worker may switch jobs. RunMulti's own gate is derived from this
+// predicate, so capability and behaviour cannot drift apart.
 func SupportsMulti(m MgmtModel) bool {
 	switch m {
-	case Adaptive, Async:
-		return false
+	case StealsWorker, Dedicated, Sharded, Adaptive, Async:
+		return true
 	}
-	return true
+	return false
 }
 
 // RunMulti simulates jobs sharing one machine under cfg. All jobs start
 // at t=0. Config.BucketWidth, Gantt and the timeline are not used in
-// multi-program mode; Mgmt selects the StealsWorker, Dedicated or Sharded
-// management model (SupportsMulti reports the accepted set — the batched
-// Adaptive model and the ready-buffer Async model are single-program
-// only).
+// multi-program mode; Mgmt selects any management model (SupportsMulti
+// reports the accepted set). Under Adaptive, Config.Batch and
+// Options.AdaptiveBatch govern one pool-wide controller; under Async,
+// Config.ReadyCap and Config.LowWater size each job's slice of the
+// dedicated server's ready buffer.
 func RunMulti(jobs []JobSpec, cfg Config) (*MultiResult, error) {
 	return RunMultiContext(context.Background(), jobs, cfg)
 }
@@ -203,7 +201,10 @@ func RunMultiContext(ctx context.Context, jobs []JobSpec, cfg Config) (*MultiRes
 		return failEarly(fmt.Errorf("sim: need at least 1 processor"))
 	}
 	if !SupportsMulti(cfg.Mgmt) {
-		return failEarly(fmt.Errorf("%w: the %v model is single-program only (multi-program runs support steals-worker, dedicated, and sharded)",
+		// Unreachable for the known models (SupportsMulti accepts them
+		// all); this keeps an unknown or future model from being mispriced
+		// silently.
+		return failEarly(fmt.Errorf("%w: the %v model has no multi-program pricing",
 			ErrUnsupportedMgmt, cfg.Mgmt))
 	}
 	workers := cfg.Procs
@@ -221,10 +222,12 @@ func RunMultiContext(ctx context.Context, jobs []JobSpec, cfg Config) (*MultiRes
 		procs:      cfg.Procs,
 		homes:      make([]int, workers),
 		parked:     make([]bool, workers),
+		parkedB:    newParkedSet(workers),
 		parkedAt:   make([]int64, workers),
 		pendingAt:  make([]int64, workers),
 		askGen:     make([]int64, workers),
 		workerFree: make([]int64, workers),
+		orderDirty: true,
 	}
 	var totalGranules, totalCost int64
 	for i := range jobs {
@@ -247,7 +250,20 @@ func RunMultiContext(ctx context.Context, jobs []JobSpec, cfg Config) (*MultiRes
 		totalGranules += int64(spec.Prog.TotalGranules())
 		totalCost += int64(spec.Prog.TotalCost())
 	}
+	s.liveCount = len(s.jobs)
+	s.order = make([]int, 0, len(s.jobs))
+	s.cand = make([]int, 0, len(s.jobs))
 	s.obs = newObserver(cfg.Observer, cfg.ObserveEvery, totalCost, workers)
+	if s.obs != nil {
+		s.nowFn = s.frontier
+		s.snapFn = s.snapshot
+	}
+	if cfg.Mgmt == Async {
+		s.masyncInit(cfg)
+	}
+	if cfg.Mgmt == Adaptive {
+		s.madaptiveInit(cfg, totalCost)
+	}
 
 	maxOps := cfg.MaxOps
 	if maxOps <= 0 {
@@ -279,15 +295,92 @@ type mstate struct {
 
 	homes     []int // worker -> job index; -1 when every job is done
 	parked    []bool
+	parkedB   parkedSet // same membership as parked, for sparse wake scans
+	parkedN   int
 	parkedAt  []int64
 	pendingAt []int64 // scheduled wake time of a parked worker; -1 = none
 	askGen    []int64 // bumps when a pending ask is superseded
+
+	// Incremental candidate machinery. order caches the live jobs sorted
+	// by the backfill comparator (priority desc, deficit desc, index asc);
+	// it is rebuilt only when orderDirty — set by any deficit, done-bit,
+	// or replenishment change — so the common ask reuses the cached order.
+	// cand is the per-ask scratch (home first, then order minus home).
+	// liveCount/creditCount make the deficit-replenishment check O(1):
+	// creditCount counts live jobs with deficit > 0, and the backfill
+	// set's credit for a given asker is creditCount minus its home's
+	// contribution.
+	order       []int
+	cand        []int
+	orderDirty  bool
+	liveCount   int
+	creditCount int
+
+	// readyTotal sums the jobs' cached ready counts; deferredN counts live
+	// jobs with cached deferred work. Both are maintained by syncReady so
+	// wake and the idle-absorption probe stop scanning every job.
+	readyTotal int
+	deferredN  int
+
+	// Async model state: per-job ready-buffer knobs and the pool-wide
+	// buffered-task count (wake's extra availability). See multi_async.go.
+	readyCap  int
+	lowWater  int
+	bufferedN int
+
+	// Adaptive model state: per-worker job-tagged shards, the shared batch
+	// knobs, the per-visit Acquire accounting, and one pool-wide controller
+	// with its epoch snapshots and hoarded-idle integral. See
+	// multi_adaptive.go.
+	mab          []mshard
+	batchN       int
+	cbatchN      int
+	acquireUnits int64
+	tuner        *executive.Tuner
+	epochLen     int64
+	lastObsAt    int64
+	lastObsAcq   int64
+	lastObsHI    int64
+	hoardNow     int
+	hiInt        int64
+	hiAt         int64
+
+	// front caches frontier()'s running maximum — lastDone and the job
+	// makespans are monotone, so the max never has to be rescanned.
+	front int64
+
+	// Pre-bound observer thunks (see observer.maybe).
+	nowFn  func() int64
+	snapFn func(at int64) Snapshot
 
 	idleUnits    int64
 	computeUnits int64
 	doneUnits    int64 // compute of tasks whose completion event was served
 	mgmtUnits    int64
 	lastDone     int64
+}
+
+// syncReady refreshes job j's cached ready/deferred state and the global
+// readyTotal/deferredN counters. Call after every scheduler call that can
+// change them (Start, NextTask, Complete, DeferredMgmt) — and after the
+// done bit flips, which zeroes the job's contribution.
+func (s *mstate) syncReady(j *mjob) {
+	r := 0
+	d := false
+	if !j.done {
+		r = j.sched.ReadyTasks()
+		d = j.sched.HasDeferred()
+	}
+	s.readyTotal += r - j.ready
+	j.ready = r
+	if d != j.hasDef {
+		if d {
+			s.deferredN++
+		} else {
+			s.deferredN--
+		}
+		j.hasDef = d
+	}
 }
 
 // chargeMgmt mirrors the single-program state.chargeMgmt: serialize on
@@ -352,12 +445,12 @@ func (s *mstate) rebalance() {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ja, jb := s.jobs[live[order[a]]], s.jobs[live[order[b]]]
-		if ja.spec.Priority != jb.spec.Priority {
-			return ja.spec.Priority > jb.spec.Priority
+	slices.SortStableFunc(order, func(a, b int) int {
+		ja, jb := s.jobs[live[a]], s.jobs[live[b]]
+		if c := cmp.Compare(jb.spec.Priority, ja.spec.Priority); c != 0 {
+			return c
 		}
-		return rems[order[a]] > rems[order[b]]
+		return cmp.Compare(rems[b], rems[a])
 	})
 	for i := 0; assigned < s.workers; i = (i + 1) % n {
 		shares[order[i]]++
@@ -372,53 +465,136 @@ func (s *mstate) rebalance() {
 	}
 }
 
+// rebuildOrder recomputes the cached live-job order by the backfill
+// comparator. The comparator is a strict total order (the index breaks
+// every tie), so the globally sorted list with a given asker's home
+// skipped is exactly what sorting that asker's backfill set would have
+// produced — one shared cache serves every worker.
+func (s *mstate) rebuildOrder() {
+	s.order = s.order[:0]
+	for i, j := range s.jobs {
+		if !j.done {
+			s.order = append(s.order, i)
+		}
+	}
+	slices.SortStableFunc(s.order, func(a, b int) int {
+		ja, jb := s.jobs[a], s.jobs[b]
+		if c := cmp.Compare(jb.spec.Priority, ja.spec.Priority); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(jb.deficit, ja.deficit); c != 0 {
+			return c
+		}
+		return cmp.Compare(a, b)
+	})
+	s.orderDirty = false
+}
+
+// noteDeficit applies a deficit change to job j, keeping creditCount (live
+// jobs with positive deficit) exact and invalidating the cached order.
+func (s *mstate) noteDeficit(j *mjob, delta int64) {
+	was := j.deficit > 0
+	j.deficit += delta
+	if now := j.deficit > 0; now != was && !j.done {
+		if now {
+			s.creditCount++
+		} else {
+			s.creditCount--
+		}
+	}
+	s.orderDirty = true
+}
+
 // candidates returns the job order worker w asks for work in: home first,
 // then the backfill candidates by (priority, deficit, index), with the
 // deficit-round-robin credit replenished when collectively exhausted.
+// The replenishment check is O(1): the asker's backfill set is the live
+// jobs minus its home, so its size and credit are the global counters
+// minus the home's contribution. Replenishment itself (and any other
+// deficit or done-bit change) marks the cached order dirty; everything
+// else reuses it, and the returned slice is a reused scratch valid until
+// the next call.
 func (s *mstate) candidates(w int) []int {
 	home := s.homes[w]
-	out := make([]int, 0, len(s.jobs))
-	if home >= 0 && !s.jobs[home].done {
-		out = append(out, home)
-	}
-	var backfill []int
-	credit := false
-	for i, j := range s.jobs {
-		if i == home || j.done {
-			continue
-		}
-		backfill = append(backfill, i)
-		if j.deficit > 0 {
-			credit = true
+	homeLive := home >= 0 && !s.jobs[home].done
+	nBackfill := s.liveCount
+	credit := s.creditCount
+	if homeLive {
+		nBackfill--
+		if s.jobs[home].deficit > 0 {
+			credit--
 		}
 	}
-	if len(backfill) > 0 && !credit {
+	if nBackfill > 0 && credit == 0 {
 		for _, j := range s.jobs {
 			if !j.done {
-				j.deficit += int64(j.spec.Weight) * mdrrQuantum
+				s.noteDeficit(j, int64(j.spec.Weight)*mdrrQuantum)
 			}
 		}
 	}
-	sort.SliceStable(backfill, func(a, b int) bool {
-		ja, jb := s.jobs[backfill[a]], s.jobs[backfill[b]]
-		if ja.spec.Priority != jb.spec.Priority {
-			return ja.spec.Priority > jb.spec.Priority
+	if s.orderDirty {
+		s.rebuildOrder()
+	}
+	out := s.cand[:0]
+	if homeLive {
+		out = append(out, home)
+	}
+	for _, ji := range s.order {
+		if ji != home {
+			out = append(out, ji)
 		}
-		if ja.deficit != jb.deficit {
-			return ja.deficit > jb.deficit
-		}
-		return backfill[a] < backfill[b]
-	})
-	return append(out, backfill...)
+	}
+	s.cand = out
+	return out
 }
 
 func (s *mstate) park(w int, at int64) {
 	if s.parked[w] {
 		return
 	}
+	s.mNoteStarve(at)
 	s.parked[w] = true
+	s.parkedB.set(w)
+	s.parkedN++
 	s.parkedAt[w] = at
 	s.pendingAt[w] = -1
+}
+
+// beginAsk is the shared prologue of every ask handler: it drops asks a
+// later wake superseded and settles the asker's park accounting. It
+// reports whether the ask is still live.
+func (s *mstate) beginAsk(req mitem) bool {
+	if req.gen != s.askGen[req.proc] {
+		return false // superseded by an earlier wake
+	}
+	if s.parked[req.proc] {
+		s.mNoteStarve(req.at)
+		s.parked[req.proc] = false
+		s.parkedB.clear(req.proc)
+		s.parkedN--
+		s.pendingAt[req.proc] = -1
+		if d := req.at - s.parkedAt[req.proc]; d > 0 {
+			s.idleUnits += d
+		}
+	}
+	return true
+}
+
+// noteJobDone flips job j's done bookkeeping when its scheduler just
+// finished: the job leaves the live and credit counts, the cached
+// backfill order, and the home-worker map. Call before syncReady (which
+// zeroes a done job's cached contribution).
+func (s *mstate) noteJobDone(j *mjob) {
+	if j.done || !j.sched.Done() {
+		return
+	}
+	j.done = true
+	s.liveCount--
+	if j.deficit > 0 {
+		s.creditCount--
+	}
+	s.orderDirty = true
+	s.rebalance()
 }
 
 // wake schedules asks for parked workers at time at, bounded by the
@@ -429,23 +605,34 @@ func (s *mstate) park(w int, at int64) {
 // orphans the stale ask). Without this, one job's serial action would
 // phantom-occupy workers the other jobs could have used.
 func (s *mstate) wake(at int64) {
-	avail := 0
-	for _, j := range s.jobs {
-		if !j.done {
-			avail += j.sched.ReadyTasks()
-		}
+	if s.parkedN == 0 {
+		return
 	}
-	for w := 0; w < s.workers && avail > 0; w++ {
-		if !s.parked[w] {
-			continue
+	avail := s.readyTotal
+	if s.model == Async {
+		// Buffered tasks are poppable by any worker whose candidate walk
+		// reaches their job, so they count as availability; the dispatch
+		// waits for the slot's production stamp, not the ask.
+		avail += s.bufferedN
+	}
+	if avail <= 0 {
+		return
+	}
+	// Walk only the parked workers, in ascending order — the order the
+	// old full scan visited them — via the bitset.
+	for wi := 0; wi < len(s.parkedB.words) && avail > 0; wi++ {
+		word := s.parkedB.words[wi]
+		for word != 0 && avail > 0 {
+			w := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if s.pendingAt[w] >= 0 && s.pendingAt[w] <= at {
+				continue // already scheduled no later than this wake
+			}
+			s.pendingAt[w] = at
+			s.askGen[w]++
+			s.push(mitem{at: at, proc: w, gen: s.askGen[w]})
+			avail--
 		}
-		if s.pendingAt[w] >= 0 && s.pendingAt[w] <= at {
-			continue // already scheduled no later than this wake
-		}
-		s.pendingAt[w] = at
-		s.askGen[w]++
-		s.push(mitem{at: at, proc: w, gen: s.askGen[w]})
-		avail--
 	}
 }
 
@@ -453,7 +640,7 @@ func (s *mstate) wake(at int64) {
 func (s *mstate) push(it mitem) {
 	s.seq++
 	it.seq = s.seq
-	heap.Push(&s.queue, it)
+	s.queue.push(it)
 }
 
 func (s *mstate) run(maxOps int64) error {
@@ -464,9 +651,10 @@ func (s *mstate) run(maxOps int64) error {
 	}
 	for _, j := range s.jobs {
 		fin := s.serve(s.serverFree, j.sched.Start())
-		if j.sched.Stats().SerialCost > 0 {
+		if j.sched.SerialCost() > 0 {
 			j.openAt = fin
 		}
+		s.syncReady(j)
 	}
 	s.rebalance()
 	for i, j := range s.jobs {
@@ -494,26 +682,32 @@ func (s *mstate) run(maxOps int64) error {
 				return fmt.Errorf("sim: multi run canceled at t=%d: %w", s.frontier(), err)
 			}
 		}
-		// Guarded here, not in maybe: an unobserved run must not pay the
-		// O(jobs) frontier scan per event.
+		// Guarded here, not in maybe: an unobserved run must not pay even
+		// the thunk's indirect call per event. (The frontier itself is a
+		// cached running max, so an observed run pays O(1) too.)
 		if s.obs != nil {
-			s.obs.maybe(s.frontier(), s.snapshot)
+			s.obs.maybe(s.nowFn, s.snapFn)
 		}
 
 		// Idle executive moment (nothing due before the management
 		// resource frees up): absorb one deferred management item from
 		// the first unfinished job that has any (deterministic order).
+		// deferredN gates the scan — the idle condition is common, and
+		// without the counter every such event would re-probe all jobs.
 		next, have := s.queue.peekTime()
-		if !have || next >= s.serverFree {
+		if s.deferredN > 0 && (!have || next >= s.serverFree) {
 			absorbed := false
 			for _, j := range s.jobs {
-				if !j.done && j.sched.HasDeferred() {
-					if cost, ok := j.sched.DeferredMgmt(); ok {
-						fin := s.serve(s.serverFree, cost)
-						s.wake(fin)
-						absorbed = true
-						break
-					}
+				if j.done || !j.hasDef {
+					continue
+				}
+				cost, ok := j.sched.DeferredMgmt()
+				s.syncReady(j)
+				if ok {
+					fin := s.serve(s.serverFree, cost)
+					s.wake(fin)
+					absorbed = true
+					break
 				}
 			}
 			if absorbed {
@@ -522,13 +716,41 @@ func (s *mstate) run(maxOps int64) error {
 		}
 
 		if have {
-			it := heap.Pop(&s.queue).(mitem)
-			if it.isDone {
+			it := s.queue.pop()
+			switch {
+			case !it.isDone:
+				switch s.model {
+				case Async:
+					s.masyncAsk(it)
+				case Adaptive:
+					s.madaptiveAsk(it)
+				default:
+					s.serveAsk(it)
+				}
+			case s.model == Async:
+				s.masyncComplete(it)
+			case s.model == Adaptive:
+				s.madaptiveComplete(it)
+			default:
 				s.completeTask(it)
-			} else {
-				s.serveAsk(it)
 			}
 			continue
+		}
+
+		// Async: completions can be parked behind a busy server with no
+		// further worker event left to trigger a drain (every worker
+		// parked); force one per backlogged job so the run can finish.
+		if s.model == Async {
+			drained := false
+			for ji, j := range s.jobs {
+				if len(j.acomp) > 0 {
+					s.masyncServiceJob(ji, s.serverFree, true)
+					drained = true
+				}
+			}
+			if drained {
+				continue
+			}
 		}
 
 		alldone := true
@@ -553,15 +775,8 @@ func (s *mstate) run(maxOps int64) error {
 // wake that announced the gated work ran when openAt was set and cannot
 // see workers that park later.
 func (s *mstate) serveAsk(req mitem) {
-	if req.gen != s.askGen[req.proc] {
-		return // superseded by an earlier wake
-	}
-	if s.parked[req.proc] {
-		s.parked[req.proc] = false
-		s.pendingAt[req.proc] = -1
-		if d := req.at - s.parkedAt[req.proc]; d > 0 {
-			s.idleUnits += d
-		}
+	if !s.beginAsk(req) {
+		return
 	}
 	at := req.at
 	home := s.homes[req.proc]
@@ -576,10 +791,11 @@ func (s *mstate) serveAsk(req mitem) {
 			continue
 		}
 		task, cost, ok := j.sched.NextTask()
+		s.syncReady(j)
 		fin := s.chargeMgmt(req.proc, at, cost)
 		if ok {
 			if ji != home {
-				j.deficit -= int64(task.Run.Len())
+				s.noteDeficit(j, -int64(task.Run.Len()))
 			}
 			s.dispatch(req.proc, ji, ji != home, task, fin)
 			return
@@ -614,23 +830,42 @@ func (s *mstate) completeTask(req mitem) {
 	// snapshots count a task's compute only once it has completed.
 	s.doneUnits += req.dur
 	j := s.jobs[req.job]
-	serial0 := j.sched.Stats().SerialCost
+	serial0 := j.sched.SerialCost()
 	cost := j.sched.Complete(req.task)
 	fin := s.chargeMgmt(req.proc, req.at, cost)
-	if j.sched.Stats().SerialCost > serial0 && fin > j.openAt {
+	if j.sched.SerialCost() > serial0 && fin > j.openAt {
 		j.openAt = fin
 	}
 	if req.at > s.lastDone {
 		s.lastDone = req.at
+		if req.at > s.front {
+			s.front = req.at
+		}
 	}
 	if fin > j.makespan {
 		j.makespan = fin
+		if fin > s.front {
+			s.front = fin
+		}
 	}
-	if !j.done && j.sched.Done() {
-		j.done = true
-		s.rebalance()
-	}
+	s.noteJobDone(j)
+	s.syncReady(j)
 	s.wake(fin)
+	// Fast path: when the worker's re-ask would be the very next event
+	// anyway, serve it inline and skip the heap push/pop pair. This is
+	// exactly the event the main loop would process next — any worker
+	// wake just issued at fin carries a lower sequence number and defeats
+	// the peek check, and deferred absorption (which the loop would try
+	// first, since completion processing leaves serverFree == fin) gates
+	// the path out entirely. The loop-top observer poll is replayed here
+	// so snapshot streams are untouched.
+	if s.deferredN == 0 && s.queue.askWouldPopFirst(fin) {
+		if s.obs != nil {
+			s.obs.maybe(s.nowFn, s.snapFn)
+		}
+		s.serveAsk(mitem{at: fin, proc: req.proc, gen: s.askGen[req.proc]})
+		return
+	}
 	s.push(mitem{at: fin, proc: req.proc, gen: s.askGen[req.proc]})
 }
 
@@ -641,14 +876,11 @@ func (s *mstate) completeTask(req mitem) {
 // deferred absorption can push it past the final makespan, and the
 // observer stream must never report a VirtualTime beyond the Final
 // snapshot's.
+// lastDone and the per-job makespans only ever increase, so front is
+// maintained as a running max where they are updated (completeTask) and
+// this is O(1).
 func (s *mstate) frontier() int64 {
-	f := s.lastDone
-	for _, j := range s.jobs {
-		if j.makespan > f {
-			f = j.makespan
-		}
-	}
-	return f
+	return s.front
 }
 
 // snapshot builds an observation of the multi-program run at virtual
@@ -663,7 +895,7 @@ func (s *mstate) snapshot(at int64) Snapshot {
 		IdleUnits:    s.idleUnits,
 	}
 	for _, j := range s.jobs {
-		sn.Tasks += j.sched.Stats().Dispatches
+		sn.Tasks += j.sched.Dispatches()
 		if !j.done {
 			sn.Jobs++
 		}
@@ -698,6 +930,12 @@ func (s *mstate) result() *MultiResult {
 		IdleUnits:    s.idleUnits,
 		Workers:      s.workers,
 		Procs:        s.procs,
+	}
+	if s.model == Adaptive {
+		res.Batch = s.batchN
+		if s.tuner != nil {
+			res.BatchChanges = s.tuner.Changes()
+		}
 	}
 	for _, j := range s.jobs {
 		res.BackfillUnits += j.backfill

@@ -73,12 +73,19 @@ func newObserver(fn func(Snapshot), every, totalCost int64, workers int) *observ
 	return &observer{fn: fn, stride: every, next: every}
 }
 
-// maybe emits one snapshot when frontier has crossed the next mark. snap
-// must build the snapshot at the frontier. Advancing next past the
+// maybe emits one snapshot when the run's frontier has crossed the next
+// mark. now must report the frontier and snap must build the snapshot at
+// it; both are thunks the caller pre-binds once, so the per-event cost is
+// one indirect call against a cached O(1) frontier — never a fresh
+// closure allocation or an O(jobs) scan. Advancing next past the
 // frontier (not by one stride) keeps long event gaps from flushing a
 // burst of identical snapshots.
-func (o *observer) maybe(frontier int64, snap func(at int64) Snapshot) {
-	if o == nil || frontier < o.next {
+func (o *observer) maybe(now func() int64, snap func(at int64) Snapshot) {
+	if o == nil {
+		return
+	}
+	frontier := now()
+	if frontier < o.next {
 		return
 	}
 	o.fn(snap(frontier))

@@ -44,9 +44,9 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/core"
 	"repro/internal/executive"
@@ -203,32 +203,14 @@ type Result struct {
 
 // event is a scheduled future occurrence (task completion). dur carries
 // the task's compute cost so completion-time accounting (the observer's
-// done-work counter) does not re-evaluate the cost function.
+// done-work counter) does not re-evaluate the cost function. The queue
+// holding these is the typed 4-ary eventHeap in heap.go.
 type event struct {
 	at   int64
 	seq  int64
 	task core.Task
 	proc int
 	dur  int64
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-func (h eventHeap) peekTime() (int64, bool) {
-	if len(h) == 0 {
-		return 0, false
-	}
-	return h[0].at, true
 }
 
 // request is a unit of work for the serial management server.
@@ -311,7 +293,12 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 		phases:     make([]PhaseTrace, len(prog.Phases)),
 		parkedA:    make([]int64, workers),
 		parked:     make([]bool, workers),
+		parkedB:    newParkedSet(workers),
 		workerFree: make([]int64, workers),
+	}
+	if s.obs != nil {
+		s.nowFn = s.frontier
+		s.snapFn = s.snapshot
 	}
 	for i, ph := range prog.Phases {
 		s.phases[i] = PhaseTrace{Name: ph.Name, Start: -1, End: -1, RundownStart: -1}
@@ -367,11 +354,17 @@ type state struct {
 	gantt   *metrics.Gantt
 	obs     *observer
 
-	reqs       []request // FIFO management queue
+	reqs       reqRing // FIFO management queue
 	events     eventHeap
 	seq        int64
 	serverFree int64   // time the serial management server becomes free
 	workerFree []int64 // Sharded model: time each worker's own lane frees
+
+	// Pre-bound observer thunks (see observer.maybe): binding the method
+	// values once at setup keeps the per-event observer probe from
+	// allocating a fresh closure per call.
+	nowFn  func() int64
+	snapFn func(at int64) Snapshot
 
 	// Async model state: the dedicated server's ready-buffer (tasks
 	// already popped from the scheduler, each stamped with its production
@@ -407,7 +400,8 @@ type state struct {
 	hiAt     int64
 
 	parked    []bool
-	parkedA   []int64 // park start per worker
+	parkedB   parkedSet // same membership as parked, for sparse wake scans
+	parkedA   []int64   // park start per worker
 	idleUnits int64
 
 	computeUnits int64
@@ -490,6 +484,7 @@ func (s *state) park(worker int, at int64) {
 	s.noteStarve(at)
 	s.parkedN++
 	s.parked[worker] = true
+	s.parkedB.set(worker)
 	s.parkedA[worker] = at
 	cur := s.sched.CurrentPhase()
 	if cur < len(s.phases) && s.phases[cur].RundownStart < 0 {
@@ -504,6 +499,7 @@ func (s *state) unpark(worker int, at int64) {
 	s.noteStarve(at)
 	s.parkedN--
 	s.parked[worker] = false
+	s.parkedB.clear(worker)
 	d := at - s.parkedA[worker]
 	if d > 0 {
 		s.idleUnits += d
@@ -515,16 +511,25 @@ func (s *state) unpark(worker int, at int64) {
 }
 
 // wake re-queues task requests for parked workers, bounded by the number of
-// tasks the queued descriptions will split into.
+// tasks the queued descriptions will split into. The parked bitset is
+// walked in ascending worker order — the order the old full scan used —
+// so wake fairness is unchanged while a no-parked-workers wake costs a
+// handful of zero-word loads instead of a full worker sweep.
 func (s *state) wake(at int64) {
+	if s.parkedN == 0 {
+		return
+	}
 	avail := s.sched.ReadyTasks()
 	if avail <= 0 {
 		return
 	}
-	for w := 0; w < s.workers && avail > 0; w++ {
-		if s.parked[w] {
+	for wi := 0; wi < len(s.parkedB.words) && avail > 0; wi++ {
+		word := s.parkedB.words[wi]
+		for word != 0 && avail > 0 {
+			w := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
 			s.unpark(w, at)
-			s.reqs = append(s.reqs, request{at: at, proc: w})
+			s.reqs.push(request{at: at, proc: w})
 			avail--
 		}
 	}
@@ -540,7 +545,7 @@ func (s *state) run(maxOps int64) error {
 	startCost := s.sched.Start()
 	s.serve(0, startCost)
 	for w := 0; w < s.workers; w++ {
-		s.reqs = append(s.reqs, request{at: s.serverFree, proc: w})
+		s.reqs.push(request{at: s.serverFree, proc: w})
 	}
 
 	var ops int64
@@ -557,16 +562,14 @@ func (s *state) run(maxOps int64) error {
 				return fmt.Errorf("sim: run canceled at t=%d: %w", s.frontier(), err)
 			}
 		}
-		// Guarded here, not in maybe: an unobserved run must not pay the
-		// frontier computation per event.
+		// Guarded here, not in maybe: an unobserved run must not pay even
+		// the thunk's indirect call per event.
 		if s.obs != nil {
-			s.obs.maybe(s.frontier(), s.snapshot)
+			s.obs.maybe(s.nowFn, s.snapFn)
 		}
 
-		if len(s.reqs) > 0 {
-			req := s.reqs[0]
-			s.reqs = s.reqs[1:]
-			s.serveRequest(req)
+		if s.reqs.len() > 0 {
+			s.serveRequest(s.reqs.pop())
 			continue
 		}
 
@@ -583,8 +586,8 @@ func (s *state) run(maxOps int64) error {
 		}
 
 		if haveEvent {
-			ev := heap.Pop(&s.events).(event)
-			s.reqs = append(s.reqs, request{at: ev.at, proc: ev.proc, isDone: true, task: ev.task, dur: ev.dur})
+			ev := s.events.pop()
+			s.reqs.push(request{at: ev.at, proc: ev.proc, isDone: true, task: ev.task, dur: ev.dur})
 			continue
 		}
 
@@ -720,7 +723,7 @@ func (s *state) adaptiveComplete(req request) {
 		pt.End = at
 	}
 	// The worker asks for new work once its completion is handed off.
-	s.reqs = append(s.reqs, request{at: at, proc: req.proc})
+	s.reqs.push(request{at: at, proc: req.proc})
 }
 
 // maybeRetune feeds the adaptive controller one epoch of virtual-time
@@ -767,7 +770,7 @@ func (s *state) dispatch(worker int, task core.Task, at int64) {
 		s.phases[cur].OverlapUnits += dur
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: end, seq: s.seq, task: task, proc: worker, dur: dur})
+	s.events.push(event{at: end, seq: s.seq, task: task, proc: worker, dur: dur})
 }
 
 func (s *state) completeTask(req request) {
@@ -796,7 +799,7 @@ func (s *state) completeTask(req request) {
 	s.wake(fin)
 	// The completing worker asks for new work after its completion has
 	// been processed.
-	s.reqs = append(s.reqs, request{at: fin, proc: req.proc})
+	s.reqs.push(request{at: fin, proc: req.proc})
 }
 
 // frontier is the run's virtual-time high-water mark: the later of the
@@ -817,7 +820,7 @@ func (s *state) frontier() int64 {
 func (s *state) snapshot(at int64) Snapshot {
 	sn := Snapshot{
 		VirtualTime:  at,
-		Tasks:        s.sched.Stats().Dispatches,
+		Tasks:        s.sched.Dispatches(),
 		ComputeUnits: s.doneUnits,
 		MgmtUnits:    s.mgmtUnits,
 		IdleUnits:    s.idleUnits,

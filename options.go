@@ -79,13 +79,14 @@ func WithManager(m ExecManager) Option {
 // given lock-overhead-share setpoint (<= 0 selects the default, 0.02).
 // Only the sharded manager honors it on real backends (matching
 // ExecConfig.Adaptive); on the virtual backend it selects the Adaptive
-// management model unless an async manager was chosen. Pool-backed runs
-// (RunAll on real backends, WithPool) deliberately do NOT honor it:
-// pool workers park at pool level, where the controller's shrink signal
-// reads zero, so pool jobs run fixed-parameter managers — adaptive
-// tenancy is a ROADMAP follow-on, and the virtual backend rejects the
-// combination the same way (Capabilities(...).VirtualMulti is false for
-// AdaptiveMgmt).
+// management model unless an async manager was chosen. Virtual
+// multi-program runs (RunAll) price it too, as ONE pool-wide controller
+// retuning the shared batch knobs from a machine-wide starvation
+// integral. Real pool-backed runs (RunAll on real backends, WithPool)
+// deliberately do NOT honor it: pool workers park at pool level, where
+// the controller's shrink signal reads zero, so pool jobs run
+// fixed-parameter managers — adaptive tenancy on hardware is a ROADMAP
+// follow-on, now with the virtual pricing in hand.
 func WithAdaptiveBatching(target float64) Option {
 	return func(c *runnerConfig) error {
 		c.adaptive = true

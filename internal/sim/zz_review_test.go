@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/enable"
+)
+
+// Review probe: Adaptive multi + SuccSplitDeferred sweep, catching panics.
+func TestReviewAdaptiveDeferredSweep(t *testing.T) {
+	for _, procs := range []int{4, 8, 16, 32, 64} {
+		for _, batch := range []int{2, 4, 8, 16} {
+			for _, n := range []int{64, 128, 256, 512} {
+				name := fmt.Sprintf("p%d_b%d_n%d", procs, batch, n)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Errorf("%s: PANIC: %v", name, r)
+						}
+					}()
+					jobs := []JobSpec{
+						{Name: "a", Prog: twoPhase(t, n, enable.NewIdentity()),
+							Opt: core.Options{Grain: 2, Overlap: true, Costs: core.DefaultCosts(),
+								IdentityVia: core.IdentityConflictQueue, SuccSplit: core.SuccSplitDeferred}},
+						{Name: "b", Prog: twoPhase(t, n/2, enable.NewIdentity()),
+							Opt: core.Options{Grain: 4, Overlap: true, Costs: core.DefaultCosts(),
+								IdentityVia: core.IdentityConflictQueue, SuccSplit: core.SuccSplitDeferred}, Priority: 1},
+					}
+					_, err := RunMulti(jobs, Config{Procs: procs, Mgmt: Adaptive, Batch: batch})
+					if err != nil {
+						t.Errorf("%s: %v", name, err)
+					}
+				}()
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/paxlang"
 	"repro/internal/sim"
 	"repro/internal/tenant"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -227,6 +228,48 @@ func SimulateMulti(jobs []SimJob, cfg SimConfig) (*MultiSimResult, error) {
 		return nil, err
 	}
 	return rep.SimMulti, nil
+}
+
+// Flight-recorder traces (WithTrace).
+type (
+	// Trace is a run's merged flight-recorder trace: the run description
+	// (TraceMeta) plus every scheduling event in (Time, Seq) order.
+	Trace = trace.Trace
+	// TraceEvent is one recorded scheduling decision.
+	TraceEvent = trace.Event
+	// TraceMeta describes the machine that produced a trace.
+	TraceMeta = trace.Meta
+	// TraceDiff reports the comparison of two traces: first divergence,
+	// if any, plus per-phase busy and utilization deltas.
+	TraceDiff = trace.DiffResult
+	// ReplayResult reports a deterministic trace replay (ReplayTrace):
+	// the replayed makespan and the conservation checks.
+	ReplayResult = sim.ReplayResult
+)
+
+// ReadTraceFile loads a binary trace written by WithTrace or
+// WriteTraceFile, verifying the format version and checksum.
+func ReadTraceFile(path string) (*Trace, error) { return trace.ReadFile(path) }
+
+// WriteTraceFile writes t in the versioned binary trace format.
+func WriteTraceFile(path string, t *Trace) error { return trace.WriteFile(path, t) }
+
+// DiffTraces aligns two traces event by event and reports the first
+// divergence plus per-phase utilization deltas. Two virtual traces
+// compare exactly (timestamps included); anything else compares
+// structurally (kind, processor, job, phase, granule range), so a
+// goroutine run can be checked against a virtual rehearsal of the same
+// program.
+func DiffTraces(a, b *Trace) *TraceDiff { return trace.Diff(a, b) }
+
+// ReplayTrace re-executes a recorded trace in the virtual machine as a
+// pinned schedule: every dispatch is bound to the processor the trace
+// recorded, in the trace's order, and the replay verifies conservation —
+// granule totals per phase, completion-order validity against a real
+// scheduler, full program completion. The trace may come from any
+// backend; the replayed timeline is virtual.
+func ReplayTrace(prog *Program, opt Options, t *Trace) (*ReplayResult, error) {
+	return sim.Replay(prog, opt, t)
 }
 
 // Execution on goroutines.

@@ -480,6 +480,40 @@ func BenchmarkRunnerChainFineSharded(b *testing.B) {
 	b.ReportMetric(stats.Percentile(utils, 50), "utilization")
 }
 
+// BenchmarkTraceRecordChainFine measures what the flight recorder costs
+// on the hottest dispatch path: the fine-grain chain under the sharded
+// manager (8 workers, one trace record per dispatch and per completion),
+// traced versus untraced. The "off" variant doubles as the tracing-off
+// fast-path guard — it runs the same Runner code with the recorder nil,
+// and must stay within noise of BenchmarkManagerChainFineSharded.
+func BenchmarkTraceRecordChainFine(b *testing.B) {
+	run := func(b *testing.B, opts ...rundown.Option) {
+		runner, err := rundown.New(append([]rundown.Option{
+			rundown.WithWorkers(8), rundown.WithManager(rundown.ShardedManager),
+			rundown.WithDequeCap(32), rundown.WithBatch(16),
+		}, opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var events []float64
+		for i := 0; i < b.N; i++ {
+			prog, opt := buildChainFine(b)
+			rep, err := runner.Run(context.Background(), rundown.Job{Prog: prog, Opt: opt})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Trace != nil {
+				events = append(events, float64(rep.Trace.Len()))
+			}
+		}
+		if len(events) > 0 {
+			b.ReportMetric(stats.Percentile(events, 50), "events")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b) })
+	b.Run("on", func(b *testing.B) { run(b, rundown.WithTrace(nil)) })
+}
+
 func BenchmarkManagerCasperSerial(b *testing.B) {
 	benchManager(b, rundown.SerialManager, buildCasperPipeline)
 }

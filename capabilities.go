@@ -38,6 +38,15 @@ type Caps struct {
 	// DedicatedProc: the virtual model gives the executive its own
 	// processor outside the utilization denominator (Dedicated, Async).
 	DedicatedProc bool
+	// AdaptiveInPool: the adaptive batching controller applies inside a
+	// REAL tenant pool. Always false today for every pairing: the pool
+	// deliberately omits AdaptiveBatch when it builds per-job drivers,
+	// because pool-level parking absorbs the idle-worker signal the
+	// controller shrinks on (see tenant.Pool's Submit). Virtual
+	// multi-program runs DO price the controller pool-wide — that is the
+	// Adaptive bit. A traced pool run pins the behaviour: zero KRetune
+	// events regardless of WithAdaptiveBatching.
+	AdaptiveInPool bool
 }
 
 // Capabilities reports what the (manager, model) pairing supports:
@@ -53,5 +62,8 @@ func Capabilities(manager ExecManager, model MgmtModel) Caps {
 		Adaptive:      manager == ShardedManager || model == AdaptiveMgmt,
 		AsyncMgmt:     manager == AsyncManager || model == AsyncMgmt,
 		DedicatedProc: model == Dedicated || model == AsyncMgmt,
+		// Structurally false: tenant.Pool.Submit never forwards
+		// AdaptiveBatch to a job's driver config.
+		AdaptiveInPool: false,
 	}
 }

@@ -66,6 +66,9 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart (small runs only)")
 		curve     = flag.Bool("curve", true, "print a utilization sparkline")
 		observe   = flag.Bool("observe", false, "stream live utilization/overhead snapshots to stderr while the run progresses")
+		traceOut  = flag.String("trace", "", "record the run's flight-recorder trace to this file")
+		replayIn  = flag.String("replay", "", "replay a recorded trace file against the configured workload and exit")
+		tracediff = flag.Bool("tracediff", false, "diff the two trace files given as positional arguments and exit")
 	)
 	exec := cliflags.Register(flag.CommandLine, "serial",
 		"management layer: "+cliflags.ManagerNames()+" (serial prices per -dedicated)")
@@ -74,6 +77,14 @@ func main() {
 	// Ctrl-C cancels the run cooperatively through the Runner's context.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *tracediff {
+		if flag.NArg() != 2 {
+			fail("-tracediff needs exactly two trace files, got %d", flag.NArg())
+		}
+		runTraceDiff(flag.Arg(0), flag.Arg(1))
+		return
+	}
 
 	build := func(seed uint64) (*rundown.Program, error) {
 		if *casper {
@@ -109,6 +120,11 @@ func main() {
 		opt.Split = rundown.SplitPre
 	}
 
+	if *replayIn != "" {
+		runReplay(*replayIn, prog, opt)
+		return
+	}
+
 	execOpts, err := exec.Options(*dedicated)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rundownsim: %v\n", err)
@@ -118,8 +134,27 @@ func main() {
 		execOpts = append(execOpts, rundown.WithObserver(printSnapshot))
 	}
 
+	// -trace: record the run's flight recorder to a file. The writer is
+	// handed to the Runner via WithTrace; closeTrace flushes it after the
+	// run path completes.
+	closeTrace := func() {}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		execOpts = append(execOpts, rundown.WithTrace(f))
+		closeTrace = func() {
+			if err := f.Close(); err != nil {
+				fail("closing trace: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "rundownsim: trace written to %s\n", *traceOut)
+		}
+	}
+
 	if *jobs >= 2 {
 		runShared(ctx, build, opt, execOpts, *jobs, *procs, *seed)
+		closeTrace()
 		return
 	}
 
@@ -169,6 +204,51 @@ func main() {
 	}
 	if *gantt && res.Gantt != nil {
 		fmt.Printf("\n%s", res.Gantt.Render(100))
+	}
+	closeTrace()
+}
+
+// runReplay re-executes a recorded trace against the workload the flags
+// describe (the program and options must match the recorded run's) and
+// prints the rebuilt virtual timeline and conservation totals.
+func runReplay(path string, prog *rundown.Program, opt rundown.Options) {
+	tr, err := rundown.ReadTraceFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	res, err := rundown.ReplayTrace(prog, opt, tr)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("replay of %s: backend=%s manager=%s model=%s\n",
+		path, tr.Meta.Backend, tr.Meta.Manager, tr.Meta.Model)
+	fmt.Printf("procs               %d\n", res.Procs)
+	fmt.Printf("dispatches          %d\n", res.Dispatches)
+	fmt.Printf("granules            %d\n", res.Granules)
+	fmt.Printf("makespan (virtual)  %d\n", res.Makespan)
+	fmt.Printf("utilization         %s\n", metrics.FormatPercent(res.Utilization))
+	fmt.Println("\nper-phase granules:")
+	for pi, g := range res.PhaseGranules {
+		fmt.Printf("  %2d %-24s %d\n", pi, prog.Phases[pi].Name, g)
+	}
+}
+
+// runTraceDiff aligns two recorded traces and prints the first
+// divergence, if any, plus per-phase busy/utilization deltas.
+func runTraceDiff(pathA, pathB string) {
+	a, err := rundown.ReadTraceFile(pathA)
+	if err != nil {
+		fail("%s: %v", pathA, err)
+	}
+	b, err := rundown.ReadTraceFile(pathB)
+	if err != nil {
+		fail("%s: %v", pathB, err)
+	}
+	d := rundown.DiffTraces(a, b)
+	fmt.Printf("diff %s vs %s\n", pathA, pathB)
+	d.Format(os.Stdout)
+	if !d.Identical {
+		os.Exit(1)
 	}
 }
 

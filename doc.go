@@ -45,7 +45,26 @@
 // deterministic virtual-time marks in simulation. Capabilities reports
 // statically what a manager/model pairing supports (multi-program
 // pricing, pool dispatch, adaptive batching), so ErrUnsupportedMgmt is
-// checkable before anything runs.
+// checkable before anything runs. Note Caps.AdaptiveInPool is false for
+// every pairing: real pool-backed runs ignore adaptive batching by
+// design (pool-level parking absorbs the controller's shrink signal);
+// only the virtual multi-program machine prices the controller
+// pool-wide.
+//
+// # Flight recorder
+//
+// WithTrace turns on the flight recorder: every scheduling decision —
+// dispatch, completion, steal, backfill, park/unpark, batch retune,
+// abort — is captured as a compact binary record in per-worker rings and
+// merged into Report.Trace (and written to the given io.Writer, if any,
+// in a versioned checksummed format readable with ReadTraceFile). On
+// top of the trace: ReplayTrace re-executes a recorded schedule
+// deterministically in the virtual machine with conservation checks,
+// DiffTraces aligns two traces and reports the first divergence plus
+// per-phase utilization deltas, and Trace.Timeline/Gantt/WriteJSON
+// export the timeline. Virtual-backend traces are bit-deterministic;
+// real-backend traces carry wall-clock timestamps and compare
+// structurally.
 //
 // # Legacy entry points
 //

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // async is the dedicated-management-processor Manager: the paper's "some
@@ -54,6 +55,7 @@ import (
 type async struct {
 	sm      StateMachine
 	workers int
+	rec     *trace.Recorder // flight recorder (nil = tracing off)
 
 	readyCap int
 	lowWater int
@@ -123,6 +125,7 @@ func newAsync(sm StateMachine, cfg Config) *async {
 	return &async{
 		sm:       sm,
 		workers:  cfg.Workers,
+		rec:      cfg.Trace,
 		readyCap: readyCap,
 		lowWater: low,
 		batch:    batch,
@@ -321,10 +324,14 @@ func (m *async) finishLocked() {
 // fail records err (first wins) and raises the fast-path abort flag.
 func (m *async) fail(err error) {
 	m.errMu.Lock()
-	if m.err == nil {
+	first := m.err == nil
+	if first {
 		m.err = err
 	}
 	m.errMu.Unlock()
+	if first {
+		recordAbort(m.rec)
+	}
 	m.failed.Store(true)
 }
 
@@ -398,8 +405,15 @@ func (m *async) Next(w int) (core.Task, bool) {
 	default:
 	}
 	i0 := time.Now()
+	if m.rec != nil {
+		m.rec.Ring(w).Record(trace.KPark, m.rec.Now(), int32(w), 0, -1, 0, 0, 0)
+	}
 	t, ok := <-m.ready
-	m.idleNS.Add(int64(time.Since(i0)))
+	d := time.Since(i0)
+	m.idleNS.Add(int64(d))
+	if m.rec != nil {
+		m.rec.Ring(w).Record(trace.KUnpark, m.rec.Now(), int32(w), 0, -1, 0, 0, int64(d))
+	}
 	return m.vet(t, ok)
 }
 

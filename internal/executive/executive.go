@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/granule"
+	"repro/internal/trace"
 )
 
 // Config parameterizes an executive run.
@@ -81,6 +82,13 @@ type Config struct {
 	// ObservePeriod is the sampling period; <= 0 selects 10ms. Ignored
 	// without Observer.
 	ObservePeriod time.Duration
+	// Trace, when non-nil, flight-records every scheduling decision the
+	// run makes — dispatch/complete per task (wall-clock nanoseconds
+	// since the recorder's start), steal attempts/wins/losses and
+	// park/unpark from the managers, controller retunes, aborts. Workers
+	// record into per-worker rings with no synchronization; the caller
+	// merges with Recorder.Take after the run returns.
+	Trace *trace.Recorder
 }
 
 // Report aggregates a run's measurements.
@@ -164,7 +172,22 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 		return failEarly(err)
 	}
 
-	e := &engine{mgr: mgr, prog: prog}
+	e := &engine{mgr: mgr, prog: prog, rec: cfg.Trace}
+	if rec := cfg.Trace; rec != nil {
+		m := rec.Meta()
+		if m.Backend == "" {
+			m.Backend = "exec"
+		}
+		m.Manager = cfg.Manager.String()
+		m.Workers = cfg.Workers
+		m.TimeUnit = trace.UnitNanos
+		if len(m.Phases) == 0 {
+			for _, ph := range prog.Phases {
+				m.Phases = append(m.Phases, trace.PhaseMeta{Name: ph.Name, Granules: ph.Granules})
+			}
+		}
+		rec.Emit(trace.KStart, rec.Now(), -1, 0, -1, 0, 0, 0)
+	}
 
 	start := time.Now()
 	mgr.Start()
@@ -205,7 +228,8 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 	if err := mgr.Err(); err != nil {
 		// The observer contract promises a closing Final snapshot on
 		// every outcome: a failed or cancelled run closes the stream with
-		// the counters accumulated so far.
+		// the counters accumulated so far. (The manager recorded its own
+		// KAbort at the failure point.)
 		if cfg.Observer != nil {
 			final := liveSnapshot(start, cfg.Workers, e.compute.Load(), e.tasks.Load(), mgr)
 			final.Final = true
@@ -215,6 +239,9 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 	}
 
 	wall := time.Since(start)
+	if rec := cfg.Trace; rec != nil {
+		rec.Emit(trace.KFinish, rec.Now(), -1, 0, -1, 0, 0, 0)
+	}
 	rep := &Report{
 		Manager: cfg.Manager,
 		Wall:    wall,
@@ -250,18 +277,30 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 type engine struct {
 	mgr  Manager
 	prog *core.Program
+	rec  *trace.Recorder // flight recorder (nil = tracing off)
 
 	compute atomic.Int64 // nanoseconds of granule work
 	tasks   atomic.Int64
 }
 
 // worker is the goroutine body: ask the manager for work, execute it,
-// report completion; exit when the manager says the run is over.
+// report completion; exit when the manager says the run is over. With
+// tracing on, this one manager-agnostic loop records every task's
+// dispatch and completion into the worker's private ring; the
+// tracing-off fast path is a single nil check per task.
 func (e *engine) worker(w int) {
+	var ring *trace.Ring
+	if e.rec != nil {
+		ring = e.rec.Ring(w)
+	}
 	for {
 		task, ok := e.mgr.Next(w)
 		if !ok {
 			return
+		}
+		if ring != nil {
+			ring.Record(trace.KDispatch, e.rec.Now(), int32(w), 0,
+				int32(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), 0)
 		}
 		work := e.prog.Phases[task.Phase].Work
 
@@ -275,6 +314,13 @@ func (e *engine) worker(w int) {
 		}
 		e.compute.Add(int64(dur))
 		e.tasks.Add(1)
+		// Recorded BEFORE the completion is submitted to management, so
+		// any dispatch it enables carries a larger Seq (the causal edge
+		// replay and diff rely on).
+		if ring != nil {
+			ring.Record(trace.KComplete, e.rec.Now(), int32(w), 0,
+				int32(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), int64(dur))
+		}
 		e.mgr.Complete(w, task)
 	}
 }

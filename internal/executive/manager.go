@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // StateMachine is the slice of the core scheduler state machine a Manager
@@ -232,11 +233,21 @@ func SupportsPool(kind ManagerKind) bool {
 	return false
 }
 
+// recordAbort flight-records the failure point of a run. Every manager
+// calls it exactly where its error transitions nil -> non-nil, so a
+// trace carries at most one KAbort and RunContext's failure path can
+// rely on it being there.
+func recordAbort(rec *trace.Recorder) {
+	if rec != nil {
+		rec.Emit(trace.KAbort, rec.Now(), -1, 0, -1, 0, 0, 0)
+	}
+}
+
 // newManager builds the configured Manager over sm.
 func newManager(sm StateMachine, cfg Config) (Manager, error) {
 	switch cfg.Manager {
 	case SerialManager:
-		return newSerial(sm, cfg.Workers), nil
+		return newSerial(sm, cfg), nil
 	case ShardedManager:
 		return newSharded(sm, cfg), nil
 	case AsyncManager:

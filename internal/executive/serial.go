@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // serial is the paper-baseline Manager: a single mutex guards every state
@@ -19,6 +20,7 @@ type serial struct {
 
 	sm      StateMachine
 	workers int
+	rec     *trace.Recorder // flight recorder (nil = tracing off)
 
 	// Accumulators, guarded by mu.
 	mgmt    time.Duration
@@ -27,8 +29,8 @@ type serial struct {
 	err     error
 }
 
-func newSerial(sm StateMachine, workers int) *serial {
-	m := &serial{sm: sm, workers: workers}
+func newSerial(sm StateMachine, cfg Config) *serial {
+	m := &serial{sm: sm, workers: cfg.Workers, rec: cfg.Trace}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -94,14 +96,22 @@ func (m *serial) next(w int, park bool) (core.Task, bool) {
 		if m.waiting+1 == m.workers && m.sm.InFlight() == 0 {
 			m.err = fmt.Errorf("executive: stalled at phase %d: all workers idle, nothing in flight",
 				m.sm.CurrentPhase())
+			recordAbort(m.rec)
 			m.cond.Broadcast()
 			return core.Task{}, false
 		}
 		i0 := time.Now()
+		if m.rec != nil {
+			m.rec.Ring(w).Record(trace.KPark, m.rec.Now(), int32(w), 0, -1, 0, 0, 0)
+		}
 		m.waiting++
 		m.cond.Wait()
 		m.waiting--
-		m.idle += time.Since(i0)
+		d := time.Since(i0)
+		m.idle += d
+		if m.rec != nil {
+			m.rec.Ring(w).Record(trace.KUnpark, m.rec.Now(), int32(w), 0, -1, 0, 0, int64(d))
+		}
 	}
 }
 
@@ -122,6 +132,7 @@ func (m *serial) Complete(w int, t core.Task) bool {
 		defer func() {
 			if r := recover(); r != nil && m.err == nil {
 				m.err = fmt.Errorf("executive: completion processing panicked: %v", r)
+				recordAbort(m.rec)
 			}
 		}()
 		m.sm.Complete(t)
@@ -161,6 +172,7 @@ func (m *serial) Abort(err error) {
 	}
 	if m.err == nil {
 		m.err = err
+		recordAbort(m.rec)
 	}
 	m.cond.Broadcast()
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // sharded is the parallel Manager: each worker owns a lock-free Chase-Lev
@@ -43,6 +44,7 @@ type sharded struct {
 
 	sm      StateMachine
 	workers int
+	rec     *trace.Recorder // flight recorder (nil = tracing off)
 	cap     int // deque refill batch size, guarded by mu (the tuner moves it)
 
 	// batch is the completion batch size. It is read lock-free on the
@@ -118,6 +120,7 @@ func newSharded(sm StateMachine, cfg Config) *sharded {
 	m := &sharded{
 		sm:      sm,
 		workers: cfg.Workers,
+		rec:     cfg.Trace,
 		cap:     dequeCap,
 		shards:  make([]shard, cfg.Workers),
 	}
@@ -193,6 +196,11 @@ func (m *sharded) steal(w int) (core.Task, bool) {
 	}
 	t0 := time.Now()
 	defer func() { m.stealNS.Add(int64(time.Since(t0))) }()
+	var ring *trace.Ring
+	if m.rec != nil {
+		ring = m.rec.Ring(w)
+		ring.Record(trace.KStealAttempt, m.rec.Now(), int32(w), 0, -1, 0, 0, 0)
+	}
 	own := m.shards[w].dq
 	start := int(m.stealTick.Add(1) % uint64(n))
 	for i := 0; i < n; i++ {
@@ -220,9 +228,17 @@ func (m *sharded) steal(w int) (core.Task, bool) {
 		}
 		// The last transfer is the highest-priority task stolen; run it.
 		if t, ok := own.popBottom(); ok {
+			if ring != nil {
+				// Arg carries the victim; Lo the number of tasks taken.
+				ring.Record(trace.KStealWin, m.rec.Now(), int32(w), 0,
+					int32(t.Phase), uint32(got), 0, int64(idx))
+			}
 			return t, true
 		}
 		// Everything we moved was re-stolen already; keep sweeping.
+	}
+	if ring != nil {
+		ring.Record(trace.KStealLose, m.rec.Now(), int32(w), 0, -1, 0, 0, 0)
 	}
 	return core.Task{}, false
 }
@@ -340,11 +356,17 @@ func (m *sharded) refill(w int, park bool) (core.Task, bool) {
 			lockBusyAtPark = m.visitors.Load()-int32(m.waiting) > 1
 		}
 		i0 := time.Now()
+		if m.rec != nil {
+			m.rec.Ring(w).Record(trace.KPark, m.rec.Now(), int32(w), 0, -1, 0, 0, 0)
+		}
 		m.waiting++
 		m.cond.Wait()
 		m.waiting--
 		d := time.Since(i0)
 		m.idle += d
+		if m.rec != nil {
+			m.rec.Ring(w).Record(trace.KUnpark, m.rec.Now(), int32(w), 0, -1, 0, 0, int64(d))
+		}
 		if hoardedAtPark {
 			m.hoardIdle += d
 		}
@@ -390,6 +412,9 @@ func (m *sharded) retuneLocked() {
 	if changed {
 		m.cap = cap
 		m.batch.Store(int32(batch))
+		if m.rec != nil {
+			m.rec.Emit(trace.KRetune, m.rec.Now(), -1, 0, -1, 0, 0, int64(cap))
+		}
 	}
 	m.epochStart = time.Now()
 	m.epochLock = m.lockNS
@@ -495,6 +520,7 @@ func (m *sharded) wakeStealerLocked() {
 func (m *sharded) failLocked(err error) {
 	if m.err == nil {
 		m.err = err
+		recordAbort(m.rec)
 	}
 	m.failed.Store(true)
 	m.cond.Broadcast()

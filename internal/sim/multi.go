@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/executive"
+	"repro/internal/trace"
 )
 
 // ErrUnsupportedMgmt reports a management model a simulation mode cannot
@@ -258,6 +259,14 @@ func RunMultiContext(ctx context.Context, jobs []JobSpec, cfg Config) (*MultiRes
 		s.nowFn = s.frontier
 		s.snapFn = s.snapshot
 	}
+	if cfg.Trace != nil {
+		s.tr = bindTrace(cfg.Trace, cfg.Mgmt, workers, s.jobs[0].spec.Prog)
+		m := cfg.Trace.Meta()
+		m.Jobs = m.Jobs[:0]
+		for _, j := range s.jobs {
+			m.Jobs = append(m.Jobs, j.spec.Name)
+		}
+	}
 	if cfg.Mgmt == Async {
 		s.masyncInit(cfg)
 	}
@@ -271,11 +280,17 @@ func RunMultiContext(ctx context.Context, jobs []JobSpec, cfg Config) (*MultiRes
 	}
 	if err := s.run(maxOps); err != nil {
 		// Close the observer stream on failure too, with the counters
-		// accumulated so far.
+		// accumulated so far; the trace closes with an abort record.
+		if s.tr != nil {
+			s.tr.Record(trace.KAbort, s.frontier(), -1, -1, -1, 0, 0, 0)
+		}
 		s.obs.final(s.snapshot(s.frontier()))
 		return nil, err
 	}
 	res := s.result()
+	if s.tr != nil {
+		s.tr.Record(trace.KFinish, res.Makespan, -1, -1, -1, 0, 0, 0)
+	}
 	s.obs.final(s.snapshot(res.Makespan))
 	return res, nil
 }
@@ -287,6 +302,7 @@ type mstate struct {
 	workers int
 	procs   int
 	obs     *observer
+	tr      *trace.Ring // flight recorder (nil = tracing off)
 
 	queue      mqueue
 	seq        int64
@@ -552,6 +568,9 @@ func (s *mstate) park(w int, at int64) {
 	if s.parked[w] {
 		return
 	}
+	if s.tr != nil {
+		s.tr.Record(trace.KPark, at, int32(w), -1, -1, 0, 0, 0)
+	}
 	s.mNoteStarve(at)
 	s.parked[w] = true
 	s.parkedB.set(w)
@@ -568,6 +587,10 @@ func (s *mstate) beginAsk(req mitem) bool {
 		return false // superseded by an earlier wake
 	}
 	if s.parked[req.proc] {
+		if s.tr != nil {
+			s.tr.Record(trace.KUnpark, req.at, int32(req.proc), -1, -1, 0, 0,
+				req.at-s.parkedAt[req.proc])
+		}
 		s.mNoteStarve(req.at)
 		s.parked[req.proc] = false
 		s.parkedB.clear(req.proc)
@@ -649,12 +672,16 @@ func (s *mstate) run(maxOps int64) error {
 	if err := s.ctx.Err(); err != nil {
 		return fmt.Errorf("sim: multi run canceled at t=0: %w", err)
 	}
-	for _, j := range s.jobs {
+	for ji, j := range s.jobs {
+		c0 := s.serverFree
 		fin := s.serve(s.serverFree, j.sched.Start())
 		if j.sched.SerialCost() > 0 {
 			j.openAt = fin
 		}
 		s.syncReady(j)
+		if s.tr != nil {
+			s.tr.Record(trace.KStart, c0, -1, int32(ji), -1, 0, 0, fin-c0)
+		}
 	}
 	s.rebalance()
 	for i, j := range s.jobs {
@@ -684,9 +711,13 @@ func (s *mstate) run(maxOps int64) error {
 		}
 		// Guarded here, not in maybe: an unobserved run must not pay even
 		// the thunk's indirect call per event. (The frontier itself is a
-		// cached running max, so an observed run pays O(1) too.)
+		// cached running max, so an observed run pays O(1) too.) A mark
+		// that fires here is recorded BEFORE the events this iteration
+		// serves — the equal-tick ordering contract (trace.go).
 		if s.obs != nil {
-			s.obs.maybe(s.nowFn, s.snapFn)
+			if at, fired := s.obs.maybe(s.nowFn, s.snapFn); fired && s.tr != nil {
+				s.tr.Record(trace.KMark, at, -1, -1, -1, 0, 0, 0)
+			}
 		}
 
 		// Idle executive moment (nothing due before the management
@@ -717,6 +748,13 @@ func (s *mstate) run(maxOps int64) error {
 
 		if have {
 			it := s.queue.pop()
+			// One chokepoint records EVERY model's completions (the model
+			// handlers below diverge), before the scheduler absorbs the
+			// event — so dispatches it enables carry larger Seqs.
+			if it.isDone && s.tr != nil {
+				s.tr.Record(trace.KComplete, it.at, int32(it.proc), int32(it.job),
+					int32(it.task.Phase), uint32(it.task.Run.Lo), uint32(it.task.Run.Hi), it.dur)
+			}
 			switch {
 			case !it.isDone:
 				switch s.model {
@@ -813,6 +851,14 @@ func (s *mstate) serveAsk(req mitem) {
 func (s *mstate) dispatch(worker, ji int, backfill bool, task core.Task, at int64) {
 	j := s.jobs[ji]
 	dur := int64(j.sched.TaskCost(task))
+	if s.tr != nil {
+		s.tr.Record(trace.KDispatch, at, int32(worker), int32(ji),
+			int32(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), dur)
+		if backfill {
+			s.tr.Record(trace.KBackfill, at, int32(worker), int32(ji),
+				int32(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), dur)
+		}
+	}
 	end := at + dur
 	s.computeUnits += dur
 	j.compute += dur
@@ -861,7 +907,9 @@ func (s *mstate) completeTask(req mitem) {
 	// so snapshot streams are untouched.
 	if s.deferredN == 0 && s.queue.askWouldPopFirst(fin) {
 		if s.obs != nil {
-			s.obs.maybe(s.nowFn, s.snapFn)
+			if at, fired := s.obs.maybe(s.nowFn, s.snapFn); fired && s.tr != nil {
+				s.tr.Record(trace.KMark, at, -1, -1, -1, 0, 0, 0)
+			}
 		}
 		s.serveAsk(mitem{at: fin, proc: req.proc, gen: s.askGen[req.proc]})
 		return

@@ -3,6 +3,7 @@ package sim
 import (
 	"repro/internal/core"
 	"repro/internal/executive"
+	"repro/internal/trace"
 )
 
 // This file is the Adaptive management model in multi-program mode: the
@@ -116,6 +117,9 @@ func (s *mstate) mMaybeRetune(now int64) {
 		s.acquireUnits-s.lastObsAcq, s.hiInt-s.lastObsHI, 0)
 	if changed {
 		s.batchN, s.cbatchN = cap, batch
+		if s.tr != nil {
+			s.tr.Record(trace.KRetune, now, -1, -1, -1, 0, 0, int64(cap))
+		}
 	}
 	s.lastObsAt = now
 	s.lastObsAcq = s.acquireUnits

@@ -79,17 +79,20 @@ func newObserver(fn func(Snapshot), every, totalCost int64, workers int) *observ
 // one indirect call against a cached O(1) frontier — never a fresh
 // closure allocation or an O(jobs) scan. Advancing next past the
 // frontier (not by one stride) keeps long event gaps from flushing a
-// burst of identical snapshots.
-func (o *observer) maybe(now func() int64, snap func(at int64) Snapshot) {
+// burst of identical snapshots. It reports the frontier and whether a
+// snapshot fired, so the caller can flight-record the observation mark
+// at the same deterministic point (trace KMark).
+func (o *observer) maybe(now func() int64, snap func(at int64) Snapshot) (int64, bool) {
 	if o == nil {
-		return
+		return 0, false
 	}
 	frontier := now()
 	if frontier < o.next {
-		return
+		return frontier, false
 	}
 	o.fn(snap(frontier))
 	o.next = (frontier/o.stride + 1) * o.stride
+	return frontier, true
 }
 
 // final emits the closing snapshot.

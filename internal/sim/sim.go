@@ -52,6 +52,7 @@ import (
 	"repro/internal/executive"
 	"repro/internal/granule"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // MgmtModel selects where executive computation runs.
@@ -139,6 +140,14 @@ type Config struct {
 	// roughly 16 snapshots from a makespan estimate. Ignored without
 	// Observer.
 	ObserveEvery int64
+	// Trace, when non-nil, flight-records every scheduling decision —
+	// dispatches, completions, parks/unparks, controller retunes,
+	// observation marks, start/finish/abort — stamped with virtual times.
+	// The simulator emits from its single event-loop goroutine into ring
+	// 0 in processing order, so the merged trace's (Time, Seq) order IS
+	// the loop's deterministic serve order (equal-tick ordering contract:
+	// see internal/sim/trace.go). Both Run and RunMulti honor it.
+	Trace *trace.Recorder
 }
 
 // PhaseTrace describes one phase's schedule within a run.
@@ -300,6 +309,9 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 		s.nowFn = s.frontier
 		s.snapFn = s.snapshot
 	}
+	if cfg.Trace != nil {
+		s.tr = bindTrace(cfg.Trace, cfg.Mgmt, workers, prog)
+	}
 	for i, ph := range prog.Phases {
 		s.phases[i] = PhaseTrace{Name: ph.Name, Start: -1, End: -1, RundownStart: -1}
 	}
@@ -334,11 +346,18 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 	if err := s.run(maxOps); err != nil {
 		// The observer contract promises a closing Final snapshot on
 		// every outcome; a failed or cancelled run closes the stream with
-		// the counters accumulated so far.
+		// the counters accumulated so far. The trace closes with an abort
+		// record the same way.
+		if s.tr != nil {
+			s.tr.Record(trace.KAbort, s.frontier(), -1, 0, -1, 0, 0, 0)
+		}
 		s.obs.final(s.snapshot(s.frontier()))
 		return nil, err
 	}
 	res := s.result()
+	if s.tr != nil {
+		s.tr.Record(trace.KFinish, res.Makespan, -1, 0, -1, 0, 0, 0)
+	}
 	s.obs.final(s.snapshot(res.Makespan))
 	return res, nil
 }
@@ -353,6 +372,7 @@ type state struct {
 	tl      *metrics.Timeline
 	gantt   *metrics.Gantt
 	obs     *observer
+	tr      *trace.Ring // flight recorder (nil = tracing off)
 
 	reqs       reqRing // FIFO management queue
 	events     eventHeap
@@ -481,6 +501,9 @@ func (s *state) park(worker int, at int64) {
 	if s.parked[worker] {
 		return
 	}
+	if s.tr != nil {
+		s.tr.Record(trace.KPark, at, int32(worker), 0, -1, 0, 0, 0)
+	}
 	s.noteStarve(at)
 	s.parkedN++
 	s.parked[worker] = true
@@ -495,6 +518,9 @@ func (s *state) park(worker int, at int64) {
 func (s *state) unpark(worker int, at int64) {
 	if !s.parked[worker] {
 		return
+	}
+	if s.tr != nil {
+		s.tr.Record(trace.KUnpark, at, int32(worker), 0, -1, 0, 0, at-s.parkedA[worker])
 	}
 	s.noteStarve(at)
 	s.parkedN--
@@ -544,6 +570,9 @@ func (s *state) run(maxOps int64) error {
 	}
 	startCost := s.sched.Start()
 	s.serve(0, startCost)
+	if s.tr != nil {
+		s.tr.Record(trace.KStart, 0, -1, 0, -1, 0, 0, int64(startCost))
+	}
 	for w := 0; w < s.workers; w++ {
 		s.reqs.push(request{at: s.serverFree, proc: w})
 	}
@@ -563,9 +592,13 @@ func (s *state) run(maxOps int64) error {
 			}
 		}
 		// Guarded here, not in maybe: an unobserved run must not pay even
-		// the thunk's indirect call per event.
+		// the thunk's indirect call per event. A mark that fires here is
+		// recorded BEFORE the events this iteration then serves — the
+		// equal-tick ordering contract (internal/sim/trace.go).
 		if s.obs != nil {
-			s.obs.maybe(s.nowFn, s.snapFn)
+			if at, fired := s.obs.maybe(s.nowFn, s.snapFn); fired && s.tr != nil {
+				s.tr.Record(trace.KMark, at, -1, 0, -1, 0, 0, 0)
+			}
 		}
 
 		if s.reqs.len() > 0 {
@@ -743,6 +776,9 @@ func (s *state) maybeRetune(now int64) {
 		s.acquireUnits-s.lastObsAcq, s.hiInt-s.lastObsHI, 0)
 	if changed {
 		s.batchN, s.cbatchN = cap, batch
+		if s.tr != nil {
+			s.tr.Record(trace.KRetune, now, -1, 0, -1, 0, 0, int64(cap))
+		}
 	}
 	s.lastObsAt = now
 	s.lastObsAcq = s.acquireUnits
@@ -751,6 +787,10 @@ func (s *state) maybeRetune(now int64) {
 
 func (s *state) dispatch(worker int, task core.Task, at int64) {
 	dur := int64(s.sched.TaskCost(task))
+	if s.tr != nil {
+		s.tr.Record(trace.KDispatch, at, int32(worker), 0,
+			int32(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), dur)
+	}
 	end := at + dur
 	s.computeUnits += dur
 	s.workerFree[worker] = end
@@ -779,6 +819,12 @@ func (s *state) completeTask(req request) {
 	// read as utilization > 1 mid-run), so snapshots count a task's
 	// compute only when its completion event is served.
 	s.doneUnits += req.dur
+	// Recorded BEFORE the scheduler absorbs the completion, so any
+	// dispatch the completion enables carries a larger Seq.
+	if s.tr != nil {
+		s.tr.Record(trace.KComplete, req.at, int32(req.proc), 0,
+			int32(req.task.Phase), uint32(req.task.Run.Lo), uint32(req.task.Run.Hi), req.dur)
+	}
 	if s.model == Adaptive {
 		s.adaptiveComplete(req)
 		return

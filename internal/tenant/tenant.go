@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/executive"
 	"repro/internal/granule"
+	"repro/internal/trace"
 )
 
 // drrQuantum is the deficit-round-robin credit (in granules) one weight
@@ -64,6 +65,13 @@ type Config struct {
 	// ObservePeriod is the sampling period; <= 0 selects 10ms. Ignored
 	// without Observer.
 	ObservePeriod time.Duration
+	// Trace, when non-nil, flight-records the pool's scheduling decisions:
+	// per-task dispatch/completion (with the owning job's index and a
+	// backfill marker), pool-level park/unpark, and per-job start/finish/
+	// abort. Recording happens at pool level — the layer that knows which
+	// job a task belongs to — into per-worker rings with no
+	// synchronization; merge with Recorder.Take after Close.
+	Trace *trace.Recorder
 }
 
 // JobConfig describes one submitted job.
@@ -130,6 +138,15 @@ func NewPool(cfg Config) (*Pool, error) {
 		start: time.Now(),
 	}
 	p.cond = sync.NewCond(&p.mu)
+	if rec := cfg.Trace; rec != nil {
+		m := rec.Meta()
+		if m.Backend == "" {
+			m.Backend = "pool"
+		}
+		m.Manager = cfg.Manager.String()
+		m.Workers = cfg.Workers
+		m.TimeUnit = trace.UnitNanos
+	}
 	if cfg.Observer != nil {
 		p.startObserver()
 	}
@@ -189,6 +206,12 @@ func (p *Pool) Submit(prog *core.Program, opt core.Options, jc JobConfig) (*Job,
 	j.idx = len(p.jobs)
 	if j.cfg.Name == "" {
 		j.cfg.Name = fmt.Sprintf("job%d", j.idx)
+	}
+	if rec := p.cfg.Trace; rec != nil {
+		// Job names accumulate in submit order, matching the Job column of
+		// the records (mutated under p.mu, read only after Close).
+		rec.Meta().Jobs = append(rec.Meta().Jobs, j.cfg.Name)
+		rec.Emit(trace.KStart, rec.Now(), -1, int32(j.idx), -1, 0, 0, 0)
 	}
 	mgr.Start()
 	p.jobs = append(p.jobs, j)
@@ -291,6 +314,16 @@ func (p *Pool) worker(w int) {
 // completion to j's manager. Panics in user work fail the job, not the
 // pool.
 func (p *Pool) runTask(w int, j *Job, task core.Task, backfill bool) {
+	var ring *trace.Ring
+	if rec := p.cfg.Trace; rec != nil {
+		ring = rec.Ring(w)
+		ring.Record(trace.KDispatch, rec.Now(), int32(w), int32(j.idx),
+			int32(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), 0)
+		if backfill {
+			ring.Record(trace.KBackfill, rec.Now(), int32(w), int32(j.idx),
+				int32(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), 0)
+		}
+	}
 	work := j.prog.Phases[task.Phase].Work
 	c0 := time.Now()
 	err := execTask(work, task)
@@ -311,6 +344,13 @@ func (p *Pool) runTask(w int, j *Job, task core.Task, backfill bool) {
 		j.backfillCompute.Add(int64(dur))
 		p.backfillTasks.Add(1)
 		p.backfillCompute.Add(int64(dur))
+	}
+	// Recorded BEFORE the completion is submitted to management, so any
+	// dispatch it enables carries a larger Seq (the causal edge replay
+	// and diff rely on).
+	if ring != nil {
+		ring.Record(trace.KComplete, p.cfg.Trace.Now(), int32(w), int32(j.idx),
+			int32(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), int64(dur))
 	}
 	// A completion that only joined the worker's local batch cannot have
 	// released successor work or finished the job, so parked workers are
@@ -398,9 +438,16 @@ func (p *Pool) park(w int, g0 uint64) bool {
 		return false
 	}
 	i0 := time.Now()
+	if rec := p.cfg.Trace; rec != nil {
+		rec.Ring(w).Record(trace.KPark, rec.Now(), int32(w), -1, -1, 0, 0, 0)
+	}
 	p.cond.Wait()
 	p.nWaiting.Add(-1)
-	p.idleNS.Add(int64(time.Since(i0)))
+	d := time.Since(i0)
+	p.idleNS.Add(int64(d))
+	if rec := p.cfg.Trace; rec != nil {
+		rec.Ring(w).Record(trace.KUnpark, rec.Now(), int32(w), -1, -1, 0, 0, int64(d))
+	}
 	return false
 }
 
@@ -429,6 +476,13 @@ func (p *Pool) finishJobLocked(j *Job, err error) {
 	j.finished.Store(true)
 	j.end = time.Now()
 	j.err = err
+	if rec := p.cfg.Trace; rec != nil {
+		k := trace.KFinish
+		if err != nil {
+			k = trace.KAbort
+		}
+		rec.Emit(k, rec.Now(), -1, int32(j.idx), -1, 0, 0, 0)
+	}
 	for i, a := range p.active {
 		if a == j {
 			p.active = append(p.active[:i], p.active[i+1:]...)

@@ -1,0 +1,104 @@
+package trace
+
+// Timeline/Gantt/JSON export. A trace alone reconstructs every busy
+// interval: KComplete carries the task's duration in Arg, so the task
+// occupied [Time-Arg, Time) on Proc. That holds for both time units —
+// virtual compute cost in simulator traces, wall nanoseconds in
+// executive/pool traces — which is why no dispatch/complete pairing pass
+// is needed here.
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// Timeline builds a bucketed utilization timeline from the trace's
+// completion records. bucket <= 0 picks roughly 200 buckets across the
+// busy window.
+func (t *Trace) Timeline(bucket int64) *metrics.Timeline {
+	_, end := t.Span()
+	if bucket <= 0 {
+		bucket = end / 200
+		if bucket < 1 {
+			bucket = 1
+		}
+	}
+	tl := metrics.NewTimeline(t.Procs(), bucket)
+	for _, e := range t.Events {
+		if e.Kind == KComplete && e.Proc >= 0 && e.Arg > 0 {
+			tl.AddBusy(int(e.Proc), e.Time-e.Arg, e.Time)
+		}
+	}
+	tl.SetEnd(end)
+	return tl
+}
+
+// Gantt builds a per-processor span chart from the trace's completion
+// records, labeling each span with its phase letter. Only use on small
+// traces; memory is O(tasks), as with the simulator's own Gantt.
+func (t *Trace) Gantt() *metrics.Gantt {
+	g := metrics.NewGantt(t.Procs())
+	for _, e := range t.Events {
+		if e.Kind == KComplete && e.Proc >= 0 && e.Arg > 0 {
+			g.Add(int(e.Proc), e.Time-e.Arg, e.Time, rune('A'+int(e.Phase)%26))
+		}
+	}
+	return g
+}
+
+// jsonTrace is the export schema: the run description, one object per
+// event, and the reconstructed busy spans ready for external plotting.
+type jsonTrace struct {
+	Meta   Meta        `json:"meta"`
+	Events []jsonEvent `json:"events"`
+	Spans  []jsonSpan  `json:"spans"`
+}
+
+type jsonEvent struct {
+	Seq   uint64 `json:"seq"`
+	T     int64  `json:"t"`
+	Kind  string `json:"kind"`
+	Proc  int32  `json:"proc"`
+	Job   int32  `json:"job"`
+	Phase int32  `json:"phase"`
+	Lo    uint32 `json:"lo,omitempty"`
+	Hi    uint32 `json:"hi,omitempty"`
+	Arg   int64  `json:"arg,omitempty"`
+}
+
+type jsonSpan struct {
+	Proc  int32 `json:"proc"`
+	Job   int32 `json:"job"`
+	Phase int32 `json:"phase"`
+	T0    int64 `json:"t0"`
+	T1    int64 `json:"t1"`
+}
+
+// WriteJSON exports the trace for external tooling: meta, the full event
+// list, and per-task busy spans derived from the completions.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	out := jsonTrace{
+		Meta:   t.Meta,
+		Events: make([]jsonEvent, len(t.Events)),
+		Spans:  make([]jsonSpan, 0, t.Count(KComplete)),
+	}
+	out.Meta.Version = FormatVersion
+	for i, e := range t.Events {
+		out.Events[i] = jsonEvent{
+			Seq: e.Seq, T: e.Time, Kind: e.Kind.String(),
+			Proc: e.Proc, Job: e.Job, Phase: e.Phase,
+			Lo: e.Lo, Hi: e.Hi, Arg: e.Arg,
+		}
+		if e.Kind == KComplete && e.Proc >= 0 && e.Arg > 0 {
+			out.Spans = append(out.Spans, jsonSpan{
+				Proc: e.Proc, Job: e.Job, Phase: e.Phase,
+				T0: e.Time - e.Arg, T1: e.Time,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	rec := NewRecorder(Meta{
+		Backend: "virtual", Model: "sharded", Workers: 2, TimeUnit: UnitVirtual,
+		Phases: []PhaseMeta{{Name: "p0", Granules: 4}, {Name: "p1", Granules: 4}},
+	}, 2)
+	r := rec.Ring(0)
+	r.Record(KStart, 0, -1, 0, -1, 0, 0, 10)
+	r.Record(KDispatch, 10, 0, 0, 0, 0, 2, 200)
+	r.Record(KDispatch, 10, 1, 0, 0, 2, 4, 200)
+	r.Record(KComplete, 210, 0, 0, 0, 0, 2, 200)
+	r.Record(KDispatch, 210, 0, 0, 1, 0, 4, 300)
+	r.Record(KComplete, 210, 1, 0, 0, 2, 4, 200)
+	r.Record(KPark, 215, 1, 0, -1, 0, 0, 0)
+	rec.Emit(KRetune, 400, -1, -1, -1, 0, 0, 32)
+	r.Record(KComplete, 510, 0, 0, 1, 0, 4, 300)
+	r.Record(KFinish, 510, -1, 0, -1, 0, 0, 0)
+	return rec.Take()
+}
+
+func TestTakeOrdersByTimeSeq(t *testing.T) {
+	tr := sampleTrace()
+	for i := 1; i < len(tr.Events); i++ {
+		a, b := tr.Events[i-1], tr.Events[i]
+		if a.Time > b.Time || (a.Time == b.Time && a.Seq >= b.Seq) {
+			t.Fatalf("events %d,%d out of (Time, Seq) order: %v then %v", i-1, i, a, b)
+		}
+	}
+	if got := tr.Granules(); got != 8 {
+		t.Fatalf("Granules = %d, want 8", got)
+	}
+	if start, end := tr.Span(); start != 10 || end != 510 {
+		t.Fatalf("Span = [%d, %d], want [10, 510]", start, end)
+	}
+}
+
+// Concurrent rings must interleave into a strictly increasing Seq order
+// with no events lost.
+func TestConcurrentRings(t *testing.T) {
+	const workers, per = 8, 1000
+	rec := NewRecorder(Meta{Backend: "exec", Workers: workers, TimeUnit: UnitNanos}, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := rec.Ring(w)
+			for i := 0; i < per; i++ {
+				g.Record(KDispatch, rec.Now(), int32(w), 0, 0, uint32(i), uint32(i+1), 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr := rec.Take()
+	if tr.Len() != workers*per {
+		t.Fatalf("lost events: %d recorded, want %d", tr.Len(), workers*per)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range tr.Events {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Meta.Backend != tr.Meta.Backend || got.Meta.Model != tr.Meta.Model ||
+		got.Meta.Workers != tr.Meta.Workers || got.Meta.TimeUnit != tr.Meta.TimeUnit ||
+		len(got.Meta.Phases) != len(tr.Meta.Phases) {
+		t.Fatalf("meta mangled: %+v vs %+v", got.Meta, tr.Meta)
+	}
+	if got.Meta.Version != FormatVersion {
+		t.Fatalf("read version %d, want %d", got.Meta.Version, FormatVersion)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("event count %d, want %d", len(got.Events), len(tr.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d mangled: %v vs %v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	b := buf.Bytes()
+
+	flipped := append([]byte(nil), b...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := Read(bytes.NewReader(flipped)); err == nil {
+		t.Fatal("Read accepted a corrupted payload")
+	}
+	truncated := b[:len(b)-10]
+	if _, err := Read(bytes.NewReader(truncated)); err == nil {
+		t.Fatal("Read accepted a truncated file")
+	}
+	badVersion := append([]byte(nil), b...)
+	badVersion[4] = 99
+	if _, err := Read(bytes.NewReader(badVersion)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("Read accepted unknown version: %v", err)
+	}
+	if _, err := Read(strings.NewReader("not a trace at all, definitely")); err == nil {
+		t.Fatal("Read accepted garbage")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a, b := sampleTrace(), sampleTrace()
+	if d := Diff(a, b); !d.Identical || d.DivergeAt != -1 || !d.Exact {
+		t.Fatalf("identical traces reported divergent: %+v", d)
+	}
+
+	b.Events[3].Proc = 1 // completion moves to the other worker
+	d := Diff(a, b)
+	if d.Identical || d.DivergeAt != 3 || d.Reason == "" {
+		t.Fatalf("moved completion not caught: %+v", d)
+	}
+
+	c := sampleTrace()
+	c.Events = c.Events[:len(c.Events)-1]
+	d = Diff(a, c)
+	if d.Identical || d.DivergeAt != len(c.Events) || d.B != nil || d.A == nil {
+		t.Fatalf("prefix trace not caught: %+v", d)
+	}
+
+	// Wall-clock traces compare structurally: perturbing a timestamp is
+	// not a divergence, moving an event between procs is.
+	wa, wb := sampleTrace(), sampleTrace()
+	wa.Meta.TimeUnit, wb.Meta.TimeUnit = UnitNanos, UnitNanos
+	wb.Events[1].Time += 12345
+	wb.Events[1].Arg += 9
+	if d := Diff(wa, wb); !d.Identical || d.Exact {
+		t.Fatalf("structural comparison flagged timing jitter: %+v", d)
+	}
+
+	if deltas := Diff(a, a).Phases; len(deltas) != 2 ||
+		deltas[0].BusyA != 400 || deltas[1].BusyA != 300 {
+		t.Fatalf("phase deltas wrong: %+v", deltas)
+	}
+}
+
+func TestTimelineExport(t *testing.T) {
+	tr := sampleTrace()
+	tl := tr.Timeline(0)
+	if got := tl.BusyTotal(); got != 700 {
+		t.Fatalf("timeline busy total = %d, want 700 (sum of completion durations)", got)
+	}
+	by := tl.ByProc()
+	if by[0] != 500 || by[1] != 200 {
+		t.Fatalf("per-proc busy = %v, want [500 200]", by)
+	}
+	if g := tr.Gantt(); g.End() != 510 {
+		t.Fatalf("gantt end = %d, want 510", g.End())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	for _, want := range []string{`"kind": "dispatch"`, `"kind": "retune"`, `"spans"`, `"time_unit": "virtual"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("JSON export missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+// The recording hot path must be amortized zero-alloc: past the growth
+// knee, Record never allocates. This is the CI gate ISSUE 7 names.
+func TestRingRecordZeroAlloc(t *testing.T) {
+	rec := NewRecorder(Meta{Backend: "exec", Workers: 1, TimeUnit: UnitNanos}, 1)
+	g := rec.Ring(0)
+	for i := 0; i < 1<<14; i++ {
+		g.Record(KDispatch, int64(i), 0, 0, 0, 0, 1, 0)
+	}
+	g.Reset() // keeps capacity: steady state begins here
+	var i int64
+	allocs := testing.AllocsPerRun(10000, func() {
+		g.Record(KComplete, i, 0, 0, 0, 0, 1, 100)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocated %.1f allocs/op in steady state, want 0", allocs)
+	}
+}

@@ -2,12 +2,14 @@ package rundown
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"time"
 
 	"repro/internal/executive"
 	"repro/internal/sim"
 	"repro/internal/tenant"
+	"repro/internal/trace"
 )
 
 // Option configures a Runner. Options are applied in order by New; an
@@ -37,6 +39,9 @@ type runnerConfig struct {
 	observer      Observer
 	observePeriod time.Duration
 	observeEvery  int64
+
+	traceOn bool
+	traceW  io.Writer // nil = capture in Report.Trace only
 
 	// Native-observer passthroughs for the legacy wrappers (Execute,
 	// NewPool), which accept backend-native snapshot callbacks in their
@@ -177,6 +182,49 @@ func WithObservePeriod(d time.Duration) Option {
 // backend (<= 0 selects roughly 16 snapshots per run).
 func WithObserveEvery(units int64) Option {
 	return func(c *runnerConfig) error { c.observeEvery = units; return nil }
+}
+
+// WithTrace turns on the flight recorder: every run captures a
+// structured trace of its scheduling decisions — dispatches,
+// completions, steals, parks, retunes, aborts — and attaches the merged
+// trace to Report.Trace. When w is non-nil the trace is also written to
+// it in the versioned binary format (readable back with ReadTraceFile)
+// after the run completes; pass nil to capture in memory only. Virtual
+// traces are deterministic (identical runs produce identical traces);
+// real-backend traces carry wall-clock nanosecond timestamps.
+func WithTrace(w io.Writer) Option {
+	return func(c *runnerConfig) error {
+		c.traceOn = true
+		c.traceW = w
+		return nil
+	}
+}
+
+// newRecorder builds a fresh flight recorder for one run (nil when
+// tracing is off). A recorder is per-run, never per-Runner: two Runs of
+// the same Runner must not interleave their events.
+func (c *runnerConfig) newRecorder() *trace.Recorder {
+	if !c.traceOn {
+		return nil
+	}
+	return trace.NewRecorder(trace.Meta{}, c.workers)
+}
+
+// finishTrace merges a finished run's trace into rep and writes the
+// binary form when a writer was configured. It returns the write error,
+// if any; the run itself already succeeded.
+func (c *runnerConfig) finishTrace(rec *trace.Recorder, rep *Report) error {
+	if rec == nil || rep == nil {
+		return nil
+	}
+	t := rec.Take()
+	rep.Trace = t
+	if c.traceW != nil {
+		if err := trace.Write(c.traceW, t); err != nil {
+			return fmt.Errorf("rundown: writing trace: %w", err)
+		}
+	}
+	return nil
 }
 
 // withExecObserver passes a native executive observer through unadapted;

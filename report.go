@@ -113,6 +113,10 @@ type Report struct {
 	Pool *PoolReport
 	// Jobs holds per-job reports for RunAll, in submission order.
 	Jobs []JobReport
+	// Trace is the run's merged flight-recorder trace (WithTrace runs
+	// only; nil otherwise). Virtual traces are deterministic; real-backend
+	// traces carry wall-clock timestamps.
+	Trace *Trace
 }
 
 func (r *Report) String() string {

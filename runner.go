@@ -117,11 +117,14 @@ type execBackend struct {
 func (b *execBackend) Kind() BackendKind { return ExecBackend }
 
 func (b *execBackend) Run(ctx context.Context, job Job) (*Report, error) {
-	rep, err := executive.RunContext(ctx, job.Prog, b.c.jobOpt(job), b.c.execConfig())
+	rec := b.c.newRecorder()
+	cfg := b.c.execConfig()
+	cfg.Trace = rec
+	rep, err := executive.RunContext(ctx, job.Prog, b.c.jobOpt(job), cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Report{
+	out := &Report{
 		Backend:     ExecBackend,
 		Manager:     b.c.manager,
 		Workers:     b.c.workers,
@@ -130,7 +133,11 @@ func (b *execBackend) Run(ctx context.Context, job Job) (*Report, error) {
 		Utilization: rep.Utilization,
 		MgmtRatio:   rep.MgmtRatio,
 		Exec:        rep,
-	}, nil
+	}
+	if terr := b.c.finishTrace(rec, out); terr != nil {
+		return out, terr
+	}
+	return out, nil
 }
 
 func (b *execBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error) {
@@ -174,7 +181,10 @@ func (b *poolBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return failEarly(fmt.Errorf("rundown: run canceled: %w", err))
 	}
-	pool, err := tenant.NewPool(b.c.poolConfig())
+	rec := b.c.newRecorder()
+	pcfg := b.c.poolConfig()
+	pcfg.Trace = rec
+	pool, err := tenant.NewPool(pcfg)
 	if err != nil {
 		return failEarly(err)
 	}
@@ -242,6 +252,9 @@ func (b *poolBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error) {
 	if firstErr == nil {
 		firstErr = closeErr
 	}
+	if terr := b.c.finishTrace(rec, rep); terr != nil && firstErr == nil {
+		firstErr = terr
+	}
 	return rep, firstErr
 }
 
@@ -253,12 +266,14 @@ type virtualBackend struct {
 func (b *virtualBackend) Kind() BackendKind { return VirtualBackend }
 
 func (b *virtualBackend) Run(ctx context.Context, job Job) (*Report, error) {
+	rec := b.c.newRecorder()
 	cfg := b.c.simConfig()
+	cfg.Trace = rec
 	res, err := sim.RunContext(ctx, job.Prog, b.c.jobOpt(job), cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Report{
+	out := &Report{
 		Backend:     VirtualBackend,
 		Manager:     b.c.manager,
 		Model:       cfg.Mgmt,
@@ -268,11 +283,17 @@ func (b *virtualBackend) Run(ctx context.Context, job Job) (*Report, error) {
 		Utilization: res.Utilization,
 		MgmtRatio:   res.MgmtRatio,
 		Sim:         res,
-	}, nil
+	}
+	if terr := b.c.finishTrace(rec, out); terr != nil {
+		return out, terr
+	}
+	return out, nil
 }
 
 func (b *virtualBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error) {
+	rec := b.c.newRecorder()
 	cfg := b.c.simConfig()
+	cfg.Trace = rec
 	specs := make([]sim.JobSpec, len(jobs))
 	for i, job := range jobs {
 		specs[i] = sim.JobSpec{
@@ -300,6 +321,9 @@ func (b *virtualBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error
 	}
 	if res.MgmtUnits > 0 {
 		rep.MgmtRatio = float64(res.ComputeUnits) / float64(res.MgmtUnits)
+	}
+	if terr := b.c.finishTrace(rec, rep); terr != nil {
+		return rep, terr
 	}
 	return rep, nil
 }

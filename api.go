@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/enable"
 	"repro/internal/executive"
+	"repro/internal/fault"
 	"repro/internal/granule"
 	"repro/internal/paxlang"
 	"repro/internal/sim"
@@ -354,6 +355,9 @@ func execConfigOptions(cfg ExecConfig) []Option {
 	if cfg.Adaptive {
 		opts = append(opts, WithAdaptiveBatching(cfg.MgmtTarget))
 	}
+	if cfg.Faults != nil {
+		opts = append(opts, WithFaults(*cfg.Faults))
+	}
 	if cfg.Observer != nil {
 		// Legacy observers expect the executive's native snapshots; pass
 		// them through unadapted.
@@ -398,6 +402,18 @@ type (
 func NewPool(cfg PoolConfig) (*Pool, error) {
 	opts := append(managerKnobOptions(cfg.Workers, cfg.Manager, cfg.DequeCap, cfg.Batch, cfg.ReadyCap, cfg.LowWater),
 		WithPool())
+	if cfg.Faults != nil {
+		opts = append(opts, WithFaults(*cfg.Faults))
+	}
+	if cfg.MaxActive > 0 {
+		opts = append(opts, WithAdmission(cfg.MaxActive, cfg.Queue))
+	}
+	if cfg.PreemptBound > 0 {
+		opts = append(opts, WithPreemptBound(cfg.PreemptBound))
+	}
+	if cfg.StallTimeout != 0 {
+		opts = append(opts, WithStallTimeout(cfg.StallTimeout))
+	}
 	if cfg.Observer != nil {
 		opts = append(opts, withPoolObserver(cfg.Observer, cfg.ObservePeriod))
 	}
@@ -407,6 +423,73 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	}
 	return r.StartPool()
 }
+
+// Deterministic fault injection (WithFaults).
+type (
+	// FaultSpec is a compiled-on-use fault plan description: a seed (for
+	// reporting) plus the rules to fire. The same spec produces the same
+	// faults on every backend — priced deterministically in virtual time,
+	// bounded wall-clock effects on real goroutines.
+	FaultSpec = fault.Spec
+	// FaultRule matches one injection site (kind, job, phase, granule,
+	// worker) and carries its parameters (delay, factor, firing count).
+	// Match fields use -1 for "any"; zero means index 0.
+	FaultRule = fault.Rule
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = fault.Kind
+)
+
+// Fault kinds.
+const (
+	// FaultGrainPanic panics the matched granule's work function.
+	FaultGrainPanic = fault.GrainPanic
+	// FaultGrainError fails the matched granule's task with an injected
+	// error.
+	FaultGrainError = fault.GrainError
+	// FaultGrainStall withholds the matched task's completion for
+	// Rule.Delay units.
+	FaultGrainStall = fault.GrainStall
+	// FaultGrainSlow stretches the matched task's compute by
+	// ×Rule.Factor.
+	FaultGrainSlow = fault.GrainSlow
+	// FaultWorkerCrash retires the matched worker after the task in hand.
+	FaultWorkerCrash = fault.WorkerCrash
+	// FaultWorkerWedge withholds the matched worker's next completion —
+	// only a stall probe or deadline can fail the wedged job.
+	FaultWorkerWedge = fault.WorkerWedge
+	// FaultWorkerSlow stretches every task the matched worker runs.
+	FaultWorkerSlow = fault.WorkerSlow
+	// FaultMgmtDelay delays the matched job's next completion submission
+	// to management.
+	FaultMgmtDelay = fault.MgmtDelay
+	// FaultDropWakeup makes the next wakeup of parked workers vanish;
+	// the engines must recover on their own probes.
+	FaultDropWakeup = fault.DropWakeup
+)
+
+// FaultScenario derives a reproducible n-rule fault campaign from a seed,
+// sized to a machine of the given shape (jobs × phases × granules on
+// workers). Identical arguments produce identical specs on every host —
+// the chaos sweep's generator.
+func FaultScenario(seed uint64, n, jobs, phases, granules, workers int) FaultSpec {
+	return fault.Scenario(seed, n, jobs, phases, granules, workers)
+}
+
+// ParseFaultFlag parses a "seed=N[,rules=K]" fault-campaign flag value
+// (the rundownsim -faults syntax) into its seed and rule count.
+func ParseFaultFlag(s string) (seed uint64, rules int, err error) {
+	return fault.ParseFlag(s)
+}
+
+// Tenancy sentinels. Test with errors.Is; Submit wraps both with the
+// offending job's name.
+var (
+	// ErrPoolClosed reports a Submit after Close or Abort.
+	ErrPoolClosed = tenant.ErrPoolClosed
+	// ErrPoolSaturated reports a Submit refused by admission control
+	// (WithAdmission's high-water mark, queueing off).
+	ErrPoolSaturated = tenant.ErrPoolSaturated
+)
 
 // Verification and inference over access footprints.
 

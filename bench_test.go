@@ -424,6 +424,29 @@ func BenchmarkManagerChainFineSharded(b *testing.B) {
 	benchManager(b, rundown.ShardedManager, buildChainFine)
 }
 
+// BenchmarkManagerChainFineShardedFaultsOff is the injection-off control:
+// the same workload and manager as BenchmarkManagerChainFineSharded, run
+// through the fault-aware configuration with an empty campaign (zero
+// rules compile to no plan at all). It pins the claim that fault
+// injection off costs one nil check per task — this series must sit
+// within noise of the plain sharded series above.
+func BenchmarkManagerChainFineShardedFaultsOff(b *testing.B) {
+	var utils, ratios []float64
+	for i := 0; i < b.N; i++ {
+		prog, opt := buildChainFine(b)
+		cfg := managerBenchConfig(rundown.ShardedManager)
+		cfg.Faults = &rundown.FaultSpec{}
+		rep, err := rundown.Execute(prog, opt, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		utils = append(utils, rep.Utilization)
+		ratios = append(ratios, rep.MgmtRatio)
+	}
+	b.ReportMetric(stats.Percentile(utils, 50), "utilization")
+	b.ReportMetric(stats.Percentile(ratios, 50), "compute:mgmt")
+}
+
 // BenchmarkManagerChainFineAdaptive / BenchmarkManagerCasperAdaptive are
 // the adaptive pair of the manager comparison: the same workloads as the
 // fixed-parameter sharded benchmarks with the batch controller turned on,

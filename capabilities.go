@@ -38,6 +38,23 @@ type Caps struct {
 	// DedicatedProc: the virtual model gives the executive its own
 	// processor outside the utilization denominator (Dedicated, Async).
 	DedicatedProc bool
+	// FaultInjection: WithFaults strikes this pairing — priced virtual
+	// faults under Model, bounded wall-clock faults on Manager's real
+	// backends. True for every pairing: the fault plan consults the same
+	// rules at the same logical chokepoints everywhere.
+	FaultInjection bool
+	// Deadlines: per-job deadlines abort only the deadlined job with an
+	// error wrapping context.DeadlineExceeded. Pool-backed runs and
+	// virtual multi-program runs enforce them natively; single-job
+	// goroutine runs through the run context. False only when neither
+	// side of the pairing has a multi-job engine.
+	Deadlines bool
+	// Retries: failed attempts restart on a fresh scheduler (Job.Retry /
+	// WithRetry). Needs a multi-job engine on at least one side.
+	Retries bool
+	// Admission: WithAdmission's high-water mark and queueing apply —
+	// a real-pool feature, available whenever Manager can drive the pool.
+	Admission bool
 	// AdaptiveInPool: the adaptive batching controller applies inside a
 	// REAL tenant pool. Always false today for every pairing: the pool
 	// deliberately omits AdaptiveBatch when it builds per-job drivers,
@@ -54,14 +71,18 @@ type Caps struct {
 // Use Runner.Capabilities for a configured Runner's own pairing.
 func Capabilities(manager ExecManager, model MgmtModel) Caps {
 	return Caps{
-		Manager:       manager,
-		Model:         model,
-		VirtualSingle: true,
-		VirtualMulti:  sim.SupportsMulti(model),
-		RealMulti:     executive.SupportsPool(manager),
-		Adaptive:      manager == ShardedManager || model == AdaptiveMgmt,
-		AsyncMgmt:     manager == AsyncManager || model == AsyncMgmt,
-		DedicatedProc: model == Dedicated || model == AsyncMgmt,
+		Manager:        manager,
+		Model:          model,
+		VirtualSingle:  true,
+		VirtualMulti:   sim.SupportsMulti(model),
+		RealMulti:      executive.SupportsPool(manager),
+		Adaptive:       manager == ShardedManager || model == AdaptiveMgmt,
+		AsyncMgmt:      manager == AsyncManager || model == AsyncMgmt,
+		DedicatedProc:  model == Dedicated || model == AsyncMgmt,
+		FaultInjection: true,
+		Deadlines:      true,
+		Retries:        executive.SupportsPool(manager) || sim.SupportsMulti(model),
+		Admission:      executive.SupportsPool(manager),
 		// Structurally false: tenant.Pool.Submit never forwards
 		// AdaptiveBatch to a job's driver config.
 		AdaptiveInPool: false,

@@ -16,6 +16,7 @@
 //	rundownsim -jobs 3 -mapping identity -granules 4096 -procs 64 -overlap
 //	rundownsim -jobs 2 -manager async -mapping identity -granules 4096 -procs 8 -overlap
 //	rundownsim -jobs 4 -adaptive -mapping identity -granules 4096 -procs 32 -overlap
+//	rundownsim -jobs 3 -mapping identity -granules 4096 -procs 32 -overlap -faults seed=7,rules=4 -retry 2
 //
 // The command is built on the rundown.Runner front door: one Job spec,
 // one Run/RunAll call, and the backend — virtual machine, goroutine
@@ -66,6 +67,8 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart (small runs only)")
 		curve     = flag.Bool("curve", true, "print a utilization sparkline")
 		observe   = flag.Bool("observe", false, "stream live utilization/overhead snapshots to stderr while the run progresses")
+		faultsIn  = flag.String("faults", "", "deterministic fault campaign: seed=N[,rules=K] (same seed, same faults, every backend)")
+		retry     = flag.Int("retry", 0, "per-job retry budget for faulted attempts (multi-job runs)")
 		traceOut  = flag.String("trace", "", "record the run's flight-recorder trace to this file")
 		replayIn  = flag.String("replay", "", "replay a recorded trace file against the configured workload and exit")
 		tracediff = flag.Bool("tracediff", false, "diff the two trace files given as positional arguments and exit")
@@ -132,6 +135,23 @@ func main() {
 	}
 	if *observe {
 		execOpts = append(execOpts, rundown.WithObserver(printSnapshot))
+	}
+
+	// -faults: derive a reproducible campaign from the seed, shaped to
+	// this run, and thread it through the Runner — the virtual backend
+	// prices it deterministically, so identical flags reproduce identical
+	// failures. -retry gives each job a budget to survive them.
+	if *faultsIn != "" {
+		fseed, frules, err := rundown.ParseFaultFlag(*faultsIn)
+		if err != nil {
+			fail("%v", err)
+		}
+		spec := rundown.FaultScenario(fseed, frules, *jobs, *phases, *granules, *procs)
+		execOpts = append(execOpts, rundown.WithFaults(spec))
+		fmt.Fprintf(os.Stderr, "rundownsim: fault campaign seed=%d rules=%d\n", fseed, len(spec.Rules))
+	}
+	if *retry > 0 {
+		execOpts = append(execOpts, rundown.WithRetry(*retry, time.Millisecond))
 	}
 
 	// -trace: record the run's flight recorder to a file. The writer is
@@ -304,9 +324,11 @@ func runShared(ctx context.Context, build func(seed uint64) (*rundown.Program, e
 	}
 
 	rep, err := virtual.RunAll(ctx, specs)
-	if err != nil {
+	if err != nil && rep == nil {
 		fail("%v", err)
 	}
+	// A failed job under an injected campaign still has a full report:
+	// print every tenant's outcome first, then exit nonzero.
 	res := rep.SimMulti
 	fmt.Printf("jobs=%d procs=%d workers=%d mgmt=%v\n", jobs, res.Procs, res.Workers, rep.Model)
 	fmt.Printf("makespan (all jobs) %d\n", res.Makespan)
@@ -315,6 +337,9 @@ func runShared(ctx context.Context, build func(seed uint64) (*rundown.Program, e
 	fmt.Printf("idle units          %d\n", res.IdleUnits)
 	fmt.Printf("backfill units      %d\n", res.BackfillUnits)
 	fmt.Printf("utilization         %s\n", metrics.FormatPercent(res.Utilization))
+	if rep.Faults > 0 || rep.Retries > 0 {
+		fmt.Printf("faults injected     %d (retries %d)\n", rep.Faults, rep.Retries)
+	}
 	if res.Batch > 0 {
 		fmt.Printf("batch (final)       %d (%d controller changes)\n", res.Batch, res.BatchChanges)
 	}
@@ -325,8 +350,18 @@ func runShared(ctx context.Context, build func(seed uint64) (*rundown.Program, e
 		if j.ComputeUnits > 0 {
 			share = float64(j.BackfillUnits) / float64(j.ComputeUnits)
 		}
-		fmt.Printf("  %-8s makespan=%-10d compute=%-10d home-workers=%-3d backfill=%d (%.1f%%)\n",
-			j.Name, j.Makespan, j.ComputeUnits, j.HomeWorkers, j.BackfillUnits, share*100)
+		note := ""
+		if j.Attempts > 1 {
+			note = fmt.Sprintf(" attempts=%d", j.Attempts)
+		}
+		if j.Err != nil {
+			note += fmt.Sprintf(" FAILED: %v", j.Err)
+		}
+		fmt.Printf("  %-8s makespan=%-10d compute=%-10d home-workers=%-3d backfill=%d (%.1f%%)%s\n",
+			j.Name, j.Makespan, j.ComputeUnits, j.HomeWorkers, j.BackfillUnits, share*100, note)
+	}
+	if err != nil {
+		fail("%v", err)
 	}
 }
 

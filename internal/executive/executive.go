@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/granule"
 	"repro/internal/trace"
 )
@@ -89,6 +90,12 @@ type Config struct {
 	// record into per-worker rings with no synchronization; the caller
 	// merges with Recorder.Take after the run returns.
 	Trace *trace.Recorder
+	// Faults, when non-nil, compiles a deterministic fault-injection
+	// campaign for this run (see internal/fault and faults.go): the same
+	// Spec the simulator prices in virtual time, with Rule.After read as
+	// wall-clock nanoseconds since run start and delays bounded by
+	// fault.Sleep. The injection-off fast path is one nil check per task.
+	Faults *fault.Spec
 }
 
 // Report aggregates a run's measurements.
@@ -173,6 +180,10 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 	}
 
 	e := &engine{mgr: mgr, prog: prog, rec: cfg.Trace}
+	if cfg.Faults != nil {
+		e.plan = fault.New(*cfg.Faults)
+		e.live.Store(int64(cfg.Workers))
+	}
 	if rec := cfg.Trace; rec != nil {
 		m := rec.Meta()
 		if m.Backend == "" {
@@ -190,6 +201,7 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 	}
 
 	start := time.Now()
+	e.start = start
 	mgr.Start()
 
 	// Cancellation watcher: ctx firing aborts the manager, which releases
@@ -279,6 +291,13 @@ type engine struct {
 	prog *core.Program
 	rec  *trace.Recorder // flight recorder (nil = tracing off)
 
+	// plan is the compiled fault-injection campaign (nil = injection
+	// off); start anchors Rule.After wall-clock offsets and live is the
+	// WorkerCrash floor — the last live worker refuses to crash.
+	plan  *fault.Plan
+	start time.Time
+	live  atomic.Int64
+
 	compute atomic.Int64 // nanoseconds of granule work
 	tasks   atomic.Int64
 }
@@ -304,13 +323,28 @@ func (e *engine) worker(w int) {
 		}
 		work := e.prog.Phases[task.Phase].Work
 
+		var tf taskFaults
+		if e.plan != nil {
+			e.injectTask(w, task, &work, &tf)
+			if tf.err != nil {
+				e.mgr.Abort(tf.err)
+				return
+			}
+		}
+
 		c0 := time.Now()
 		workErr := e.execute(work, task)
+		if workErr == nil && tf.factor > 1 {
+			stretchCompute(time.Since(c0), tf.factor)
+		}
 		dur := time.Since(c0)
 
 		if workErr != nil {
 			e.mgr.Abort(workErr)
 			return
+		}
+		if e.plan != nil {
+			e.beforeComplete(w, &tf)
 		}
 		e.compute.Add(int64(dur))
 		e.tasks.Add(1)
@@ -322,6 +356,9 @@ func (e *engine) worker(w int) {
 				int32(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), int64(dur))
 		}
 		e.mgr.Complete(w, task)
+		if e.plan != nil && e.maybeCrash(w) {
+			return
+		}
 	}
 }
 

@@ -1,0 +1,315 @@
+// Package fault is the deterministic fault-injection layer: a seeded
+// Spec of failure Rules compiled into a per-run Plan that every backend
+// consults at the same chokepoints — the simulator in virtual time
+// (bit-identical outcomes per seed), the goroutine executive and the
+// tenant pool on real hardware (same rules, wall-clock delays).
+//
+// Three fault levels mirror where a rundown can rot:
+//
+//   - grain faults strike one granule's task: panic, error, stall-for-D,
+//     or slowdown×k. They are keyed on (job, phase, granule), not on task
+//     boundaries, so the same Spec hits the same logical work no matter
+//     how a backend carved tasks.
+//   - worker faults strike one processor: crash (stops taking work after
+//     finishing the task in hand), wedge (the completion in hand is
+//     withheld for D — or, on the real pool, until released), slow
+//     (every task it runs is stretched ×k).
+//   - management faults strike the executive itself: a completion's
+//     submission to management is delayed by D, or a wakeup of parked
+//     workers is dropped (the engines recover deterministically; the
+//     fault prices the recovery, it must never hang the run).
+//
+// A Plan is stateful — each Rule carries a firing budget consumed
+// atomically — so compile a fresh Plan per run; the Spec itself is
+// immutable and reusable.
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies one injected fault.
+type Kind uint8
+
+const (
+	// GrainPanic makes the work function of the matched granule's task
+	// panic (real backends go through the engine's recover machinery;
+	// virtual backends price the same per-job failure).
+	GrainPanic Kind = 1 + iota
+	// GrainError fails the matched granule's task with an injected error.
+	GrainError
+	// GrainStall withholds the matched task's completion for Delay units
+	// (the task's compute cost is unchanged — a stuck grain, not a slow
+	// one).
+	GrainStall
+	// GrainSlow stretches the matched task's compute by ×Factor.
+	GrainSlow
+	// WorkerCrash retires the matched worker after the task in hand: it
+	// never asks for work again (graceful capacity loss — no task is
+	// lost, the survivors absorb the load).
+	WorkerCrash
+	// WorkerWedge withholds the matched worker's next completion: for
+	// Delay units in virtual time; on the real pool the worker blocks
+	// until the Plan is released (Pool.Close), so only a stall probe or
+	// deadline can fail the wedged job.
+	WorkerWedge
+	// WorkerSlow stretches every task the matched worker runs by ×Factor.
+	WorkerSlow
+	// MgmtDelay delays the matched job's next completion submission to
+	// management by Delay units.
+	MgmtDelay
+	// DropWakeup makes the next wakeup of parked workers vanish. The
+	// engines must recover (re-wake on their watchdog/queue-empty probe);
+	// the fault exists to prove they do.
+	DropWakeup
+
+	kindCount
+)
+
+var kindNames = [...]string{
+	GrainPanic:  "grain-panic",
+	GrainError:  "grain-error",
+	GrainStall:  "grain-stall",
+	GrainSlow:   "grain-slow",
+	WorkerCrash: "worker-crash",
+	WorkerWedge: "worker-wedge",
+	WorkerSlow:  "worker-slow",
+	MgmtDelay:   "mgmt-delay",
+	DropWakeup:  "drop-wakeup",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Rule is one injection: what to break, where, how hard, how often.
+type Rule struct {
+	Kind Kind
+	// Job and Phase scope grain and management faults (-1 = any). Grain
+	// faults additionally require Granule to fall inside the task's
+	// range, so the rule keys on logical work, not task carving.
+	Job, Phase int
+	Granule    uint32
+	// Worker scopes worker faults (-1 = any worker).
+	Worker int
+	// After is the earliest firing time: virtual units in the simulator,
+	// nanoseconds since run start on real backends. Zero fires from the
+	// outset.
+	After int64
+	// Delay is the stall/wedge/management-delay length in virtual units
+	// (real backends scale with Sleep).
+	Delay int64
+	// Factor is the GrainSlow/WorkerSlow stretch (values < 2 clamp to 2).
+	Factor int64
+	// Count is the firing budget; <= 0 means once.
+	Count int
+}
+
+// Spec is a complete, immutable injection campaign: compile with New for
+// each run that should suffer it.
+type Spec struct {
+	// Seed labels the campaign (Scenario derives the Rules from it); it
+	// has no effect on an explicit Rules list.
+	Seed uint64
+	// Rules are the injections, consulted in order.
+	Rules []Rule
+}
+
+// prule is a compiled rule with its remaining firing budget.
+type prule struct {
+	Rule
+	left atomic.Int64
+}
+
+// Plan is one run's compiled, consumable fault state. All methods are
+// safe for concurrent use; a nil *Plan is inert (every query misses), so
+// backends hold a possibly-nil Plan and pay one branch when injection is
+// off.
+type Plan struct {
+	rules    []prule
+	fired    [kindCount]atomic.Int64
+	injected atomic.Int64
+
+	release chan struct{}
+	once    sync.Once
+}
+
+// New compiles spec into a fresh Plan. A nil return (empty spec) keeps
+// the disabled fast path a single nil check.
+func New(spec Spec) *Plan {
+	if len(spec.Rules) == 0 {
+		return nil
+	}
+	p := &Plan{
+		rules:   make([]prule, len(spec.Rules)),
+		release: make(chan struct{}),
+	}
+	for i, r := range spec.Rules {
+		if r.Count <= 0 {
+			r.Count = 1
+		}
+		if r.Factor < 2 && (r.Kind == GrainSlow || r.Kind == WorkerSlow) {
+			r.Factor = 2
+		}
+		p.rules[i].Rule = r
+		p.rules[i].left.Store(int64(r.Count))
+	}
+	return p
+}
+
+// consume takes one firing from rule i, recording the injection. It
+// reports false when the budget is exhausted (concurrent callers race
+// the decrement; losers see a negative residue and never fire).
+func (p *Plan) consume(i int) bool {
+	if p.rules[i].left.Add(-1) < 0 {
+		return false
+	}
+	p.fired[p.rules[i].Kind].Add(1)
+	p.injected.Add(1)
+	return true
+}
+
+// Grain consults the grain-level rules for a task covering granules
+// [lo, hi) of (job, phase). It returns the fired rule's kind (0 = no
+// fault), its Delay, and its Factor.
+func (p *Plan) Grain(job, phase int, lo, hi uint32) (Kind, int64, int64) {
+	if p == nil {
+		return 0, 0, 0
+	}
+	for i := range p.rules {
+		r := &p.rules[i]
+		switch r.Kind {
+		case GrainPanic, GrainError, GrainStall, GrainSlow:
+		default:
+			continue
+		}
+		if r.Job >= 0 && r.Job != job {
+			continue
+		}
+		if r.Phase >= 0 && r.Phase != phase {
+			continue
+		}
+		if r.Granule < lo || r.Granule >= hi {
+			continue
+		}
+		if !p.consume(i) {
+			continue
+		}
+		return r.Kind, r.Delay, r.Factor
+	}
+	return 0, 0, 0
+}
+
+// Worker consults the worker-level rules of kind k for worker w at time
+// at. It returns the fired rule's Delay and Factor.
+func (p *Plan) Worker(w int, at int64, k Kind) (int64, int64, bool) {
+	if p == nil {
+		return 0, 0, false
+	}
+	for i := range p.rules {
+		r := &p.rules[i]
+		if r.Kind != k {
+			continue
+		}
+		if r.Worker >= 0 && r.Worker != w {
+			continue
+		}
+		if at < r.After {
+			continue
+		}
+		if !p.consume(i) {
+			continue
+		}
+		return r.Delay, r.Factor, true
+	}
+	return 0, 0, false
+}
+
+// Mgmt consults the MgmtDelay rules for job. It returns the fired rule's
+// Delay.
+func (p *Plan) Mgmt(job int) (int64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	for i := range p.rules {
+		r := &p.rules[i]
+		if r.Kind != MgmtDelay {
+			continue
+		}
+		if r.Job >= 0 && r.Job != job {
+			continue
+		}
+		if !p.consume(i) {
+			continue
+		}
+		return r.Delay, true
+	}
+	return 0, false
+}
+
+// DropWakeup reports whether the next wakeup should vanish.
+func (p *Plan) DropWakeup() bool {
+	if p == nil {
+		return false
+	}
+	for i := range p.rules {
+		if p.rules[i].Kind == DropWakeup && p.consume(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// Release returns the channel real-backend wedges block on; it is closed
+// by ReleaseAll. Nil-safe for select-free call sites only when the Plan
+// is non-nil — wedges only exist under a Plan.
+func (p *Plan) Release() <-chan struct{} { return p.release }
+
+// ReleaseAll unblocks every wedged worker (idempotent). The tenant pool
+// calls it at Close so teardown is hang-free even when a wedge was never
+// resolved by a stall probe or deadline.
+func (p *Plan) ReleaseAll() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() { close(p.release) })
+}
+
+// Injected reports the total firings so far.
+func (p *Plan) Injected() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.injected.Load()
+}
+
+// Fired reports the firings of one kind.
+func (p *Plan) Fired(k Kind) int64 {
+	if p == nil || k >= kindCount {
+		return 0
+	}
+	return p.fired[k].Load()
+}
+
+// maxSleep caps real-backend injected delays so a campaign can never turn
+// a test suite into a sleep marathon.
+const maxSleep = 50 * time.Millisecond
+
+// Sleep converts an injected virtual delay to a bounded real-backend
+// sleep (1 unit = 1µs, capped at 50ms) and sleeps it.
+func Sleep(units int64) {
+	if units <= 0 {
+		return
+	}
+	d := time.Duration(units) * time.Microsecond
+	if d > maxSleep {
+		d = maxSleep
+	}
+	time.Sleep(d)
+}

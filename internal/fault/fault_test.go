@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if k, _, _ := p.Grain(0, 0, 0, 10); k != 0 {
+		t.Fatalf("nil plan fired grain fault %v", k)
+	}
+	if _, _, ok := p.Worker(0, 0, WorkerCrash); ok {
+		t.Fatal("nil plan fired worker fault")
+	}
+	if _, ok := p.Mgmt(0); ok {
+		t.Fatal("nil plan fired mgmt fault")
+	}
+	if p.DropWakeup() {
+		t.Fatal("nil plan dropped a wakeup")
+	}
+	if p.Injected() != 0 || p.Fired(GrainPanic) != 0 {
+		t.Fatal("nil plan reports injections")
+	}
+	p.ReleaseAll() // must not panic
+}
+
+func TestEmptySpecCompilesToNil(t *testing.T) {
+	if New(Spec{Seed: 7}) != nil {
+		t.Fatal("empty spec should compile to a nil (inert) plan")
+	}
+}
+
+func TestGrainKeysOnGranuleNotTask(t *testing.T) {
+	spec := Spec{Rules: []Rule{{Kind: GrainError, Job: 1, Phase: 2, Granule: 37}}}
+
+	// A coarse task covering the granule fires; a fine one covering the
+	// same granule in another compile fires identically.
+	for _, r := range [][2]uint32{{0, 100}, {37, 38}} {
+		p := New(spec)
+		if k, _, _ := p.Grain(1, 2, r[0], r[1]); k != GrainError {
+			t.Fatalf("task [%d,%d) covering granule 37 did not fire", r[0], r[1])
+		}
+	}
+	p := New(spec)
+	if k, _, _ := p.Grain(1, 2, 38, 100); k != 0 {
+		t.Fatal("task not covering granule 37 fired")
+	}
+	if k, _, _ := p.Grain(0, 2, 0, 100); k != 0 {
+		t.Fatal("wrong job fired")
+	}
+	if k, _, _ := p.Grain(1, 1, 0, 100); k != 0 {
+		t.Fatal("wrong phase fired")
+	}
+}
+
+func TestCountBudget(t *testing.T) {
+	p := New(Spec{Rules: []Rule{{Kind: MgmtDelay, Job: -1, Delay: 5, Count: 2}}})
+	for i := 0; i < 2; i++ {
+		if d, ok := p.Mgmt(0); !ok || d != 5 {
+			t.Fatalf("firing %d: got (%d,%v)", i, d, ok)
+		}
+	}
+	if _, ok := p.Mgmt(0); ok {
+		t.Fatal("budget of 2 fired a third time")
+	}
+	if p.Injected() != 2 || p.Fired(MgmtDelay) != 2 {
+		t.Fatalf("accounting: injected=%d fired=%d", p.Injected(), p.Fired(MgmtDelay))
+	}
+}
+
+func TestWorkerAfterGate(t *testing.T) {
+	p := New(Spec{Rules: []Rule{{Kind: WorkerCrash, Worker: 3, After: 100}}})
+	if _, _, ok := p.Worker(3, 99, WorkerCrash); ok {
+		t.Fatal("fired before After")
+	}
+	if _, _, ok := p.Worker(2, 200, WorkerCrash); ok {
+		t.Fatal("fired for wrong worker")
+	}
+	if _, _, ok := p.Worker(3, 100, WorkerCrash); !ok {
+		t.Fatal("did not fire at After")
+	}
+}
+
+func TestConcurrentBudgetNeverOverfires(t *testing.T) {
+	p := New(Spec{Rules: []Rule{{Kind: DropWakeup, Count: 100}}})
+	var wg sync.WaitGroup
+	hits := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if p.DropWakeup() {
+					hits[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	if total != 100 {
+		t.Fatalf("budget 100 fired %d times under contention", total)
+	}
+}
+
+func TestScenarioDeterministicAndShaped(t *testing.T) {
+	a := Scenario(42, 3, 2, 4, 256, 8)
+	b := Scenario(42, 3, 2, 4, 256, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different scenarios")
+	}
+	c := Scenario(43, 3, 2, 4, 256, 8)
+	if reflect.DeepEqual(a.Rules, c.Rules) {
+		t.Fatal("different seeds produced identical scenarios")
+	}
+	for _, r := range a.Rules {
+		if r.Job < 0 || r.Job >= 2 || r.Phase < 0 || r.Phase >= 4 ||
+			r.Granule >= 256 || r.Worker < 0 || r.Worker >= 8 {
+			t.Fatalf("rule out of shape: %+v", r)
+		}
+	}
+	// Sweep many seeds: at most one crash per campaign, never with < 3
+	// workers.
+	for seed := uint64(0); seed < 200; seed++ {
+		sp := Scenario(seed, 4, 2, 4, 256, 2)
+		for _, r := range sp.Rules {
+			if r.Kind == WorkerCrash {
+				t.Fatalf("seed %d dealt a crash with 2 workers", seed)
+			}
+		}
+		sp = Scenario(seed, 6, 2, 4, 256, 8)
+		crashes := 0
+		for _, r := range sp.Rules {
+			if r.Kind == WorkerCrash {
+				crashes++
+			}
+		}
+		if crashes > 1 {
+			t.Fatalf("seed %d dealt %d crashes", seed, crashes)
+		}
+	}
+}
+
+func TestParseFlag(t *testing.T) {
+	seed, rules, err := ParseFlag("seed=7")
+	if err != nil || seed != 7 || rules != 2 {
+		t.Fatalf("seed=7: got (%d,%d,%v)", seed, rules, err)
+	}
+	seed, rules, err = ParseFlag("seed=9,rules=5")
+	if err != nil || seed != 9 || rules != 5 {
+		t.Fatalf("seed=9,rules=5: got (%d,%d,%v)", seed, rules, err)
+	}
+	for _, bad := range []string{"", "rules=3", "seed=x", "seed=1,bogus=2"} {
+		if _, _, err := ParseFlag(bad); err == nil {
+			t.Fatalf("ParseFlag(%q) accepted", bad)
+		}
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	p := New(Spec{Rules: []Rule{{Kind: WorkerWedge, Worker: -1}}})
+	select {
+	case <-p.Release():
+		t.Fatal("released before ReleaseAll")
+	default:
+	}
+	p.ReleaseAll()
+	p.ReleaseAll()
+	select {
+	case <-p.Release():
+	default:
+		t.Fatal("not released after ReleaseAll")
+	}
+}

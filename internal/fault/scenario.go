@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// splitmix64 is the scenario generator's PRNG step: tiny, seedable, and
+// identical on every platform, so a seed names the same campaign
+// everywhere (the same generator the workload package idiom uses).
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// scenarioKinds is the pool Scenario draws from. WorkerCrash is handled
+// separately (capacity loss is only survivable with workers to spare).
+var scenarioKinds = []Kind{
+	GrainPanic, GrainError, GrainStall, GrainSlow,
+	WorkerWedge, WorkerSlow, MgmtDelay, DropWakeup,
+}
+
+// Scenario derives a deterministic Spec of n rules from seed, shaped to
+// a run of `jobs` jobs × `phases` phases × `granules` granules per phase
+// on `workers` workers. The same (seed, shape) yields the same campaign
+// on every platform and backend. At most one WorkerCrash is dealt, and
+// only when at least 3 workers leave capacity to absorb it.
+func Scenario(seed uint64, n, jobs, phases, granules, workers int) Spec {
+	if n <= 0 {
+		n = 1
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	if phases < 1 {
+		phases = 1
+	}
+	if granules < 1 {
+		granules = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	x := seed ^ 0xda942042e4dd58b5
+	sp := Spec{Seed: seed}
+	crashed := false
+	for len(sp.Rules) < n {
+		r := Rule{
+			Job:     int(splitmix64(&x) % uint64(jobs)),
+			Phase:   int(splitmix64(&x) % uint64(phases)),
+			Granule: uint32(splitmix64(&x) % uint64(granules)),
+			Worker:  int(splitmix64(&x) % uint64(workers)),
+			Count:   1,
+		}
+		pick := splitmix64(&x)
+		if !crashed && workers >= 3 && pick%11 == 0 {
+			r.Kind = WorkerCrash
+			crashed = true
+		} else {
+			r.Kind = scenarioKinds[pick%uint64(len(scenarioKinds))]
+		}
+		switch r.Kind {
+		case GrainStall, WorkerWedge, MgmtDelay:
+			r.Delay = int64(1024 + splitmix64(&x)%uint64(8192))
+		case GrainSlow:
+			r.Factor = int64(2 + splitmix64(&x)%6)
+		case WorkerSlow:
+			r.Factor = int64(2 + splitmix64(&x)%3)
+			r.Count = 1 << 20 // a slow worker stays slow
+		case DropWakeup:
+			r.Count = int(1 + splitmix64(&x)%2)
+		}
+		sp.Rules = append(sp.Rules, r)
+	}
+	return sp
+}
+
+// ParseFlag parses the CLI campaign syntax: "seed=N[,rules=K]". It
+// returns the seed and rule count (default 2) for Scenario.
+func ParseFlag(s string) (seed uint64, rules int, err error) {
+	rules = 2
+	seen := false
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return 0, 0, fmt.Errorf("fault: bad -faults term %q (want key=value)", part)
+		}
+		switch k {
+		case "seed":
+			seed, err = strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return 0, 0, fmt.Errorf("fault: bad seed %q: %w", v, err)
+			}
+			seen = true
+		case "rules":
+			rules, err = strconv.Atoi(v)
+			if err != nil || rules < 1 {
+				return 0, 0, fmt.Errorf("fault: bad rules count %q", v)
+			}
+		default:
+			return 0, 0, fmt.Errorf("fault: unknown -faults key %q (want seed, rules)", k)
+		}
+	}
+	if !seen {
+		return 0, 0, fmt.Errorf("fault: -faults needs seed=N")
+	}
+	return seed, rules, nil
+}

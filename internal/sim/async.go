@@ -1,6 +1,9 @@
 package sim
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/fault"
+)
 
 // This file is the Async management model: the Dedicated model (a
 // separate executive processor beside all P workers) extended with the
@@ -127,6 +130,10 @@ func (s *state) asyncService(now int64, force bool) {
 // stamped with the task's production time (a worker's idle ends when a
 // task exists for it, not when the server's lane frees).
 func (s *state) wakeAsync() {
+	if s.parkedN > 0 && s.plan != nil && s.plan.DropWakeup() {
+		s.noteFault(s.serverFree, -1, fault.DropWakeup)
+		return
+	}
 	avail := len(s.aready)
 	i := 0
 	for w := 0; w < s.workers && i < avail; w++ {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/executive"
+	"repro/internal/fault"
 	"repro/internal/trace"
 )
 
@@ -44,6 +45,18 @@ type JobSpec struct {
 	// Weight is the job's share of home workers and backfill credit
 	// (<= 0 selects 1).
 	Weight int
+	// Deadline is the job's virtual-time budget (<= 0 = none): a job not
+	// done by t=Deadline is aborted AT the deadline with an error
+	// wrapping context.DeadlineExceeded; co-tenants keep running.
+	Deadline int64
+	// Retry is how many times an injected grain failure (panic or error)
+	// restarts the job on a fresh scheduler. Deadline aborts never
+	// retry.
+	Retry int
+	// Backoff is the base restart delay in virtual units, doubled on
+	// each further attempt and capped at 64× base (0 = restart
+	// immediately).
+	Backoff int64
 }
 
 // JobResult aggregates one job's outcome within a multi-program run.
@@ -61,6 +74,13 @@ type JobResult struct {
 	HomeWorkers int
 	// Sched is the job's scheduler statistics.
 	Sched core.Stats
+	// Err is the job's terminal error (nil = completed): an injected
+	// failure that exhausted its retries, or a deadline abort (test with
+	// errors.Is(err, context.DeadlineExceeded)). A failed job's Makespan
+	// is the time it was retired.
+	Err error
+	// Attempts counts schedule attempts (1 = never retried).
+	Attempts int
 }
 
 // MultiResult aggregates a multi-program run.
@@ -85,6 +105,13 @@ type MultiResult struct {
 	// BatchChanges counts the pool-wide adaptive controller's parameter
 	// changes (Adaptive model with Options.AdaptiveBatch on any job).
 	BatchChanges int
+	// Faults counts injected fault firings (Config.Faults); Retries
+	// counts job restarts.
+	Faults  int64
+	Retries int64
+	// MaxBackfillTask is the largest backfill dispatch in granules — the
+	// measured bound Config.PreemptBound caps.
+	MaxBackfillTask int
 	// Jobs holds the per-job results in submission order.
 	Jobs []JobResult
 }
@@ -115,6 +142,17 @@ type mjob struct {
 	backfill int64
 	homeAt0  int
 
+	// Failure state (see faults.go): the resolved options retries
+	// re-create the scheduler from, the attempt generation completion
+	// events must match to be believed (a failure bumps it, orphaning the
+	// dead attempt's in-flight work), the attempt count, the remaining
+	// retry budget, and the terminal error.
+	opt         core.Options
+	attempt     int64
+	attempts    int
+	retriesLeft int
+	err         error
+
 	// Async model state: the job's slice of the shared dedicated server's
 	// ready buffer (tasks already pulled from this job's scheduler, each
 	// stamped with its production time), the completions queued behind the
@@ -136,6 +174,10 @@ type mjob struct {
 // Asks carry the issuing generation of their worker: a parked worker
 // woken for time T can be re-woken for an earlier T' by another job's
 // release, and the superseded ask must then die when it surfaces.
+// Completions carry their job's ATTEMPT generation instead: a job
+// failure bumps it, and the dead attempt's in-flight completions are
+// dropped when they surface (the worker is freed, the result
+// discarded).
 type mitem struct {
 	at     int64
 	seq    int64
@@ -145,6 +187,7 @@ type mitem struct {
 	job    int
 	task   core.Task
 	dur    int64 // completed task's compute cost (isDone only)
+	fail   error // injected grain failure carried by this completion
 }
 
 // The queue holding mitems is the typed 4-ary mqueue in heap.go, ordered
@@ -243,11 +286,18 @@ func RunMultiContext(ctx context.Context, jobs []JobSpec, cfg Config) (*MultiRes
 		if opt.Workers <= 0 {
 			opt.Workers = workers
 		}
+		opt = capGrain(spec.Prog, opt, cfg.PreemptBound)
 		sched, err := core.New(spec.Prog, opt)
 		if err != nil {
 			return failEarly(fmt.Errorf("sim: job %q: %w", spec.Name, err))
 		}
-		s.jobs = append(s.jobs, &mjob{spec: spec, sched: sched})
+		s.jobs = append(s.jobs, &mjob{
+			spec: spec, sched: sched,
+			opt: opt, attempts: 1, retriesLeft: spec.Retry,
+		})
+		if spec.Deadline > 0 {
+			s.hasDeadline = true
+		}
 		totalGranules += int64(spec.Prog.TotalGranules())
 		totalCost += int64(spec.Prog.TotalCost())
 	}
@@ -273,6 +323,11 @@ func RunMultiContext(ctx context.Context, jobs []JobSpec, cfg Config) (*MultiRes
 	if cfg.Mgmt == Adaptive {
 		s.madaptiveInit(cfg, totalCost)
 	}
+	if cfg.Faults != nil {
+		s.plan = fault.New(*cfg.Faults)
+	}
+	s.crashed = make([]bool, workers)
+	s.livew = workers
 
 	maxOps := cfg.MaxOps
 	if maxOps <= 0 {
@@ -374,6 +429,17 @@ type mstate struct {
 	doneUnits    int64 // compute of tasks whose completion event was served
 	mgmtUnits    int64
 	lastDone     int64
+
+	// Fault injection and tenancy state (see faults.go): the compiled
+	// campaign (nil = off), retired workers and the live floor, whether
+	// any job carries a deadline, the retry count, and the measured
+	// PreemptBound bound.
+	plan            *fault.Plan
+	crashed         []bool
+	livew           int
+	hasDeadline     bool
+	retries         int64
+	maxBackfillTask int
 }
 
 // syncReady refreshes job j's cached ready/deferred state and the global
@@ -641,6 +707,11 @@ func (s *mstate) wake(at int64) {
 	if avail <= 0 {
 		return
 	}
+	if s.plan != nil && s.plan.DropWakeup() {
+		// The wakeup vanishes; the run loop's queue-empty probe re-wakes.
+		s.noteFault(at, -1, -1, fault.DropWakeup)
+		return
+	}
 	// Walk only the parked workers, in ascending order — the order the
 	// old full scan visited them — via the bitset.
 	for wi := 0; wi < len(s.parkedB.words) && avail > 0; wi++ {
@@ -720,6 +791,12 @@ func (s *mstate) run(maxOps int64) error {
 			}
 		}
 
+		// Deadline enforcement: a deadlined job is failed exactly AT its
+		// deadline once no queued event could finish it in time.
+		if s.hasDeadline && s.checkDeadlines() {
+			continue
+		}
+
 		// Idle executive moment (nothing due before the management
 		// resource frees up): absorb one deferred management item from
 		// the first unfinished job that has any (deterministic order).
@@ -748,6 +825,33 @@ func (s *mstate) run(maxOps int64) error {
 
 		if have {
 			it := s.queue.pop()
+			if it.isDone {
+				j := s.jobs[it.job]
+				if j.done || it.gen != j.attempt {
+					// Orphaned completion of a retired or restarted
+					// attempt: the result is discarded, the worker is
+					// freed to ask again.
+					s.push(mitem{at: it.at, proc: it.proc, gen: s.askGen[it.proc]})
+					continue
+				}
+				if it.fail != nil {
+					// The completion carries an injected grain failure:
+					// retry the job or retire it; co-tenants keep running.
+					s.failJob(it.job, it.at, it.proc, it.fail, true)
+					continue
+				}
+				if s.plan != nil {
+					// A management-delay fault withholds this completion's
+					// submission to the executive: the event re-queues
+					// Delay later (the rule's budget bounds the re-queues).
+					if d, ok := s.plan.Mgmt(it.job); ok {
+						s.noteFault(it.at, it.proc, it.job, fault.MgmtDelay)
+						it.at += d
+						s.push(it)
+						continue
+					}
+				}
+			}
 			// One chokepoint records EVERY model's completions (the model
 			// handlers below diverge), before the scheduler absorbs the
 			// event — so dispatches it enables carry larger Seqs.
@@ -801,6 +905,19 @@ func (s *mstate) run(maxOps int64) error {
 		if alldone {
 			return nil
 		}
+		// Dropped-wakeup recovery: ready work with every worker parked and
+		// nothing queued means a wake was injected away — re-wake (the
+		// DropWakeup budget bounds repeats; maxOps guards the rest).
+		if s.plan != nil && s.parkedN > 0 {
+			avail := s.readyTotal
+			if s.model == Async {
+				avail += s.bufferedN
+			}
+			if avail > 0 {
+				s.wake(s.serverFree)
+				continue
+			}
+		}
 		return fmt.Errorf("sim: multi run stalled at t=%d: queue empty, jobs incomplete", s.serverFree)
 	}
 }
@@ -815,6 +932,9 @@ func (s *mstate) run(maxOps int64) error {
 func (s *mstate) serveAsk(req mitem) {
 	if !s.beginAsk(req) {
 		return
+	}
+	if s.plan != nil && s.maybeCrash(req.proc, req.at) {
+		return // the worker is retired: its ask dies, it never asks again
 	}
 	at := req.at
 	home := s.homes[req.proc]
@@ -851,6 +971,11 @@ func (s *mstate) serveAsk(req mitem) {
 func (s *mstate) dispatch(worker, ji int, backfill bool, task core.Task, at int64) {
 	j := s.jobs[ji]
 	dur := int64(j.sched.TaskCost(task))
+	var lag int64 // completion-event delay (stuck grain / wedged worker)
+	var fail error
+	if s.plan != nil {
+		dur, lag, fail = s.inject(worker, ji, task, at, dur)
+	}
 	if s.tr != nil {
 		s.tr.Record(trace.KDispatch, at, int32(worker), int32(ji),
 			int32(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), dur)
@@ -864,11 +989,14 @@ func (s *mstate) dispatch(worker, ji int, backfill bool, task core.Task, at int6
 	j.compute += dur
 	if backfill {
 		j.backfill += dur
+		if n := task.Run.Len(); n > s.maxBackfillTask {
+			s.maxBackfillTask = n
+		}
 	}
-	if end > s.workerFree[worker] {
-		s.workerFree[worker] = end
+	if end+lag > s.workerFree[worker] {
+		s.workerFree[worker] = end + lag
 	}
-	s.push(mitem{at: end, isDone: true, proc: worker, job: ji, task: task, dur: dur})
+	s.push(mitem{at: end + lag, isDone: true, proc: worker, gen: j.attempt, job: ji, task: task, dur: dur, fail: fail})
 }
 
 func (s *mstate) completeTask(req mitem) {
@@ -985,6 +1113,9 @@ func (s *mstate) result() *MultiResult {
 			res.BatchChanges = s.tuner.Changes()
 		}
 	}
+	res.Faults = s.plan.Injected()
+	res.Retries = s.retries
+	res.MaxBackfillTask = s.maxBackfillTask
 	for _, j := range s.jobs {
 		res.BackfillUnits += j.backfill
 		res.Jobs = append(res.Jobs, JobResult{
@@ -994,6 +1125,8 @@ func (s *mstate) result() *MultiResult {
 			BackfillUnits: j.backfill,
 			HomeWorkers:   j.homeAt0,
 			Sched:         j.sched.Stats(),
+			Err:           j.err,
+			Attempts:      j.attempts,
 		})
 	}
 	if makespan > 0 {

@@ -165,6 +165,12 @@ func (s *mstate) madaptiveAsk(req mitem) {
 	if !s.beginAsk(req) {
 		return
 	}
+	// The crash hook defers while the shard holds tasks (they are not
+	// re-queueable) and flushes the completion batch before retiring the
+	// worker, so no work is stranded.
+	if s.plan != nil && s.maybeCrash(req.proc, req.at) {
+		return
+	}
 	sh := &s.mab[req.proc]
 	if sh.next < len(sh.tasks) {
 		// Local shard pop: no management charge.

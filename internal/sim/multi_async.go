@@ -147,6 +147,9 @@ func (s *mstate) masyncAsk(req mitem) {
 	if !s.beginAsk(req) {
 		return
 	}
+	if s.plan != nil && s.maybeCrash(req.proc, req.at) {
+		return // the worker is retired: its ask dies, it never asks again
+	}
 	at := req.at
 	home := s.homes[req.proc]
 	reopen := int64(-1)

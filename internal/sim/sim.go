@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/executive"
+	"repro/internal/fault"
 	"repro/internal/granule"
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -148,6 +149,19 @@ type Config struct {
 	// the loop's deterministic serve order (equal-tick ordering contract:
 	// see internal/sim/trace.go). Both Run and RunMulti honor it.
 	Trace *trace.Recorder
+	// Faults is the seeded fault-injection campaign (nil = off). A fresh
+	// fault.Plan is compiled per run — Plans are stateful — and consulted
+	// at the same chokepoints the real backends use, so identical Specs
+	// yield bit-identical virtual outcomes. Both Run and RunMulti honor
+	// it.
+	Faults *fault.Spec
+	// PreemptBound caps every job's task grain at this many granules —
+	// the bounded-degradation contract: a home job emerging from rundown
+	// waits at most one PreemptBound-sized grain for any in-flight
+	// foreign task. <= 0 leaves the grain at the job's own setting (or
+	// the core default). MultiResult.MaxBackfillTask reports the measured
+	// bound.
+	PreemptBound int
 }
 
 // PhaseTrace describes one phase's schedule within a run.
@@ -220,6 +234,7 @@ type event struct {
 	task core.Task
 	proc int
 	dur  int64
+	fail error // injected grain failure carried by this completion
 }
 
 // request is a unit of work for the serial management server.
@@ -265,6 +280,7 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 	if opt.Workers <= 0 {
 		opt.Workers = workers
 	}
+	opt = capGrain(prog, opt, cfg.PreemptBound)
 	sched, err := core.New(prog, opt)
 	if err != nil {
 		return failEarly(err)
@@ -312,6 +328,11 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 	if cfg.Trace != nil {
 		s.tr = bindTrace(cfg.Trace, cfg.Mgmt, workers, prog)
 	}
+	if cfg.Faults != nil {
+		s.plan = fault.New(*cfg.Faults)
+	}
+	s.crashed = make([]bool, workers)
+	s.livew = workers
 	for i, ph := range prog.Phases {
 		s.phases[i] = PhaseTrace{Name: ph.Name, Start: -1, End: -1, RundownStart: -1}
 	}
@@ -431,6 +452,13 @@ type state struct {
 
 	phases    []PhaseTrace
 	phaseDone []bool
+
+	// Fault injection (see faults.go): the compiled campaign (nil =
+	// injection off — one branch per chokepoint), retired workers, and
+	// the live-worker floor the crash hook maintains.
+	plan    *fault.Plan
+	crashed []bool
+	livew   int
 }
 
 // chargeMgmt charges cost units of executive time for a request involving
@@ -549,6 +577,11 @@ func (s *state) wake(at int64) {
 	if avail <= 0 {
 		return
 	}
+	if s.plan != nil && s.plan.DropWakeup() {
+		// The wakeup vanishes; the run loop's queue-empty probe re-wakes.
+		s.noteFault(at, -1, fault.DropWakeup)
+		return
+	}
 	for wi := 0; wi < len(s.parkedB.words) && avail > 0; wi++ {
 		word := s.parkedB.words[wi]
 		for word != 0 && avail > 0 {
@@ -620,6 +653,24 @@ func (s *state) run(maxOps int64) error {
 
 		if haveEvent {
 			ev := s.events.pop()
+			if s.plan != nil {
+				// A management-delay fault withholds this completion's
+				// submission to the executive; the event re-queues Delay
+				// later (the rule's budget bounds the re-queues).
+				if d, ok := s.plan.Mgmt(0); ok {
+					s.noteFault(ev.at, ev.proc, fault.MgmtDelay)
+					ev.at += d
+					s.seq++
+					ev.seq = s.seq
+					s.events.push(ev)
+					continue
+				}
+			}
+			if ev.fail != nil {
+				// An injected grain failure: with one program there is no
+				// co-tenant to isolate it from — the run fails.
+				return ev.fail
+			}
 			s.reqs.push(request{at: ev.at, proc: ev.proc, isDone: true, task: ev.task, dur: ev.dur})
 			continue
 		}
@@ -635,6 +686,23 @@ func (s *state) run(maxOps int64) error {
 		if s.sched.Done() {
 			return nil
 		}
+		// Dropped-wakeup recovery: ready work with every worker parked and
+		// nothing queued means a wake was injected away — re-wake (the
+		// DropWakeup budget bounds repeats; maxOps guards the rest).
+		if s.plan != nil && s.parkedN > 0 {
+			avail := s.sched.ReadyTasks()
+			if s.model == Async {
+				avail += len(s.aready)
+			}
+			if avail > 0 {
+				if s.model == Async {
+					s.wakeAsync()
+				} else {
+					s.wake(s.serverFree)
+				}
+				continue
+			}
+		}
 		return fmt.Errorf("sim: stalled at t=%d phase=%d: no events, no requests, scheduler not done",
 			s.serverFree, s.sched.CurrentPhase())
 	}
@@ -644,6 +712,9 @@ func (s *state) serveRequest(req request) {
 	if req.isDone {
 		s.completeTask(req)
 		return
+	}
+	if s.plan != nil && s.maybeCrash(req.proc, req.at) {
+		return // the worker is retired: its ask dies, it never asks again
 	}
 	if s.model == Adaptive {
 		s.adaptiveAsk(req)
@@ -787,13 +858,18 @@ func (s *state) maybeRetune(now int64) {
 
 func (s *state) dispatch(worker int, task core.Task, at int64) {
 	dur := int64(s.sched.TaskCost(task))
+	var lag int64 // completion-event delay (stuck grain / wedged worker)
+	var fail error
+	if s.plan != nil {
+		dur, lag, fail = s.inject(worker, task, at, dur)
+	}
 	if s.tr != nil {
 		s.tr.Record(trace.KDispatch, at, int32(worker), 0,
 			int32(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), dur)
 	}
 	end := at + dur
 	s.computeUnits += dur
-	s.workerFree[worker] = end
+	s.workerFree[worker] = end + lag
 	s.tl.AddBusy(worker, at, end)
 	if s.gantt != nil {
 		label := rune('A' + int(task.Phase)%26)
@@ -810,7 +886,7 @@ func (s *state) dispatch(worker int, task core.Task, at int64) {
 		s.phases[cur].OverlapUnits += dur
 	}
 	s.seq++
-	s.events.push(event{at: end, seq: s.seq, task: task, proc: worker, dur: dur})
+	s.events.push(event{at: end + lag, seq: s.seq, task: task, proc: worker, dur: dur, fail: fail})
 }
 
 func (s *state) completeTask(req request) {

@@ -125,7 +125,7 @@ func TestPoolAbortSparesCompletedUnretiredJobs(t *testing.T) {
 	// have been retired by a worker sweep at this point; Abort must treat
 	// both states as "finished".
 	deadline := time.Now().Add(5 * time.Second)
-	for !j.mgr.Done() {
+	for !j.driver().Done() {
 		if time.Now().After(deadline) {
 			t.Fatal("job never completed")
 		}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/executive"
 )
 
 // This file is the cross-job dispatch policy. Two decisions live here:
@@ -46,27 +47,31 @@ func (p *Pool) home(w int, c *homeCache) *Job {
 
 // sweep makes one pass over the dispatch policy for worker w: home job
 // first, then the backfill candidates in policy order. ok=false means
-// nothing was dispatchable anywhere at sweep time.
-func (p *Pool) sweep(w int, c *homeCache) (j *Job, t core.Task, backfill, ok bool) {
+// nothing was dispatchable anywhere at sweep time. The returned driver
+// is the one the task was taken from — the worker completes to it, even
+// if a retry swaps the job's current driver in the meantime.
+func (p *Pool) sweep(w int, c *homeCache) (j *Job, m executive.PoolDriver, t core.Task, backfill, ok bool) {
 	home := p.home(w, c)
 	if home != nil {
-		if t, ok := home.mgr.TryNext(w); ok {
+		hm := home.driver()
+		if t, ok := hm.TryNext(w); ok {
 			p.gen.Add(1)
-			return home, t, false, true
+			return home, hm, t, false, true
 		}
 		p.checkFinished(home)
 	}
 	for _, cand := range p.backfillPlan(home) {
-		if t, ok := cand.mgr.TryNext(w); ok {
+		cm := cand.driver()
+		if t, ok := cm.TryNext(w); ok {
 			p.mu.Lock()
 			cand.deficit -= int64(t.Run.Len())
 			p.mu.Unlock()
 			p.gen.Add(1)
-			return cand, t, true, true
+			return cand, cm, t, true, true
 		}
 		p.checkFinished(cand)
 	}
-	return nil, core.Task{}, false, false
+	return nil, nil, core.Task{}, false, false
 }
 
 // backfillPlan snapshots the backfill candidates for a worker homed on

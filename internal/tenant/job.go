@@ -15,9 +15,14 @@ type Job struct {
 	cfg  JobConfig
 	idx  int
 
-	prog  *core.Program
+	prog *core.Program
+	opt  core.Options // retained so a retry can recompile the scheduler
+	// sched and mgrv belong to the job's current ATTEMPT: a retry swaps
+	// in a fresh scheduler+manager pair. sched is swapped under pool.mu
+	// (read racily only by the stall probe, also under pool.mu); the
+	// driver is an atomic so workers and timers read it lock-free.
 	sched *core.Scheduler
-	mgr   executive.PoolDriver
+	mgrv  atomic.Value // executive.PoolDriver
 
 	// deficit is the job's deficit-round-robin backfill credit in
 	// granules, guarded by pool.mu.
@@ -28,12 +33,36 @@ type Job struct {
 	backfillTasks   atomic.Int64 // tasks run by foreign-home workers
 	backfillCompute atomic.Int64
 
+	// attempts counts scheduler instantiations (1 = no retry yet);
+	// retriesLeft is guarded by pool.mu; retrying marks the backoff
+	// window between a failed attempt and its restart; mgmtPrior
+	// accumulates dead attempts' management nanoseconds.
+	attempts    atomic.Int32
+	retriesLeft int
+	retrying    atomic.Bool
+	mgmtPrior   atomic.Int64
+	// lastTouch is the UnixNano of the job's last dispatch or completion
+	// submission — the watchdog's wedge signal.
+	lastTouch atomic.Int64
+	// deadline is the job's deadline timer (nil without one), stopped
+	// when the job finishes. Guarded by pool.mu.
+	deadline *time.Timer
+
 	submitted time.Time
 	finished  atomic.Bool
 	end       time.Time // guarded by pool.mu until done is closed
 	err       error     // guarded by pool.mu until done is closed
 	done      chan struct{}
 }
+
+// driver returns the job's current attempt's manager.
+func (j *Job) driver() executive.PoolDriver {
+	return j.mgrv.Load().(executive.PoolDriver)
+}
+
+// Attempts reports how many times the job's scheduler was instantiated:
+// 1 plus the number of retries taken so far.
+func (j *Job) Attempts() int { return int(j.attempts.Load()) }
 
 // Name returns the job's label.
 func (j *Job) Name() string { return j.cfg.Name }
@@ -52,14 +81,15 @@ func (j *Job) Wait() (*executive.Report, error) {
 	// An async manager's management goroutine may still be winding down
 	// for a moment after the job is retired; join it so the scheduler
 	// statistics read below are quiescent.
-	if jn, ok := j.mgr.(executive.Joiner); ok {
+	m := j.driver()
+	if jn, ok := m.(executive.Joiner); ok {
 		jn.Join()
 	}
 	rep := &executive.Report{
 		Manager: j.pool.cfg.Manager,
 		Wall:    j.end.Sub(j.submitted),
 		Compute: time.Duration(j.compute.Load()),
-		Mgmt:    j.mgr.Mgmt(),
+		Mgmt:    m.Mgmt() + time.Duration(j.mgmtPrior.Load()),
 		Tasks:   j.tasks.Load(),
 		Sched:   j.sched.Stats(),
 	}

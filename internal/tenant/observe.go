@@ -56,7 +56,7 @@ func (p *Pool) snapshot() Snapshot {
 	for _, j := range jobs {
 		sn.Tasks += j.tasks.Load()
 		sn.Compute += time.Duration(j.compute.Load())
-		sn.Mgmt += j.mgr.Mgmt()
+		sn.Mgmt += j.driver().Mgmt() + time.Duration(j.mgmtPrior.Load())
 	}
 	if sn.Elapsed > 0 {
 		capacity := float64(p.cfg.Workers) * float64(sn.Elapsed)

@@ -453,9 +453,11 @@ func TestPoolStallDetector(t *testing.T) {
 	}
 	j := &Job{
 		pool: p, cfg: JobConfig{Name: "wedged", Weight: 1},
-		prog: prog, sched: sched, mgr: &stallDriver{},
+		prog: prog, sched: sched,
 		done: make(chan struct{}), submitted: time.Now(),
 	}
+	j.mgrv.Store(executive.PoolDriver(&stallDriver{}))
+	j.attempts.Store(1)
 	p.mu.Lock()
 	p.jobs = append(p.jobs, j)
 	p.active = append(p.active, j)

@@ -31,8 +31,17 @@ type Report struct {
 	BackfillCompute time.Duration
 	// BackfillShare is BackfillCompute / Compute (0 when Compute is 0).
 	BackfillShare float64
+	// MaxBackfillTask is the largest backfill task observed, in granules —
+	// the measured enforcement of Config.PreemptBound (0 when no task was
+	// backfilled).
+	MaxBackfillTask int64
 	// Utilization is Compute / (Workers * Wall).
 	Utilization float64
+	// Faults is the number of injected faults that fired (0 without a
+	// fault campaign).
+	Faults int64
+	// Retries counts job attempt restarts across the pool's lifetime.
+	Retries int64
 }
 
 func (r *Report) String() string {
@@ -51,10 +60,13 @@ func (p *Pool) report() *Report {
 		Idle:            time.Duration(p.idleNS.Load()),
 		BackfillTasks:   p.backfillTasks.Load(),
 		BackfillCompute: time.Duration(p.backfillCompute.Load()),
+		MaxBackfillTask: p.maxBackfillTask.Load(),
+		Faults:          p.plan.Injected(),
+		Retries:         p.retries.Load(),
 	}
 	for _, j := range p.jobs {
 		r.Compute += time.Duration(j.compute.Load())
-		r.Mgmt += j.mgr.Mgmt()
+		r.Mgmt += j.driver().Mgmt() + time.Duration(j.mgmtPrior.Load())
 		r.Tasks += j.tasks.Load()
 	}
 	if r.Compute > 0 {

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/executive"
+	"repro/internal/fault"
 	"repro/internal/granule"
 	"repro/internal/trace"
 )
@@ -72,6 +73,31 @@ type Config struct {
 	// job a task belongs to — into per-worker rings with no
 	// synchronization; merge with Recorder.Take after Close.
 	Trace *trace.Recorder
+	// MaxActive is the admission high-water mark: at most this many jobs
+	// run concurrently (0 = unlimited). A Submit above the mark fails with
+	// ErrPoolSaturated, or queues when Queue is set; queued jobs activate
+	// in submit order as active jobs finish.
+	MaxActive int
+	// Queue makes a saturated Submit enqueue the job instead of rejecting
+	// it. Ignored without MaxActive.
+	Queue bool
+	// PreemptBound caps every job's task grain at this many granules: the
+	// largest non-preemptible unit any worker can hold, bounding how long
+	// a job emerging from rundown waits behind an in-flight foreign grain
+	// (0 = no cap). Report.MaxBackfillTask measures the enforcement.
+	PreemptBound int
+	// StallTimeout arms the pool watchdog: a job with tasks in flight and
+	// no dispatch or completion for this long is failed as wedged (and
+	// retried if it has retries left), and each watchdog tick re-wakes
+	// parked workers — the recovery path for a dropped wakeup. 0 selects a
+	// default when Faults is set and disables the watchdog otherwise;
+	// negative always disables it.
+	StallTimeout time.Duration
+	// Faults, when non-nil, arms deterministic fault injection: the same
+	// Spec the simulator prices in virtual time strikes the pool's real
+	// goroutines at the matching chokepoints (Rule.After is wall-clock
+	// nanoseconds since pool start; delays are bounded by fault.Sleep).
+	Faults *fault.Spec
 }
 
 // JobConfig describes one submitted job.
@@ -85,6 +111,17 @@ type JobConfig struct {
 	// Weight is the job's share of home workers and of backfill credit
 	// within its priority class (<= 0 selects 1).
 	Weight int
+	// Deadline bounds the job's submit-to-finish wall time (0 = none). A
+	// job past its deadline is aborted — only that job — with an error
+	// wrapping context.DeadlineExceeded; queue wait under admission
+	// control counts against it. Deadline aborts never retry.
+	Deadline time.Duration
+	// Retry is how many times a failed attempt (work error, panic, wedge)
+	// restarts on a fresh scheduler before the error sticks (0 = none).
+	Retry int
+	// Backoff is the base delay before the first retry; each further
+	// retry doubles it, capped at 64× (0 = retry immediately).
+	Backoff time.Duration
 }
 
 // Pool is a shared worker pool running several jobs concurrently. Workers
@@ -96,9 +133,14 @@ type Pool struct {
 	cond    *sync.Cond
 	jobs    []*Job // every submitted job, submit order
 	active  []*Job // incomplete jobs, submit order
+	waitq   []*Job // admitted-but-queued jobs (admission control), submit order
 	homes   []*Job // per-worker home job; nil entries when no active jobs
 	closed  bool
 	stalled int // jobs failed by the pool stall detector
+	// retryWait counts jobs between attempts (backoff timer pending).
+	// Workers must not exit — and Close must not join them — while a
+	// retry is outstanding, even with the active set empty.
+	retryWait int
 
 	// epoch bumps (under mu) whenever the active set changes, so workers
 	// can cache their home job and re-read only on change.
@@ -118,9 +160,25 @@ type Pool struct {
 	sampler  *executive.Sampler // non-nil when an Observer samples the pool
 	obsFinal atomic.Bool        // Final snapshot emitted (first Close wins)
 
+	// plan is the compiled fault campaign (nil when Config.Faults is nil:
+	// one nil check per task on the fault-free hot path).
+	plan *fault.Plan
+	// watchStop/watchDone bracket the watchdog goroutine; watchOn gates
+	// fault kinds (dropped wakeups, unbounded wedges) that need the
+	// watchdog to recover.
+	watchStop chan struct{}
+	watchDone chan struct{}
+	watchOn   bool
+
+	closeOnce sync.Once
+	closeRep  *Report
+	closeErr  error
+
 	idleNS          atomic.Int64
 	backfillTasks   atomic.Int64
 	backfillCompute atomic.Int64
+	retries         atomic.Int64
+	maxBackfillTask atomic.Int64
 }
 
 // NewPool starts cfg.Workers worker goroutines and returns the pool,
@@ -150,6 +208,19 @@ func NewPool(cfg Config) (*Pool, error) {
 	if cfg.Observer != nil {
 		p.startObserver()
 	}
+	if cfg.Faults != nil {
+		p.plan = fault.New(*cfg.Faults)
+	}
+	timeout := cfg.StallTimeout
+	if timeout == 0 && p.plan != nil {
+		timeout = defaultStallTimeout
+	}
+	if timeout > 0 {
+		p.watchOn = true
+		p.watchStop = make(chan struct{})
+		p.watchDone = make(chan struct{})
+		go p.watchdog(timeout)
+	}
 	p.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		go p.worker(w)
@@ -157,13 +228,16 @@ func NewPool(cfg Config) (*Pool, error) {
 	return p, nil
 }
 
-// Submit adds a job to the pool and activates it immediately. opt.Workers
-// defaults to the pool's worker count (it only informs the scheduler's
-// grain and subset defaults).
+// Submit adds a job to the pool and activates it immediately — unless
+// admission control is at its high-water mark, in which case the job is
+// rejected (ErrPoolSaturated) or queued. opt.Workers defaults to the
+// pool's worker count (it only informs the scheduler's grain and subset
+// defaults); Config.PreemptBound caps the resulting task grain.
 func (p *Pool) Submit(prog *core.Program, opt core.Options, jc JobConfig) (*Job, error) {
 	if opt.Workers <= 0 {
 		opt.Workers = p.cfg.Workers
 	}
+	opt = capTenantGrain(prog, opt, p.cfg.PreemptBound)
 	sched, err := core.New(prog, opt)
 	if err != nil {
 		return nil, err
@@ -194,56 +268,92 @@ func (p *Pool) Submit(prog *core.Program, opt core.Options, jc JobConfig) (*Job,
 		jc.Weight = 1
 	}
 	j := &Job{
-		pool: p, cfg: jc, prog: prog, sched: sched, mgr: mgr,
+		pool: p, cfg: jc, prog: prog, opt: opt, sched: sched,
 		done: make(chan struct{}), submitted: time.Now(),
 	}
+	j.mgrv.Store(mgr)
+	j.attempts.Store(1)
+	j.retriesLeft = jc.Retry
 
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return nil, fmt.Errorf("tenant: pool is closed")
+		return nil, fmt.Errorf("tenant: submit %q: %w", jc.Name, ErrPoolClosed)
 	}
 	j.idx = len(p.jobs)
 	if j.cfg.Name == "" {
 		j.cfg.Name = fmt.Sprintf("job%d", j.idx)
 	}
+	if p.cfg.MaxActive > 0 && len(p.active) >= p.cfg.MaxActive && !p.cfg.Queue {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("tenant: submit %q: %d jobs active: %w",
+			j.cfg.Name, p.cfg.MaxActive, ErrPoolSaturated)
+	}
 	if rec := p.cfg.Trace; rec != nil {
 		// Job names accumulate in submit order, matching the Job column of
 		// the records (mutated under p.mu, read only after Close).
 		rec.Meta().Jobs = append(rec.Meta().Jobs, j.cfg.Name)
-		rec.Emit(trace.KStart, rec.Now(), -1, int32(j.idx), -1, 0, 0, 0)
 	}
-	mgr.Start()
 	p.jobs = append(p.jobs, j)
-	p.active = append(p.active, j)
-	p.rebalanceLocked()
+	if p.cfg.MaxActive > 0 && len(p.active) >= p.cfg.MaxActive {
+		// Admitted but queued: the manager starts when a slot frees.
+		p.waitq = append(p.waitq, j)
+	} else {
+		p.activateLocked(j)
+	}
+	// The deadline clock starts at Submit — queue wait under admission
+	// control counts against it.
+	if d := jc.Deadline; d > 0 {
+		j.deadline = time.AfterFunc(d, func() { p.deadlineFire(j) })
+	}
 	p.mu.Unlock()
 
 	p.progress()
 	return j, nil
 }
 
-// Close marks the pool as accepting no more jobs, lets every submitted
-// job run to completion, joins the workers, and returns the pool report.
-// The error is the first job error in submit order, if any.
-func (p *Pool) Close() (*Report, error) {
-	p.mu.Lock()
-	p.closed = true
-	p.cond.Broadcast()
-	p.mu.Unlock()
-	p.wg.Wait()
-	p.end = time.Now()
-
-	var firstErr error
-	for _, j := range p.jobs {
-		if j.err != nil {
-			firstErr = fmt.Errorf("tenant: job %q: %w", j.cfg.Name, j.err)
-			break
-		}
+// activateLocked starts job j's manager and puts it in the active set.
+// Caller holds p.mu.
+func (p *Pool) activateLocked(j *Job) {
+	if rec := p.cfg.Trace; rec != nil {
+		rec.Emit(trace.KStart, rec.Now(), -1, int32(j.idx), -1, 0, 0, 0)
 	}
-	rep := p.report()
-	p.stopObserver(rep)
-	return rep, firstErr
+	j.driver().Start()
+	j.lastTouch.Store(time.Now().UnixNano())
+	p.active = append(p.active, j)
+	p.rebalanceLocked()
+}
+
+// Close marks the pool as accepting no more jobs, lets every submitted
+// job run to completion (including queued jobs and pending retries),
+// joins the workers, and returns the pool report. The error is the first
+// job error in submit order, if any. Close is idempotent and safe to
+// call concurrently with Submit and Abort: every call returns the same
+// report and error.
+func (p *Pool) Close() (*Report, error) {
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		// Release every injected wedge: captive workers submit their
+		// withheld completions (dropped if their attempt was already
+		// failed) and rejoin the loop, so teardown never hangs on a fault.
+		p.plan.ReleaseAll()
+		p.wg.Wait()
+		p.stopWatchdog()
+		p.end = time.Now()
+
+		for _, j := range p.jobs {
+			if j.err != nil {
+				p.closeErr = fmt.Errorf("tenant: job %q: %w", j.cfg.Name, j.err)
+				break
+			}
+		}
+		p.closeRep = p.report()
+		p.stopObserver(p.closeRep)
+	})
+	return p.closeRep, p.closeErr
 }
 
 // Abort fails every active job with err (finished jobs keep their
@@ -255,6 +365,19 @@ func (p *Pool) Close() (*Report, error) {
 func (p *Pool) Abort(err error) {
 	p.mu.Lock()
 	jobs := append([]*Job(nil), p.active...)
+	// Queued and backing-off jobs have no running manager to abort; they
+	// retire directly. An abort is final — pending retries are cancelled
+	// (their backoff timers fire into a finished job and stand down).
+	for _, j := range p.jobs {
+		if j.retrying.Load() && !j.finished.Load() {
+			p.finishJobLocked(j, err)
+		}
+	}
+	for len(p.waitq) > 0 {
+		j := p.waitq[0]
+		p.waitq = p.waitq[1:]
+		p.finishJobLocked(j, err)
+	}
 	p.mu.Unlock()
 	// Manager aborts happen outside p.mu: each takes its own manager
 	// lock, and the async manager's notify path re-enters the pool.
@@ -264,13 +387,12 @@ func (p *Pool) Abort(err error) {
 		// job executed fully — perhaps retired by no worker sweep yet —
 		// and keeps its results instead of being poisoned with the abort
 		// error. The refusal reads back as Err() == nil.
-		j.mgr.Abort(err)
-		if merr := j.mgr.Err(); merr == nil {
+		m := j.driver()
+		m.Abort(err)
+		if merr := m.Err(); merr == nil {
 			p.checkFinished(j)
 		} else {
-			p.mu.Lock()
-			p.finishJobLocked(j, merr)
-			p.mu.Unlock()
+			p.failJob(j, m, merr, false)
 		}
 	}
 	p.progress()
@@ -282,28 +404,33 @@ func (p *Pool) Abort(err error) {
 func (p *Pool) worker(w int) {
 	defer p.wg.Done()
 	var cache homeCache
-	var last *Job // job of the previous task; batch flushed on job switch
+	// The previous task's job AND the driver it was taken from: after a
+	// retry swaps a fresh manager into the job, this worker's batched
+	// completions still belong to the old (aborted) attempt and must be
+	// flushed there, where the post-failure gate drops them.
+	var last *Job
+	var lastMgr executive.PoolDriver
 	for {
 		g0 := p.gen.Load()
-		j, task, backfill, ok := p.sweep(w, &cache)
+		j, m, task, backfill, ok := p.sweep(w, &cache)
 		if ok {
-			if last != nil && last != j {
+			if lastMgr != nil && lastMgr != m {
 				// The previous job's completions must not linger in this
 				// worker's batch while it works elsewhere: a job's final
 				// completions would otherwise wait for this worker's next
 				// dry sweep, stretching that job's observed makespan.
-				if last.mgr.Flush(w) {
+				if lastMgr.Flush(w) {
 					p.checkFinished(last)
 					p.progress()
 				}
 			}
-			last = j
-			p.runTask(w, j, task, backfill)
+			last, lastMgr = j, m
+			p.runTask(w, j, m, task, backfill)
 			continue
 		}
 		// Dry sweep: every active job's TryNext flushed this worker's
 		// batch and found nothing dispatchable.
-		last = nil
+		last, lastMgr = nil, nil
 		if p.park(w, g0) {
 			return
 		}
@@ -311,9 +438,12 @@ func (p *Pool) worker(w int) {
 }
 
 // runTask executes task for job j outside every lock, then submits the
-// completion to j's manager. Panics in user work fail the job, not the
-// pool.
-func (p *Pool) runTask(w int, j *Job, task core.Task, backfill bool) {
+// completion to m — the driver the task was taken from, which after a
+// retry may no longer be j's current one (the stale completion is then
+// dropped at the aborted manager's gate). Panics in user work fail the
+// job, not the pool; a failed attempt with retries left restarts.
+func (p *Pool) runTask(w int, j *Job, m executive.PoolDriver, task core.Task, backfill bool) {
+	j.lastTouch.Store(time.Now().UnixNano())
 	var ring *trace.Ring
 	if rec := p.cfg.Trace; rec != nil {
 		ring = rec.Ring(w)
@@ -325,16 +455,23 @@ func (p *Pool) runTask(w int, j *Job, task core.Task, backfill bool) {
 		}
 	}
 	work := j.prog.Phases[task.Phase].Work
+	var tf taskFaults
+	if p.plan != nil {
+		p.injectTask(w, j, task, &work, &tf)
+	}
 	c0 := time.Now()
-	err := execTask(work, task)
+	err := tf.err
+	if err == nil {
+		err = execTask(work, task)
+		if err == nil && tf.factor > 1 {
+			stretchCompute(time.Since(c0), tf.factor)
+		}
+	}
 	dur := time.Since(c0)
 
 	if err != nil {
-		j.mgr.Abort(err)
-		p.mu.Lock()
-		p.finishJobLocked(j, err)
-		p.mu.Unlock()
-		p.progress()
+		m.Abort(err)
+		p.failJob(j, m, err, true)
 		return
 	}
 	j.compute.Add(int64(dur))
@@ -344,6 +481,16 @@ func (p *Pool) runTask(w int, j *Job, task core.Task, backfill bool) {
 		j.backfillCompute.Add(int64(dur))
 		p.backfillTasks.Add(1)
 		p.backfillCompute.Add(int64(dur))
+		n := int64(task.Run.Len())
+		for {
+			cur := p.maxBackfillTask.Load()
+			if n <= cur || p.maxBackfillTask.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+	if p.plan != nil {
+		p.holdCompletion(w, j, &tf)
 	}
 	// Recorded BEFORE the completion is submitted to management, so any
 	// dispatch it enables carries a larger Seq (the causal edge replay
@@ -352,12 +499,13 @@ func (p *Pool) runTask(w int, j *Job, task core.Task, backfill bool) {
 		ring.Record(trace.KComplete, p.cfg.Trace.Now(), int32(w), int32(j.idx),
 			int32(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), int64(dur))
 	}
+	j.lastTouch.Store(time.Now().UnixNano())
 	// A completion that only joined the worker's local batch cannot have
 	// released successor work or finished the job, so parked workers are
 	// only woken when the batch was actually applied — without this,
 	// every batched completion would broadcast the pool awake during
 	// rundown, defeating the point of completion batching.
-	if j.mgr.Complete(w, task) {
+	if m.Complete(w, task) {
 		p.checkFinished(j)
 		p.progress()
 	}
@@ -384,6 +532,15 @@ func execTask(work core.WorkFn, task core.Task) (err error) {
 func (p *Pool) progress() {
 	p.gen.Add(1)
 	if p.nWaiting.Load() > 0 {
+		// An injected dropped wakeup suppresses exactly this broadcast;
+		// the watchdog's periodic re-wake is the recovery path, so the
+		// fault is only consumed while the watchdog is armed.
+		if p.plan != nil && p.watchOn && p.plan.DropWakeup() {
+			if rec := p.cfg.Trace; rec != nil {
+				rec.Emit(trace.KFault, rec.Now(), -1, -1, -1, 0, 0, int64(fault.DropWakeup))
+			}
+			return
+		}
 		p.mu.Lock()
 		p.cond.Broadcast()
 		p.mu.Unlock()
@@ -402,7 +559,7 @@ func (p *Pool) progress() {
 func (p *Pool) park(w int, g0 uint64) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed && len(p.active) == 0 {
+	if p.closed && len(p.active) == 0 && len(p.waitq) == 0 && p.retryWait == 0 {
 		p.cond.Broadcast()
 		return true
 	}
@@ -417,11 +574,12 @@ func (p *Pool) park(w int, g0 uint64) bool {
 		// unfinished job with nothing in flight can never make progress —
 		// a true stall. Fail those jobs; the pool itself survives.
 		for _, j := range append([]*Job(nil), p.active...) {
-			if j.mgr.InFlight() == 0 {
+			m := j.driver()
+			if m.InFlight() == 0 {
 				err := fmt.Errorf("tenant: job %q stalled at phase %d: all pool workers idle, nothing in flight",
 					j.cfg.Name, j.sched.CurrentPhase())
-				j.mgr.Abort(err)
-				if merr := j.mgr.Err(); merr == nil {
+				m.Abort(err)
+				if merr := m.Err(); merr == nil {
 					// The manager refused the abort: the job's final
 					// completion landed (async drain) between the dry
 					// sweep and this probe — it finished, it did not
@@ -452,16 +610,23 @@ func (p *Pool) park(w int, g0 uint64) bool {
 }
 
 // checkFinished retires j when its state machine has completed or its
-// manager recorded an error (completion-processing panic, abort).
+// manager recorded an error (completion-processing panic, abort). A job
+// between attempts is left alone: its current driver is the dead
+// attempt's, and the retry owns its fate.
 func (p *Pool) checkFinished(j *Job) {
-	if j.finished.Load() {
+	if j.finished.Load() || j.retrying.Load() {
 		return
 	}
-	err := j.mgr.Err()
-	if err == nil && !j.mgr.Done() {
+	m := j.driver()
+	err := m.Err()
+	if err == nil && !m.Done() {
 		return
 	}
 	p.mu.Lock()
+	if j.retrying.Load() {
+		p.mu.Unlock()
+		return
+	}
 	p.finishJobLocked(j, err)
 	p.mu.Unlock()
 }
@@ -476,6 +641,9 @@ func (p *Pool) finishJobLocked(j *Job, err error) {
 	j.finished.Store(true)
 	j.end = time.Now()
 	j.err = err
+	if j.deadline != nil {
+		j.deadline.Stop()
+	}
 	if rec := p.cfg.Trace; rec != nil {
 		k := trace.KFinish
 		if err != nil {
@@ -488,6 +656,12 @@ func (p *Pool) finishJobLocked(j *Job, err error) {
 			p.active = append(p.active[:i], p.active[i+1:]...)
 			break
 		}
+	}
+	// The freed slot admits queued jobs in submit order.
+	for len(p.waitq) > 0 && (p.cfg.MaxActive <= 0 || len(p.active) < p.cfg.MaxActive) {
+		next := p.waitq[0]
+		p.waitq = p.waitq[1:]
+		p.activateLocked(next)
 	}
 	p.rebalanceLocked()
 	close(j.done)

@@ -77,6 +77,17 @@ const (
 	// iteration then processes (see §"ordering" in DESIGN.md), pinned by
 	// the trace-order golden test.
 	KMark
+	// KFault records an injected fault firing (internal/fault): Arg is
+	// the fault.Kind, Proc/Job/Phase/[Lo,Hi) locate the victim where the
+	// fault has one. Appended after KMark so pre-fault binary traces
+	// replay unchanged.
+	KFault
+	// KRetry records a job restarting after a retryable failure: Job is
+	// the retried job, Arg the attempt number just begun (2 = first
+	// retry). Granules completed by earlier attempts re-run, so per-job
+	// conservation holds from the LAST KRetry onward (Trace.FilterJob
+	// cuts there).
+	KRetry
 )
 
 var kindNames = [...]string{
@@ -93,6 +104,8 @@ var kindNames = [...]string{
 	KAbort:        "abort",
 	KFinish:       "finish",
 	KMark:         "mark",
+	KFault:        "fault",
+	KRetry:        "retry",
 }
 
 func (k Kind) String() string {
@@ -332,6 +345,43 @@ func (t *Trace) Span() (start, end int64) {
 		}
 	}
 	return start, end
+}
+
+// FilterJob extracts one job's schedule from a multi-job trace as a
+// single-job trace replayable with sim.Replay: only the job's dispatch,
+// completion, backfill, steal, fault and lifecycle events survive, and
+// Meta.Jobs shrinks to the one name. Events before the job's LAST KRetry
+// are dropped — a retried job re-runs from a fresh scheduler, so only the
+// final attempt is a complete, conserved schedule. Machine-wide events
+// (parks, marks, the run's own start/finish) are dropped; Meta.Phases is
+// kept only for job 0, whose program it describes.
+func (t *Trace) FilterJob(job int) *Trace {
+	cut := -1
+	for i, e := range t.Events {
+		if e.Kind == KRetry && int(e.Job) == job {
+			cut = i
+		}
+	}
+	out := &Trace{Meta: t.Meta}
+	out.Meta.Jobs = nil
+	if job >= 0 && job < len(t.Meta.Jobs) {
+		out.Meta.Jobs = []string{t.Meta.Jobs[job]}
+	}
+	if job != 0 {
+		out.Meta.Phases = nil
+	}
+	for i, e := range t.Events {
+		if i <= cut || int(e.Job) != job {
+			continue
+		}
+		switch e.Kind {
+		case KDispatch, KComplete, KBackfill, KStealWin,
+			KStart, KFinish, KAbort, KFault:
+			e.Job = 0
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
 }
 
 // Procs reports the processor count: Meta.Workers when set, otherwise

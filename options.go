@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/executive"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/tenant"
 	"repro/internal/trace"
@@ -42,6 +43,15 @@ type runnerConfig struct {
 
 	traceOn bool
 	traceW  io.Writer // nil = capture in Report.Trace only
+
+	faults       *fault.Spec
+	deadline     time.Duration // default per-job deadline (Job.Deadline overrides)
+	retry        int           // default per-job retry budget (Job.Retry overrides)
+	backoff      time.Duration // default retry backoff base (Job.Backoff overrides)
+	maxActive    int
+	queue        bool
+	stallTimeout time.Duration
+	preemptBound int
 
 	// Native-observer passthroughs for the legacy wrappers (Execute,
 	// NewPool), which accept backend-native snapshot callbacks in their
@@ -200,6 +210,93 @@ func WithTrace(w io.Writer) Option {
 	}
 }
 
+// WithFaults arms deterministic fault injection: the campaign's rules
+// strike at the same logical chokepoints on every backend — priced in
+// virtual time, bounded wall-clock effects on real goroutines — so
+// recovery behaviour (retries, deadlines, stall detection) can be
+// exercised on demand. Identical specs produce bit-identical virtual
+// outcomes; see FaultSpec and FaultScenario.
+func WithFaults(spec FaultSpec) Option {
+	return func(c *runnerConfig) error {
+		c.faults = &spec
+		return nil
+	}
+}
+
+// WithDeadline sets a default per-job deadline: a job not finished this
+// long after submission is aborted — only that job — with an error
+// wrapping context.DeadlineExceeded. Job.Deadline overrides it per job.
+// Honored by pool-backed runs and virtual RunAll (one virtual unit per
+// nanosecond); single-job goroutine runs enforce it through the run
+// context. Virtual single-program runs ignore deadlines.
+func WithDeadline(d time.Duration) Option {
+	return func(c *runnerConfig) error {
+		if d < 0 {
+			return fmt.Errorf("rundown: WithDeadline needs a non-negative duration")
+		}
+		c.deadline = d
+		return nil
+	}
+}
+
+// WithRetry sets a default per-job retry policy: a job whose attempt
+// fails (work error, panic, injected fault, wedge) restarts on a fresh
+// scheduler up to n times, waiting backoff before the first retry and
+// doubling it per further retry (capped at 64×). Deadline aborts and
+// run cancellation never retry. Job.Retry / Job.Backoff override it per
+// job. Honored by pool-backed runs and virtual RunAll.
+func WithRetry(n int, backoff time.Duration) Option {
+	return func(c *runnerConfig) error {
+		if n < 0 {
+			return fmt.Errorf("rundown: WithRetry needs a non-negative count")
+		}
+		c.retry = n
+		c.backoff = backoff
+		return nil
+	}
+}
+
+// WithAdmission arms pool admission control: at most maxActive jobs run
+// concurrently. A Submit (or RunAll job) above the mark fails with an
+// error wrapping ErrPoolSaturated — or, with queue set, waits its turn
+// in submit order. Deadlines keep running while a job queues.
+func WithAdmission(maxActive int, queue bool) Option {
+	return func(c *runnerConfig) error {
+		if maxActive < 1 {
+			return fmt.Errorf("rundown: WithAdmission needs maxActive >= 1")
+		}
+		c.maxActive = maxActive
+		c.queue = queue
+		return nil
+	}
+}
+
+// WithPreemptBound caps every job's task grain at n granules — the
+// largest non-preemptible unit a worker can hold, bounding how long a
+// co-tenant emerging from rundown waits behind an in-flight foreign
+// grain. PoolReport.MaxBackfillTask (and the virtual MultiResult's
+// MaxBackfillTask) measure the enforcement.
+func WithPreemptBound(n int) Option {
+	return func(c *runnerConfig) error {
+		if n < 1 {
+			return fmt.Errorf("rundown: WithPreemptBound needs n >= 1")
+		}
+		c.preemptBound = n
+		return nil
+	}
+}
+
+// WithStallTimeout arms the pool watchdog: a job with tasks in flight
+// and no progress for d is failed as wedged (and retried if it has
+// retries left). Negative d disables the watchdog even under WithFaults
+// (which otherwise arms a default). Only pool-backed runs consult it.
+func WithStallTimeout(d time.Duration) Option {
+	return func(c *runnerConfig) error {
+		c.stallTimeout = d
+		return nil
+	}
+}
+
 // newRecorder builds a fresh flight recorder for one run (nil when
 // tracing is off). A recorder is per-run, never per-Runner: two Runs of
 // the same Runner must not interleave their events.
@@ -305,6 +402,7 @@ func (c *runnerConfig) execConfig() executive.Config {
 		ReadyCap: c.readyCap,
 		LowWater: c.lowWater,
 		Adaptive: c.adaptive,
+		Faults:   c.faults,
 	}
 	if c.adaptive {
 		cfg.MgmtTarget = c.mgmtTarget
@@ -339,12 +437,17 @@ func (c *runnerConfig) execConfig() executive.Config {
 // poolConfig builds the tenant pool configuration for shared runs.
 func (c *runnerConfig) poolConfig() tenant.Config {
 	cfg := tenant.Config{
-		Workers:  c.workers,
-		Manager:  c.manager,
-		DequeCap: c.dequeCap,
-		Batch:    c.batch,
-		ReadyCap: c.readyCap,
-		LowWater: c.lowWater,
+		Workers:      c.workers,
+		Manager:      c.manager,
+		DequeCap:     c.dequeCap,
+		Batch:        c.batch,
+		ReadyCap:     c.readyCap,
+		LowWater:     c.lowWater,
+		Faults:       c.faults,
+		MaxActive:    c.maxActive,
+		Queue:        c.queue,
+		StallTimeout: c.stallTimeout,
+		PreemptBound: c.preemptBound,
 	}
 	if c.rawPoolObs != nil {
 		cfg.Observer = c.rawPoolObs
@@ -400,5 +503,34 @@ func (c *runnerConfig) simConfig() sim.Config {
 	if c.observeEvery > 0 {
 		cfg.ObserveEvery = c.observeEvery
 	}
+	if c.faults != nil {
+		cfg.Faults = c.faults
+	}
+	if c.preemptBound > 0 {
+		cfg.PreemptBound = c.preemptBound
+	}
 	return cfg
+}
+
+// jobDeadline, jobRetry and jobBackoff resolve a job's failure policy:
+// the Job field when set, the Runner default otherwise.
+func (c *runnerConfig) jobDeadline(job Job) time.Duration {
+	if job.Deadline > 0 {
+		return job.Deadline
+	}
+	return c.deadline
+}
+
+func (c *runnerConfig) jobRetry(job Job) int {
+	if job.Retry > 0 {
+		return job.Retry
+	}
+	return c.retry
+}
+
+func (c *runnerConfig) jobBackoff(job Job) time.Duration {
+	if job.Backoff > 0 {
+		return job.Backoff
+	}
+	return c.backoff
 }

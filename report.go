@@ -56,6 +56,19 @@ type Job struct {
 	// Weight is the job's share of home workers and backfill credit in
 	// shared runs (<= 0 selects 1). Ignored by single-job runs.
 	Weight int
+	// Deadline bounds the job's submit-to-finish time (0 inherits the
+	// Runner's WithDeadline default; both 0 = none). A job past its
+	// deadline is aborted — only that job — with an error wrapping
+	// context.DeadlineExceeded. Virtual runs count one unit per
+	// nanosecond; virtual single-program runs ignore deadlines.
+	Deadline time.Duration
+	// Retry is how many times a failed attempt restarts on a fresh
+	// scheduler (0 inherits WithRetry's default). Honored by pool-backed
+	// and virtual RunAll runs.
+	Retry int
+	// Backoff is the base delay before the first retry, doubled per
+	// further retry and capped at 64× (0 inherits WithRetry's default).
+	Backoff time.Duration
 }
 
 // JobReport is one job's outcome within a RunAll.
@@ -72,6 +85,9 @@ type JobReport struct {
 	// jobs: tasks on real backends, virtual compute units on the virtual
 	// backend.
 	Backfill int64
+	// Attempts counts scheduler instantiations: 1 plus the retries the
+	// job took (0 on backends without retry support).
+	Attempts int
 }
 
 // Report is the unified result of a Runner.Run or Runner.RunAll: one
@@ -100,6 +116,10 @@ type Report struct {
 	// MgmtRatio is the paper's computation-to-management ratio (0 when no
 	// management time was recorded).
 	MgmtRatio float64
+	// Faults counts injected fault firings (WithFaults runs; 0 otherwise).
+	Faults int64
+	// Retries counts job attempt restarts across the run.
+	Retries int64
 
 	// Sim is the single-program virtual result (VirtualBackend Run).
 	Sim *SimResult

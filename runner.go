@@ -117,12 +117,25 @@ type execBackend struct {
 func (b *execBackend) Kind() BackendKind { return ExecBackend }
 
 func (b *execBackend) Run(ctx context.Context, job Job) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A single-job goroutine run enforces the deadline through its run
+	// context: the executive aborts at the next dispatch boundary with an
+	// error wrapping context.DeadlineExceeded.
+	if d := b.c.jobDeadline(job); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
 	rec := b.c.newRecorder()
 	cfg := b.c.execConfig()
 	cfg.Trace = rec
 	rep, err := executive.RunContext(ctx, job.Prog, b.c.jobOpt(job), cfg)
 	if err != nil {
-		return nil, err
+		// Every failure names the job it killed, and cancellation or
+		// deadline errors keep wrapping ctx.Err() through this layer.
+		return nil, fmt.Errorf("rundown: job %q: %w", jobName(job, 0), err)
 	}
 	out := &Report{
 		Backend:     ExecBackend,
@@ -201,6 +214,9 @@ func (b *poolBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error) {
 	for i, job := range jobs {
 		h, err := pool.Submit(job.Prog, b.c.jobOpt(job), tenant.JobConfig{
 			Name: jobName(job, i), Priority: job.Priority, Weight: job.Weight,
+			Deadline: b.c.jobDeadline(job),
+			Retry:    b.c.jobRetry(job),
+			Backoff:  b.c.jobBackoff(job),
 		})
 		if err != nil {
 			submitErr := fmt.Errorf("rundown: job %q: %w", jobName(job, i), err)
@@ -231,6 +247,7 @@ func (b *poolBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error) {
 		jr, jerr := h.Wait()
 		rep.Jobs = append(rep.Jobs, JobReport{
 			Name: jobName(jobs[i], i), Err: jerr, Exec: jr, Backfill: h.BackfillTasks(),
+			Attempts: h.Attempts(),
 		})
 		if jerr != nil && firstErr == nil {
 			firstErr = fmt.Errorf("rundown: job %q: %w", jobName(jobs[i], i), jerr)
@@ -243,6 +260,8 @@ func (b *poolBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error) {
 	rep.Tasks = poolRep.Tasks
 	rep.Wall = poolRep.Wall
 	rep.Utilization = poolRep.Utilization
+	rep.Faults = poolRep.Faults
+	rep.Retries = poolRep.Retries
 	if poolRep.Mgmt > 0 {
 		rep.MgmtRatio = float64(poolRep.Compute) / float64(poolRep.Mgmt)
 	}
@@ -299,6 +318,11 @@ func (b *virtualBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error
 		specs[i] = sim.JobSpec{
 			Name: jobName(job, i), Prog: job.Prog, Opt: b.c.jobOpt(job),
 			Priority: job.Priority, Weight: job.Weight,
+			// One virtual unit per nanosecond keeps the same Job spec
+			// meaningful on both clocks.
+			Deadline: int64(b.c.jobDeadline(job)),
+			Retry:    b.c.jobRetry(job),
+			Backoff:  int64(b.c.jobBackoff(job)),
 		}
 	}
 	res, err := sim.RunMultiContext(ctx, specs, cfg)
@@ -314,16 +338,28 @@ func (b *virtualBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error
 		Utilization: res.Utilization,
 		SimMulti:    res,
 	}
+	rep.Faults = res.Faults
+	rep.Retries = res.Retries
+	var firstErr error
 	for i := range res.Jobs {
 		j := &res.Jobs[i]
 		rep.Tasks += j.Sched.Dispatches
-		rep.Jobs = append(rep.Jobs, JobReport{Name: j.Name, Sim: j, Backfill: j.BackfillUnits})
+		rep.Jobs = append(rep.Jobs, JobReport{
+			Name: j.Name, Err: j.Err, Sim: j, Backfill: j.BackfillUnits,
+			Attempts: j.Attempts,
+		})
+		if j.Err != nil && firstErr == nil {
+			// Same contract as the pool backend: per-job failures land in
+			// Jobs, the first one (in submit order) is also the returned
+			// error, and both the Report and the error are non-nil.
+			firstErr = fmt.Errorf("rundown: job %q: %w", j.Name, j.Err)
+		}
 	}
 	if res.MgmtUnits > 0 {
 		rep.MgmtRatio = float64(res.ComputeUnits) / float64(res.MgmtUnits)
 	}
-	if terr := b.c.finishTrace(rec, rep); terr != nil {
-		return rep, terr
+	if terr := b.c.finishTrace(rec, rep); terr != nil && firstErr == nil {
+		firstErr = terr
 	}
-	return rep, nil
+	return rep, firstErr
 }

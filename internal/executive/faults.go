@@ -107,7 +107,7 @@ func (e *engine) injectTask(w int, task core.Task, work *core.WorkFn, tf *taskFa
 		e.noteFault(w, fault.WorkerWedge)
 		tf.stall += d
 	}
-	k, d, f := e.plan.Grain(0, int(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi))
+	k, d, f := e.plan.Grain(0, int(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), at)
 	if k == 0 {
 		return
 	}
@@ -145,7 +145,7 @@ func (e *engine) beforeComplete(w int, tf *taskFaults) {
 	if tf.stall > 0 {
 		fault.Sleep(tf.stall)
 	}
-	if d, ok := e.plan.Mgmt(0); ok {
+	if d, ok := e.plan.Mgmt(0, e.sinceStart()); ok {
 		e.noteFault(w, fault.MgmtDelay)
 		fault.Sleep(d)
 	}

@@ -56,7 +56,9 @@ const (
 	// until the Plan is released (Pool.Close), so only a stall probe or
 	// deadline can fail the wedged job.
 	WorkerWedge
-	// WorkerSlow stretches every task the matched worker runs by ×Factor.
+	// WorkerSlow stretches every task the matched worker runs by ×Factor:
+	// the default budget is unlimited (a slow worker stays slow); set
+	// Count explicitly to bound the number of stretched tasks.
 	WorkerSlow
 	// MgmtDelay delays the matched job's next completion submission to
 	// management by Delay units.
@@ -100,14 +102,19 @@ type Rule struct {
 	Worker int
 	// After is the earliest firing time: virtual units in the simulator,
 	// nanoseconds since run start on real backends. Zero fires from the
-	// outset.
+	// outset. DropWakeup rules ignore After — they strike the next
+	// wakeup, whenever it comes.
 	After int64
 	// Delay is the stall/wedge/management-delay length in virtual units
 	// (real backends scale with Sleep).
 	Delay int64
-	// Factor is the GrainSlow/WorkerSlow stretch (values < 2 clamp to 2).
+	// Factor is the GrainSlow/WorkerSlow stretch (clamped to
+	// [2, MaxFactor] — grain and worker stretches compound on one
+	// dispatch, and an unbounded factor could overflow a virtual
+	// duration).
 	Factor int64
-	// Count is the firing budget; <= 0 means once.
+	// Count is the firing budget; <= 0 means once, except WorkerSlow,
+	// where it means unlimited.
 	Count int
 }
 
@@ -140,6 +147,17 @@ type Plan struct {
 	once    sync.Once
 }
 
+// MaxFactor caps a slow-fault stretch. GrainSlow and WorkerSlow factors
+// compound on one dispatch, so the cap keeps even a compounded stretch of
+// a large virtual duration far from int64 overflow (a wrapped negative
+// duration would push a completion behind its dispatch).
+const MaxFactor = 1 << 16
+
+// unbounded is the effectively-infinite firing budget of a default
+// WorkerSlow rule: consume decrements it, so it sits far below MaxInt64
+// yet beyond any realistic firing count.
+const unbounded = int64(1) << 62
+
 // New compiles spec into a fresh Plan. A nil return (empty spec) keeps
 // the disabled fast path a single nil check.
 func New(spec Spec) *Plan {
@@ -151,14 +169,25 @@ func New(spec Spec) *Plan {
 		release: make(chan struct{}),
 	}
 	for i, r := range spec.Rules {
-		if r.Count <= 0 {
-			r.Count = 1
+		if r.Kind == GrainSlow || r.Kind == WorkerSlow {
+			if r.Factor < 2 {
+				r.Factor = 2
+			}
+			if r.Factor > MaxFactor {
+				r.Factor = MaxFactor
+			}
 		}
-		if r.Factor < 2 && (r.Kind == GrainSlow || r.Kind == WorkerSlow) {
-			r.Factor = 2
+		left := int64(r.Count)
+		if r.Count <= 0 {
+			if r.Kind == WorkerSlow {
+				left = unbounded
+			} else {
+				r.Count = 1
+				left = 1
+			}
 		}
 		p.rules[i].Rule = r
-		p.rules[i].left.Store(int64(r.Count))
+		p.rules[i].left.Store(left)
 	}
 	return p
 }
@@ -176,9 +205,9 @@ func (p *Plan) consume(i int) bool {
 }
 
 // Grain consults the grain-level rules for a task covering granules
-// [lo, hi) of (job, phase). It returns the fired rule's kind (0 = no
-// fault), its Delay, and its Factor.
-func (p *Plan) Grain(job, phase int, lo, hi uint32) (Kind, int64, int64) {
+// [lo, hi) of (job, phase), dispatched at time at. It returns the fired
+// rule's kind (0 = no fault), its Delay, and its Factor.
+func (p *Plan) Grain(job, phase int, lo, hi uint32, at int64) (Kind, int64, int64) {
 	if p == nil {
 		return 0, 0, 0
 	}
@@ -196,6 +225,9 @@ func (p *Plan) Grain(job, phase int, lo, hi uint32) (Kind, int64, int64) {
 			continue
 		}
 		if r.Granule < lo || r.Granule >= hi {
+			continue
+		}
+		if at < r.After {
 			continue
 		}
 		if !p.consume(i) {
@@ -231,9 +263,9 @@ func (p *Plan) Worker(w int, at int64, k Kind) (int64, int64, bool) {
 	return 0, 0, false
 }
 
-// Mgmt consults the MgmtDelay rules for job. It returns the fired rule's
-// Delay.
-func (p *Plan) Mgmt(job int) (int64, bool) {
+// Mgmt consults the MgmtDelay rules for job's completion submitted at
+// time at. It returns the fired rule's Delay.
+func (p *Plan) Mgmt(job int, at int64) (int64, bool) {
 	if p == nil {
 		return 0, false
 	}
@@ -243,6 +275,9 @@ func (p *Plan) Mgmt(job int) (int64, bool) {
 			continue
 		}
 		if r.Job >= 0 && r.Job != job {
+			continue
+		}
+		if at < r.After {
 			continue
 		}
 		if !p.consume(i) {

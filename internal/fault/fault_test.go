@@ -8,13 +8,13 @@ import (
 
 func TestNilPlanIsInert(t *testing.T) {
 	var p *Plan
-	if k, _, _ := p.Grain(0, 0, 0, 10); k != 0 {
+	if k, _, _ := p.Grain(0, 0, 0, 10, 0); k != 0 {
 		t.Fatalf("nil plan fired grain fault %v", k)
 	}
 	if _, _, ok := p.Worker(0, 0, WorkerCrash); ok {
 		t.Fatal("nil plan fired worker fault")
 	}
-	if _, ok := p.Mgmt(0); ok {
+	if _, ok := p.Mgmt(0, 0); ok {
 		t.Fatal("nil plan fired mgmt fault")
 	}
 	if p.DropWakeup() {
@@ -39,18 +39,18 @@ func TestGrainKeysOnGranuleNotTask(t *testing.T) {
 	// same granule in another compile fires identically.
 	for _, r := range [][2]uint32{{0, 100}, {37, 38}} {
 		p := New(spec)
-		if k, _, _ := p.Grain(1, 2, r[0], r[1]); k != GrainError {
+		if k, _, _ := p.Grain(1, 2, r[0], r[1], 0); k != GrainError {
 			t.Fatalf("task [%d,%d) covering granule 37 did not fire", r[0], r[1])
 		}
 	}
 	p := New(spec)
-	if k, _, _ := p.Grain(1, 2, 38, 100); k != 0 {
+	if k, _, _ := p.Grain(1, 2, 38, 100, 0); k != 0 {
 		t.Fatal("task not covering granule 37 fired")
 	}
-	if k, _, _ := p.Grain(0, 2, 0, 100); k != 0 {
+	if k, _, _ := p.Grain(0, 2, 0, 100, 0); k != 0 {
 		t.Fatal("wrong job fired")
 	}
-	if k, _, _ := p.Grain(1, 1, 0, 100); k != 0 {
+	if k, _, _ := p.Grain(1, 1, 0, 100, 0); k != 0 {
 		t.Fatal("wrong phase fired")
 	}
 }
@@ -58,11 +58,11 @@ func TestGrainKeysOnGranuleNotTask(t *testing.T) {
 func TestCountBudget(t *testing.T) {
 	p := New(Spec{Rules: []Rule{{Kind: MgmtDelay, Job: -1, Delay: 5, Count: 2}}})
 	for i := 0; i < 2; i++ {
-		if d, ok := p.Mgmt(0); !ok || d != 5 {
+		if d, ok := p.Mgmt(0, 0); !ok || d != 5 {
 			t.Fatalf("firing %d: got (%d,%v)", i, d, ok)
 		}
 	}
-	if _, ok := p.Mgmt(0); ok {
+	if _, ok := p.Mgmt(0, 0); ok {
 		t.Fatal("budget of 2 fired a third time")
 	}
 	if p.Injected() != 2 || p.Fired(MgmtDelay) != 2 {
@@ -80,6 +80,57 @@ func TestWorkerAfterGate(t *testing.T) {
 	}
 	if _, _, ok := p.Worker(3, 100, WorkerCrash); !ok {
 		t.Fatal("did not fire at After")
+	}
+}
+
+func TestGrainMgmtAfterGate(t *testing.T) {
+	p := New(Spec{Rules: []Rule{
+		{Kind: GrainError, Job: -1, Phase: -1, Granule: 3, After: 100},
+		{Kind: MgmtDelay, Job: -1, Delay: 7, After: 100},
+	}})
+	if k, _, _ := p.Grain(0, 0, 0, 10, 99); k != 0 {
+		t.Fatal("grain rule fired before After")
+	}
+	if _, ok := p.Mgmt(0, 99); ok {
+		t.Fatal("mgmt rule fired before After")
+	}
+	if k, _, _ := p.Grain(0, 0, 0, 10, 100); k != GrainError {
+		t.Fatal("grain rule did not fire at After")
+	}
+	if d, ok := p.Mgmt(0, 100); !ok || d != 7 {
+		t.Fatal("mgmt rule did not fire at After")
+	}
+}
+
+func TestWorkerSlowDefaultIsPersistent(t *testing.T) {
+	p := New(Spec{Rules: []Rule{{Kind: WorkerSlow, Worker: 2, Factor: 3}}})
+	for i := 0; i < 1000; i++ {
+		if _, f, ok := p.Worker(2, 0, WorkerSlow); !ok || f != 3 {
+			t.Fatalf("firing %d: got (%d,%v), want persistent ×3", i, f, ok)
+		}
+	}
+	// An explicit Count still bounds the stretched tasks.
+	p = New(Spec{Rules: []Rule{{Kind: WorkerSlow, Worker: 2, Factor: 3, Count: 2}}})
+	for i := 0; i < 2; i++ {
+		if _, _, ok := p.Worker(2, 0, WorkerSlow); !ok {
+			t.Fatalf("bounded firing %d missed", i)
+		}
+	}
+	if _, _, ok := p.Worker(2, 0, WorkerSlow); ok {
+		t.Fatal("explicit Count of 2 fired a third time")
+	}
+}
+
+func TestFactorClamped(t *testing.T) {
+	p := New(Spec{Rules: []Rule{
+		{Kind: WorkerSlow, Worker: -1, Factor: 1 << 40},
+		{Kind: GrainSlow, Job: -1, Phase: -1, Granule: 0, Factor: 1 << 40},
+	}})
+	if _, f, ok := p.Worker(0, 0, WorkerSlow); !ok || f != MaxFactor {
+		t.Fatalf("worker factor = %d, want clamp to %d", f, MaxFactor)
+	}
+	if _, _, f := p.Grain(0, 0, 0, 10, 0); f != MaxFactor {
+		t.Fatalf("grain factor = %d, want clamp to %d", f, MaxFactor)
 	}
 }
 

@@ -70,7 +70,7 @@ func Scenario(seed uint64, n, jobs, phases, granules, workers int) Spec {
 			r.Factor = int64(2 + splitmix64(&x)%6)
 		case WorkerSlow:
 			r.Factor = int64(2 + splitmix64(&x)%3)
-			r.Count = 1 << 20 // a slow worker stays slow
+			r.Count = 0 // unlimited: a slow worker stays slow
 		case DropWakeup:
 			r.Count = int(1 + splitmix64(&x)%2)
 		}

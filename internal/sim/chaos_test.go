@@ -181,6 +181,46 @@ func TestChaosDeadlineAbortIsIsolated(t *testing.T) {
 	}
 }
 
+// TestChaosGenerousDeadlineNeverFires pins the deadline check's
+// empty-queue guard: a drained event queue is a normal, recoverable
+// state — Async routinely parks completions behind a busy server with
+// every worker idle, and the run loop's recovery branches regenerate
+// events from it — so a job whose deadline comfortably exceeds its real
+// makespan must never be spuriously aborted, fault-free and under seeded
+// campaigns alike.
+func TestChaosGenerousDeadlineNeverFires(t *testing.T) {
+	for _, model := range chaosModels {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			baseline, err := RunMulti(chaosJobs(t), Config{Procs: chaosProcs(model), Mgmt: model})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := uint64(0); seed <= 8; seed++ {
+				jobs := chaosJobs(t)
+				for i := range jobs {
+					jobs[i].Deadline = baseline.Makespan * 64
+				}
+				cfg := Config{Procs: chaosProcs(model), Mgmt: model}
+				if seed > 0 {
+					spec := fault.Scenario(seed, 4, 2, 4, 64, 8)
+					cfg.Faults = &spec
+				}
+				res, err := RunMulti(jobs, cfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, jr := range res.Jobs {
+					if errors.Is(jr.Err, context.DeadlineExceeded) {
+						t.Errorf("seed %d: job %q spuriously aborted against a 64x-makespan deadline: %v",
+							seed, jr.Name, jr.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestChaosRetrySucceeds pins the retry path: a one-shot injected grain
 // error fails the first attempt, the retry runs clean, and the job
 // completes with Attempts == 2 under every model.

@@ -68,6 +68,21 @@ func capGrain(prog *core.Program, opt core.Options, bound int) core.Options {
 	return opt
 }
 
+// satScale stretches dur by a slow-fault factor, saturating well below
+// int64 overflow: fault.New clamps each Factor, but worker and grain
+// stretches compound, and a wrapped negative duration would push a
+// completion behind its dispatch and corrupt the virtual timeline.
+func satScale(dur, factor int64) int64 {
+	const maxVirtual = int64(1) << 56
+	if dur <= 0 || factor <= 1 {
+		return dur
+	}
+	if dur >= maxVirtual/factor {
+		return maxVirtual
+	}
+	return dur * factor
+}
+
 // backoffDelay is the capped exponential retry backoff: the first retry
 // waits base, each further retry doubles it, capped at 64× base.
 func backoffDelay(base int64, attempts int) int64 {
@@ -102,16 +117,16 @@ func (s *state) inject(worker int, task core.Task, at, dur int64) (int64, int64,
 	var fail error
 	if _, f, ok := s.plan.Worker(worker, at, fault.WorkerSlow); ok {
 		s.noteFault(at, worker, fault.WorkerSlow)
-		dur *= f
+		dur = satScale(dur, f)
 	}
 	if d, _, ok := s.plan.Worker(worker, at, fault.WorkerWedge); ok {
 		s.noteFault(at, worker, fault.WorkerWedge)
 		lag += d
 	}
-	k, d, f := s.plan.Grain(0, int(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi))
+	k, d, f := s.plan.Grain(0, int(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), at)
 	switch k {
 	case fault.GrainSlow:
-		dur *= f
+		dur = satScale(dur, f)
 	case fault.GrainStall:
 		lag += d
 	case fault.GrainPanic:
@@ -183,16 +198,16 @@ func (s *mstate) inject(worker, ji int, task core.Task, at, dur int64) (int64, i
 	var fail error
 	if _, f, ok := s.plan.Worker(worker, at, fault.WorkerSlow); ok {
 		s.noteFault(at, worker, ji, fault.WorkerSlow)
-		dur *= f
+		dur = satScale(dur, f)
 	}
 	if d, _, ok := s.plan.Worker(worker, at, fault.WorkerWedge); ok {
 		s.noteFault(at, worker, ji, fault.WorkerWedge)
 		lag += d
 	}
-	k, d, f := s.plan.Grain(ji, int(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi))
+	k, d, f := s.plan.Grain(ji, int(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), at)
 	switch k {
 	case fault.GrainSlow:
-		dur *= f
+		dur = satScale(dur, f)
 	case fault.GrainStall:
 		lag += d
 	case fault.GrainPanic:
@@ -327,13 +342,53 @@ func (s *mstate) failJob(ji int, at int64, proc int, err error, retryable bool) 
 	}
 }
 
+// queueCanRefill reports whether a run-loop recovery branch can
+// regenerate events from an empty queue: deferred management work, Async
+// completions parked behind a busy server, or ready work a dropped
+// wakeup stranded behind parked workers. The conditions mirror the run
+// loop's recovery branches exactly — those branches run AFTER the
+// deadline check, so a true here guarantees the loop still makes
+// progress when the deadline check defers to it.
+func (s *mstate) queueCanRefill() bool {
+	if s.deferredN > 0 {
+		return true
+	}
+	if s.model == Async {
+		for _, j := range s.jobs {
+			if len(j.acomp) > 0 {
+				return true
+			}
+		}
+	}
+	if s.plan != nil && s.parkedN > 0 {
+		avail := s.readyTotal
+		if s.model == Async {
+			avail += s.bufferedN
+		}
+		if avail > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // checkDeadlines aborts every live job whose deadline has passed: a job
 // is failed exactly AT its deadline once no remaining event could finish
 // it in time (the next queued event lies beyond the deadline, or the
-// queue is empty). The abort wraps context.DeadlineExceeded and never
-// retries. It reports whether any job was aborted.
+// queue is truly dead). The abort wraps context.DeadlineExceeded and
+// never retries. It reports whether any job was aborted.
 func (s *mstate) checkDeadlines() bool {
 	next, have := s.queue.peekTime()
+	if !have && s.queueCanRefill() {
+		// An empty event queue is not the end of time: under Async,
+		// completions routinely park behind a busy server with every
+		// worker idle, and the run loop's recovery branches (deferred
+		// absorb, forced completion drain, dropped-wakeup re-wake)
+		// regenerate events from exactly this state. Defer to them — the
+		// regenerated event carries the real frontier, and the next pass
+		// fails any job it cannot save.
+		return false
+	}
 	fired := false
 	for ji, j := range s.jobs {
 		if j.done || j.spec.Deadline <= 0 {

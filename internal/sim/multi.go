@@ -844,7 +844,7 @@ func (s *mstate) run(maxOps int64) error {
 					// A management-delay fault withholds this completion's
 					// submission to the executive: the event re-queues
 					// Delay later (the rule's budget bounds the re-queues).
-					if d, ok := s.plan.Mgmt(it.job); ok {
+					if d, ok := s.plan.Mgmt(it.job, it.at); ok {
 						s.noteFault(it.at, it.proc, it.job, fault.MgmtDelay)
 						it.at += d
 						s.push(it)

@@ -657,7 +657,7 @@ func (s *state) run(maxOps int64) error {
 				// A management-delay fault withholds this completion's
 				// submission to the executive; the event re-queues Delay
 				// later (the rule's budget bounds the re-queues).
-				if d, ok := s.plan.Mgmt(0); ok {
+				if d, ok := s.plan.Mgmt(0, ev.at); ok {
 					s.noteFault(ev.at, ev.proc, fault.MgmtDelay)
 					ev.at += d
 					s.seq++

@@ -125,7 +125,7 @@ func (p *Pool) injectTask(w int, j *Job, task core.Task, work *core.WorkFn, tf *
 		p.noteFault(w, j.idx, fault.WorkerWedge)
 		tf.wedge = true
 	}
-	k, d, f := p.plan.Grain(j.idx, int(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi))
+	k, d, f := p.plan.Grain(j.idx, int(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), at)
 	if k == 0 {
 		return
 	}
@@ -167,7 +167,7 @@ func (p *Pool) holdCompletion(w int, j *Job, tf *taskFaults) {
 	if tf.wedge {
 		<-p.plan.Release()
 	}
-	if d, ok := p.plan.Mgmt(j.idx); ok {
+	if d, ok := p.plan.Mgmt(j.idx, time.Since(p.start).Nanoseconds()); ok {
 		p.noteFault(w, j.idx, fault.MgmtDelay)
 		fault.Sleep(d)
 	}
@@ -269,40 +269,56 @@ func (p *Pool) reactivate(j *Job) {
 // attempts) is retired directly; a running job is aborted through its
 // manager, which refuses if the state machine already completed — a job
 // that beat its deadline keeps its results.
+//
+// The whole thing loops because the abort races concurrent attempt
+// failures: if a retry swaps in a fresh driver between the driver()
+// capture and the Abort, the abort lands on the dead attempt and failJob
+// drops it as stale — and the one-shot timer has already fired, so
+// without re-firing here the new attempt would outlive its deadline
+// unbounded. Each pass either retires the job or observes an attempt
+// swap, so the loop is bounded by the retry budget.
 func (p *Pool) deadlineFire(j *Job) {
 	err := fmt.Errorf("tenant: job %q exceeded its deadline of %v: %w",
 		j.cfg.Name, j.cfg.Deadline, context.DeadlineExceeded)
-	p.mu.Lock()
-	if j.finished.Load() {
-		p.mu.Unlock()
-		return
-	}
-	for i, q := range p.waitq {
-		if q == j {
-			p.waitq = append(p.waitq[:i], p.waitq[i+1:]...)
+	for {
+		p.mu.Lock()
+		if j.finished.Load() {
+			p.mu.Unlock()
+			return
+		}
+		queued := false
+		for i, q := range p.waitq {
+			if q == j {
+				p.waitq = append(p.waitq[:i], p.waitq[i+1:]...)
+				queued = true
+				break
+			}
+		}
+		if queued || j.retrying.Load() {
 			p.finishJobLocked(j, err)
 			p.mu.Unlock()
 			p.progress()
 			return
 		}
-	}
-	if j.retrying.Load() {
-		p.finishJobLocked(j, err)
+		m := j.driver()
 		p.mu.Unlock()
-		p.progress()
-		return
+		// The abort happens outside p.mu (manager locks and the async
+		// notify path re-enter the pool), exactly as in Pool.Abort.
+		m.Abort(err)
+		if merr := m.Err(); merr == nil {
+			p.checkFinished(j)
+			p.progress()
+			return
+		} else {
+			p.failJob(j, m, merr, false)
+		}
+		if j.finished.Load() {
+			p.progress()
+			return
+		}
+		// failJob dropped the abort as stale: m's attempt already died and
+		// a retry owns the job now. Go again against the current attempt.
 	}
-	m := j.driver()
-	p.mu.Unlock()
-	// The abort happens outside p.mu (manager locks and the async notify
-	// path re-enter the pool), exactly as in Pool.Abort.
-	m.Abort(err)
-	if merr := m.Err(); merr == nil {
-		p.checkFinished(j)
-	} else {
-		p.failJob(j, m, merr, false)
-	}
-	p.progress()
 }
 
 // watchdog is the pool's liveness probe, running while StallTimeout is

@@ -11,6 +11,7 @@ import (
 	"repro/internal/granule"
 	"repro/internal/paxlang"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tenant"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -247,6 +248,37 @@ type (
 	// the replayed makespan and the conservation checks.
 	ReplayResult = sim.ReplayResult
 )
+
+// Unified telemetry (WithMetrics).
+type (
+	// MetricsRegistry is the deterministic metrics registry behind
+	// WithMetrics: per-worker sharded counters, gauges, and log-linear
+	// latency histograms. Its Handler method serves the Prometheus text
+	// format, Publish mirrors it into expvar, and Dump exports the
+	// deterministic sorted form attached to Report.Metrics. Pass one to
+	// WithMetricsRegistry to keep a live registry across runs.
+	MetricsRegistry = telemetry.Registry
+	// MetricsDump is a registry's point-in-time export (Report.Metrics):
+	// every metric sorted by name, histogram buckets in bound order.
+	// Identical virtual runs marshal to identical JSON.
+	MetricsDump = telemetry.Dump
+	// MetricDump is one metric's exported state within a MetricsDump.
+	MetricDump = telemetry.MetricDump
+)
+
+// NewMetricsRegistry builds a caller-owned metrics registry for
+// WithMetricsRegistry: counters shard across `shards` worker cells
+// (use the worker count; minimum 1), and timeUnit labels the dump's
+// time base — "ns" for real backends, "virtual" for the simulator
+// (empty selects "ns").
+func NewMetricsRegistry(shards int, timeUnit string) *MetricsRegistry {
+	return telemetry.NewRegistry(shards, timeUnit)
+}
+
+// FormatMetrics renders a metrics dump as the human-readable table
+// rundownsim -metrics prints: one line per metric, histograms
+// summarized as count/sum/min/p50/p99/max.
+func FormatMetrics(d *MetricsDump) string { return telemetry.FormatDump(d) }
 
 // ReadTraceFile loads a binary trace written by WithTrace or
 // WriteTraceFile, verifying the format version and checksum.

@@ -537,6 +537,42 @@ func BenchmarkTraceRecordChainFine(b *testing.B) {
 	b.Run("on", func(b *testing.B) { run(b, rundown.WithTrace(nil)) })
 }
 
+// BenchmarkMetricsChainFine measures what unified telemetry costs on the
+// hottest dispatch path: the fine-grain chain under the sharded manager,
+// metered versus unmetered. Recording is per-worker sharded counters plus
+// one histogram observation per dispatch (the fine path adds one clock
+// read), so the "on" series must sit within noise of "off" — the
+// metrics-off fast-path guard, the telemetry analogue of
+// BenchmarkTraceRecordChainFine.
+func BenchmarkMetricsChainFine(b *testing.B) {
+	run := func(b *testing.B, opts ...rundown.Option) {
+		runner, err := rundown.New(append([]rundown.Option{
+			rundown.WithWorkers(8), rundown.WithManager(rundown.ShardedManager),
+			rundown.WithDequeCap(32), rundown.WithBatch(16),
+		}, opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var utils []float64
+		for i := 0; i < b.N; i++ {
+			prog, opt := buildChainFine(b)
+			rep, err := runner.Run(context.Background(), rundown.Job{Prog: prog, Opt: opt})
+			if err != nil {
+				b.Fatal(err)
+			}
+			utils = append(utils, rep.Utilization)
+			if rep.Metrics != nil && i == 0 {
+				if d := rep.Metrics.Get("rundown_dispatch_total"); d != nil {
+					b.ReportMetric(float64(d.Value), "dispatches")
+				}
+			}
+		}
+		b.ReportMetric(stats.Percentile(utils, 50), "utilization")
+	}
+	b.Run("off", func(b *testing.B) { run(b) })
+	b.Run("on", func(b *testing.B) { run(b, rundown.WithMetrics()) })
+}
+
 func BenchmarkManagerCasperSerial(b *testing.B) {
 	benchManager(b, rundown.SerialManager, buildCasperPipeline)
 }

@@ -35,6 +35,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -69,7 +71,9 @@ func main() {
 		observe   = flag.Bool("observe", false, "stream live utilization/overhead snapshots to stderr while the run progresses")
 		faultsIn  = flag.String("faults", "", "deterministic fault campaign: seed=N[,rules=K] (same seed, same faults, every backend)")
 		retry     = flag.Int("retry", 0, "per-job retry budget for faulted attempts (multi-job runs)")
-		traceOut  = flag.String("trace", "", "record the run's flight-recorder trace to this file")
+		metricsOut = flag.Bool("metrics", false, "record unified telemetry and print the run's metric dump")
+		metricsAt  = flag.String("metrics-listen", "", "serve the metrics registry in Prometheus text format at this address (implies -metrics; the endpoint stays live after the run until Ctrl-C)")
+		traceOut   = flag.String("trace", "", "record the run's flight-recorder trace to this file")
 		replayIn  = flag.String("replay", "", "replay a recorded trace file against the configured workload and exit")
 		tracediff = flag.Bool("tracediff", false, "diff the two trace files given as positional arguments and exit")
 	)
@@ -154,6 +158,33 @@ func main() {
 		execOpts = append(execOpts, rundown.WithRetry(*retry, time.Millisecond))
 	}
 
+	// -metrics / -metrics-listen: arm unified telemetry. The listen form
+	// records into a caller-owned registry mounted at /metrics so the
+	// Prometheus endpoint observes the run live and keeps serving the
+	// closing totals after it — the CI smoke test curls it; Ctrl-C exits.
+	showMetrics := *metricsOut || *metricsAt != ""
+	waitMetrics := func() {}
+	if *metricsAt != "" {
+		reg := rundown.NewMetricsRegistry(*procs, "virtual")
+		execOpts = append(execOpts, rundown.WithMetricsRegistry(reg))
+		ln, err := net.Listen("tcp", *metricsAt)
+		if err != nil {
+			fail("%v", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		srv := &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(ln) }()
+		fmt.Fprintf(os.Stderr, "rundownsim: serving metrics at http://%s/metrics\n", ln.Addr())
+		waitMetrics = func() {
+			fmt.Fprintln(os.Stderr, "rundownsim: metrics endpoint live; Ctrl-C to exit")
+			<-ctx.Done()
+			_ = srv.Close()
+		}
+	} else if *metricsOut {
+		execOpts = append(execOpts, rundown.WithMetrics())
+	}
+
 	// -trace: record the run's flight recorder to a file. The writer is
 	// handed to the Runner via WithTrace; closeTrace flushes it after the
 	// run path completes.
@@ -173,8 +204,9 @@ func main() {
 	}
 
 	if *jobs >= 2 {
-		runShared(ctx, build, opt, execOpts, *jobs, *procs, *seed)
+		runShared(ctx, build, opt, execOpts, *jobs, *procs, *seed, showMetrics)
 		closeTrace()
+		waitMetrics()
 		return
 	}
 
@@ -225,7 +257,17 @@ func main() {
 	if *gantt && res.Gantt != nil {
 		fmt.Printf("\n%s", res.Gantt.Render(100))
 	}
+	printMetrics(rep, showMetrics)
 	closeTrace()
+	waitMetrics()
+}
+
+// printMetrics prints the run's telemetry dump when -metrics (or
+// -metrics-listen) was given and the run produced one.
+func printMetrics(rep *rundown.Report, show bool) {
+	if show && rep != nil && rep.Metrics != nil {
+		fmt.Printf("\n%s", rundown.FormatMetrics(rep.Metrics))
+	}
 }
 
 // runReplay re-executes a recorded trace against the workload the flags
@@ -299,7 +341,7 @@ func printSnapshot(s rundown.Snapshot) {
 // checked statically via Capabilities instead of tripping
 // ErrUnsupportedMgmt at run time.
 func runShared(ctx context.Context, build func(seed uint64) (*rundown.Program, error),
-	opt rundown.Options, execOpts []rundown.Option, jobs, procs int, seed uint64) {
+	opt rundown.Options, execOpts []rundown.Option, jobs, procs int, seed uint64, showMetrics bool) {
 	specs := make([]rundown.Job, jobs)
 	for i := range specs {
 		prog, err := build(seed + uint64(i))
@@ -319,7 +361,7 @@ func runShared(ctx context.Context, build func(seed uint64) (*rundown.Program, e
 	if !virtual.Capabilities().VirtualMulti {
 		// The virtual multi-program queue cannot price this model; run the
 		// jobs on the real goroutine tenant pool end-to-end instead.
-		runPool(ctx, specs, execOpts, procs)
+		runPool(ctx, specs, execOpts, procs, showMetrics)
 		return
 	}
 
@@ -360,6 +402,7 @@ func runShared(ctx context.Context, build func(seed uint64) (*rundown.Program, e
 		fmt.Printf("  %-8s makespan=%-10d compute=%-10d home-workers=%-3d backfill=%d (%.1f%%)%s\n",
 			j.Name, j.Makespan, j.ComputeUnits, j.HomeWorkers, j.BackfillUnits, share*100, note)
 	}
+	printMetrics(rep, showMetrics)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -369,7 +412,7 @@ func runShared(ctx context.Context, build func(seed uint64) (*rundown.Program, e
 // (wall-clock execution through RunAll). Chain programs carry no Work
 // functions, so this is a pure scheduling run — the management
 // architecture exercised end-to-end without synthetic compute.
-func runPool(ctx context.Context, specs []rundown.Job, execOpts []rundown.Option, procs int) {
+func runPool(ctx context.Context, specs []rundown.Job, execOpts []rundown.Option, procs int, showMetrics bool) {
 	runner, err := rundown.New(append(execOpts,
 		rundown.WithWorkers(procs), rundown.WithPool(),
 	)...)
@@ -395,4 +438,5 @@ func runPool(ctx context.Context, specs []rundown.Job, execOpts []rundown.Option
 		fmt.Printf("  job%-5d wall=%-12v tasks=%-6d mgmt=%-12v dispatches=%d\n",
 			i, j.Exec.Wall, j.Exec.Tasks, j.Exec.Mgmt, j.Exec.Sched.Dispatches)
 	}
+	printMetrics(rep, showMetrics)
 }

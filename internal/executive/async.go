@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -56,6 +57,7 @@ type async struct {
 	sm      StateMachine
 	workers int
 	rec     *trace.Recorder // flight recorder (nil = tracing off)
+	met     *telemetry.Set  // ready-buffer occupancy gauge (nil = metrics off)
 
 	readyCap int
 	lowWater int
@@ -126,6 +128,7 @@ func newAsync(sm StateMachine, cfg Config) *async {
 		sm:       sm,
 		workers:  cfg.Workers,
 		rec:      cfg.Trace,
+		met:      cfg.Metrics,
 		readyCap: readyCap,
 		lowWater: low,
 		batch:    batch,
@@ -307,6 +310,11 @@ func (m *async) refillLocked() bool {
 	m.refillBuf = ts[:0]
 	for _, t := range ts {
 		m.ready <- t
+	}
+	if m.met != nil && len(ts) > 0 {
+		// Occupancy right after the top-up; workers pop concurrently, so
+		// the gauge is a sample, not an invariant.
+		m.met.ReadyOccupancy.Set(int64(len(m.ready)))
 	}
 	return len(ts) > 0
 }

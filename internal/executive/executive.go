@@ -24,6 +24,8 @@ package executive
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/granule"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -96,6 +99,15 @@ type Config struct {
 	// wall-clock nanoseconds since run start and delays bounded by
 	// fault.Sleep. The injection-off fast path is one nil check per task.
 	Faults *fault.Spec
+	// Metrics, when non-nil, is the telemetry set the run records into:
+	// per-worker counters (dispatches, completions, steals), latency
+	// histograms (dispatch wait), and the time-share gauges behind the
+	// registry's Prometheus/expvar exposition. All durations are
+	// wall-clock nanoseconds. The run always keeps its core counters in a
+	// metric set (a private one when this is nil); a caller-provided set
+	// additionally turns on the fine-grained latency histograms, which
+	// cost one extra clock reading per dispatch.
+	Metrics *telemetry.Set
 }
 
 // Report aggregates a run's measurements.
@@ -174,12 +186,23 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 	if err != nil {
 		return failEarly(err)
 	}
+	// The engine's task/compute accounting lives in a telemetry set either
+	// way — sharded per-worker counters contend less than the shared
+	// atomics they replace. A caller-provided set additionally enables the
+	// fine-grained latency histograms (one extra clock reading per
+	// dispatch) and is what the registry exposes over Prometheus/expvar.
+	fine := cfg.Metrics != nil
+	met := cfg.Metrics
+	if met == nil {
+		met = telemetry.NewSet(telemetry.NewRegistry(cfg.Workers, "ns"))
+	}
+	cfg.Metrics = met // managers record steal/retune counters into the same set
 	mgr, err := newManager(sched, cfg)
 	if err != nil {
 		return failEarly(err)
 	}
 
-	e := &engine{mgr: mgr, prog: prog, rec: cfg.Trace}
+	e := &engine{mgr: mgr, prog: prog, rec: cfg.Trace, met: met, fine: fine}
 	if cfg.Faults != nil {
 		e.plan = fault.New(*cfg.Faults)
 		e.live.Store(int64(cfg.Workers))
@@ -203,6 +226,11 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 	start := time.Now()
 	e.start = start
 	mgr.Start()
+	// Lifecycle metrics mirror the simulator's dump shape: one job,
+	// admitted immediately (the plain executive has no admission queue).
+	met.JobsSubmitted.Inc(0)
+	met.ActiveJobs.Add(1)
+	met.QueueWait.Observe(0)
 
 	// Cancellation watcher: ctx firing aborts the manager, which releases
 	// parked workers and makes every subsequent Next return ok=false. The
@@ -215,7 +243,7 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 	var smp *Sampler
 	if cfg.Observer != nil {
 		smp = StartSampler(cfg.ObservePeriod, func() {
-			cfg.Observer(liveSnapshot(start, cfg.Workers, e.compute.Load(), e.tasks.Load(), mgr))
+			cfg.Observer(e.liveSnapshot(cfg.Workers))
 		})
 	}
 
@@ -224,7 +252,12 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 	for w := 0; w < cfg.Workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			e.worker(w)
+			// The pprof label makes per-worker attribution visible in CPU
+			// and goroutine profiles (profile → rundown_worker=N), tying
+			// profile samples to the same worker index the metric shards
+			// and trace rings use.
+			pprof.Do(ctx, pprof.Labels("rundown_worker", strconv.Itoa(w)),
+				func(context.Context) { e.worker(w) })
 		}(w)
 	}
 	wg.Wait()
@@ -242,8 +275,9 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 		// every outcome: a failed or cancelled run closes the stream with
 		// the counters accumulated so far. (The manager recorded its own
 		// KAbort at the failure point.)
+		e.closeMetrics()
 		if cfg.Observer != nil {
-			final := liveSnapshot(start, cfg.Workers, e.compute.Load(), e.tasks.Load(), mgr)
+			final := e.liveSnapshot(cfg.Workers)
 			final.Final = true
 			cfg.Observer(final)
 		}
@@ -254,29 +288,28 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 	if rec := cfg.Trace; rec != nil {
 		rec.Emit(trace.KFinish, rec.Now(), -1, 0, -1, 0, 0, 0)
 	}
+	e.closeMetrics()
 	rep := &Report{
 		Manager: cfg.Manager,
 		Wall:    wall,
-		Compute: time.Duration(e.compute.Load()),
+		Compute: time.Duration(met.ComputeTime.Value()),
 		Mgmt:    mgr.Mgmt(),
 		Idle:    mgr.Idle(),
-		Tasks:   e.tasks.Load(),
+		Tasks:   met.Completions.Value(),
 		Sched:   sched.Stats(),
 	}
 	if rep.Mgmt > 0 {
 		rep.MgmtRatio = float64(rep.Compute) / float64(rep.Mgmt)
 	}
-	if wall > 0 {
-		rep.Utilization = float64(rep.Compute) / (float64(cfg.Workers) * float64(wall))
-	}
+	var overhead float64
+	rep.Utilization, overhead = telemetry.Shares(
+		int64(rep.Compute), int64(rep.Mgmt), cfg.Workers, int64(wall))
 	if cfg.Observer != nil {
 		final := Snapshot{
 			Elapsed: wall, Tasks: rep.Tasks,
 			Compute: rep.Compute, Mgmt: rep.Mgmt, Idle: rep.Idle,
-			Utilization: rep.Utilization, Final: true, Done: true,
-		}
-		if wall > 0 {
-			final.OverheadShare = float64(rep.Mgmt) / (float64(cfg.Workers) * float64(wall))
+			Utilization: rep.Utilization, OverheadShare: overhead,
+			Final: true, Done: true,
 		}
 		cfg.Observer(final)
 	}
@@ -298,8 +331,41 @@ type engine struct {
 	start time.Time
 	live  atomic.Int64
 
-	compute atomic.Int64 // nanoseconds of granule work
-	tasks   atomic.Int64
+	// met holds the run's counters (always non-nil: a private registry
+	// when the caller configured none) on padded per-worker shards; fine
+	// additionally enables the latency histograms, which need an extra
+	// clock reading per dispatch.
+	met  *telemetry.Set
+	fine bool
+
+	// mgmtSeen/idleSeen are the manager accumulator values already
+	// mirrored into the metric set. Touched only by the sampler goroutine
+	// and, after the sampler is joined, the finishing RunContext — never
+	// concurrently.
+	mgmtSeen int64
+	idleSeen int64
+}
+
+// syncTimes mirrors the manager's management/idle accumulators into the
+// metric counters as deltas, so mid-run scrapes of the registry see the
+// same time shares the Report totals at the end.
+func (e *engine) syncTimes() {
+	if mg := int64(e.mgr.Mgmt()); mg > e.mgmtSeen {
+		e.met.MgmtTime.Add(0, mg-e.mgmtSeen)
+		e.mgmtSeen = mg
+	}
+	if id := int64(e.mgr.Idle()); id > e.idleSeen {
+		e.met.IdleTime.Add(0, id-e.idleSeen)
+		e.idleSeen = id
+	}
+}
+
+// closeMetrics settles the run's lifecycle metrics on any outcome: the
+// final management/idle mirror and the job-level counters.
+func (e *engine) closeMetrics() {
+	e.syncTimes()
+	e.met.JobsDone.Inc(0)
+	e.met.ActiveJobs.Add(-1)
 }
 
 // worker is the goroutine body: ask the manager for work, execute it,
@@ -313,10 +379,21 @@ func (e *engine) worker(w int) {
 		ring = e.rec.Ring(w)
 	}
 	for {
+		var a0 time.Time
+		if e.fine {
+			a0 = time.Now()
+		}
 		task, ok := e.mgr.Next(w)
 		if !ok {
 			return
 		}
+		if e.fine {
+			// On the real backends the dispatch wait is the whole Next call
+			// — queue pop, lock wait, steal sweep, park — the honest answer
+			// to "how long did this worker wait for its next task".
+			e.met.DispatchWait.Observe(int64(time.Since(a0)))
+		}
+		e.met.Dispatches.Inc(w)
 		if ring != nil {
 			ring.Record(trace.KDispatch, e.rec.Now(), int32(w), 0,
 				int32(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), 0)
@@ -346,8 +423,8 @@ func (e *engine) worker(w int) {
 		if e.plan != nil {
 			e.beforeComplete(w, &tf)
 		}
-		e.compute.Add(int64(dur))
-		e.tasks.Add(1)
+		e.met.ComputeTime.Add(w, int64(dur))
+		e.met.Completions.Inc(w)
 		// Recorded BEFORE the completion is submitted to management, so
 		// any dispatch it enables carries a larger Seq (the causal edge
 		// replay and diff rely on).

@@ -84,11 +84,12 @@ type taskFaults struct {
 // real-backend reading of a Rule's After field.
 func (e *engine) sinceStart() int64 { return time.Since(e.start).Nanoseconds() }
 
-// noteFault flight-records one injected fault firing.
+// noteFault flight-records and counts one injected fault firing.
 func (e *engine) noteFault(w int, k fault.Kind) {
 	if e.rec != nil {
 		e.rec.Ring(w).Record(trace.KFault, e.rec.Now(), int32(w), 0, -1, 0, 0, int64(k))
 	}
+	e.met.Faults.Inc(w)
 }
 
 // injectTask consults the plan for worker- and grain-level faults on one

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // This file is the goroutine executive's observability surface: a run
@@ -119,20 +121,20 @@ func WatchCancel(ctx context.Context, abort func(error)) (stop func()) {
 	}
 }
 
-// liveSnapshot builds a mid-run observation from the engine counters and
-// the manager accessors.
-func liveSnapshot(start time.Time, workers int, compute, tasks int64, mgr Manager) Snapshot {
+// liveSnapshot builds a mid-run observation from the metric set and the
+// manager accessors — the registry is the single source of truth for the
+// counters, and telemetry.Shares for the derived ratios, so a sampler
+// callback and a Prometheus scrape can never disagree.
+func (e *engine) liveSnapshot(workers int) Snapshot {
+	e.syncTimes()
 	sn := Snapshot{
-		Elapsed: time.Since(start),
-		Tasks:   tasks,
-		Compute: time.Duration(compute),
-		Mgmt:    mgr.Mgmt(),
-		Idle:    mgr.Idle(),
+		Elapsed: time.Since(e.start),
+		Tasks:   e.met.Completions.Value(),
+		Compute: time.Duration(e.met.ComputeTime.Value()),
+		Mgmt:    e.mgr.Mgmt(),
+		Idle:    e.mgr.Idle(),
 	}
-	if sn.Elapsed > 0 {
-		capacity := float64(workers) * float64(sn.Elapsed)
-		sn.Utilization = float64(sn.Compute) / capacity
-		sn.OverheadShare = float64(sn.Mgmt) / capacity
-	}
+	sn.Utilization, sn.OverheadShare = telemetry.Shares(
+		int64(sn.Compute), int64(sn.Mgmt), workers, int64(sn.Elapsed))
 	return sn
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -45,6 +46,7 @@ type sharded struct {
 	sm      StateMachine
 	workers int
 	rec     *trace.Recorder // flight recorder (nil = tracing off)
+	met     *telemetry.Set  // steal/retune counters (nil = metrics off)
 	cap     int // deque refill batch size, guarded by mu (the tuner moves it)
 
 	// batch is the completion batch size. It is read lock-free on the
@@ -121,6 +123,7 @@ func newSharded(sm StateMachine, cfg Config) *sharded {
 		sm:      sm,
 		workers: cfg.Workers,
 		rec:     cfg.Trace,
+		met:     cfg.Metrics,
 		cap:     dequeCap,
 		shards:  make([]shard, cfg.Workers),
 	}
@@ -134,6 +137,9 @@ func newSharded(sm StateMachine, cfg Config) *sharded {
 		})
 		m.cap = m.tuner.Cap()
 		m.batch.Store(int32(m.tuner.Batch()))
+	}
+	if m.met != nil {
+		m.met.BatchSize.Set(int64(m.cap))
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
@@ -201,6 +207,9 @@ func (m *sharded) steal(w int) (core.Task, bool) {
 		ring = m.rec.Ring(w)
 		ring.Record(trace.KStealAttempt, m.rec.Now(), int32(w), 0, -1, 0, 0, 0)
 	}
+	if m.met != nil {
+		m.met.StealAttempts.Inc(w)
+	}
 	own := m.shards[w].dq
 	start := int(m.stealTick.Add(1) % uint64(n))
 	for i := 0; i < n; i++ {
@@ -233,12 +242,18 @@ func (m *sharded) steal(w int) (core.Task, bool) {
 				ring.Record(trace.KStealWin, m.rec.Now(), int32(w), 0,
 					int32(t.Phase), uint32(got), 0, int64(idx))
 			}
+			if m.met != nil {
+				m.met.StealWins.Inc(w)
+			}
 			return t, true
 		}
 		// Everything we moved was re-stolen already; keep sweeping.
 	}
 	if ring != nil {
 		ring.Record(trace.KStealLose, m.rec.Now(), int32(w), 0, -1, 0, 0, 0)
+	}
+	if m.met != nil {
+		m.met.StealLoses.Inc(w)
 	}
 	return core.Task{}, false
 }
@@ -414,6 +429,10 @@ func (m *sharded) retuneLocked() {
 		m.batch.Store(int32(batch))
 		if m.rec != nil {
 			m.rec.Emit(trace.KRetune, m.rec.Now(), -1, 0, -1, 0, 0, int64(cap))
+		}
+		if m.met != nil {
+			m.met.Retunes.Inc(0)
+			m.met.BatchSize.Set(int64(cap))
 		}
 	}
 	m.epochStart = time.Now()

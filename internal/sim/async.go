@@ -73,6 +73,9 @@ func (s *state) asyncTopUp(now int64) bool {
 		s.aready = append(s.aready, asyncSlot{task: task, at: fin})
 	}
 	s.abuf = ts[:0]
+	if s.met != nil && len(ts) > 0 {
+		s.met.ReadyOccupancy.Set(int64(len(s.aready)))
+	}
 	return len(ts) > 0
 }
 
@@ -165,6 +168,10 @@ func (s *state) asyncAsk(req request) {
 	at := req.at
 	if sl.at > at {
 		at = sl.at
+	}
+	if s.met != nil {
+		s.met.ReadyOccupancy.Set(int64(len(s.aready)))
+		s.met.DispatchWait.Observe(at - req.at)
 	}
 	s.dispatch(req.proc, sl.task, at)
 	// Top the buffer back up behind the pop so the next ask finds it warm.

@@ -28,6 +28,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -105,6 +106,9 @@ func backoffDelay(base int64, attempts int) int64 {
 func (s *state) noteFault(at int64, w int, k fault.Kind) {
 	if s.tr != nil {
 		s.tr.Record(trace.KFault, at, int32(w), 0, -1, 0, 0, int64(k))
+	}
+	if s.met != nil {
+		s.met.Faults.Inc(0)
 	}
 }
 
@@ -190,6 +194,9 @@ func (s *mstate) noteFault(at int64, w, ji int, k fault.Kind) {
 	if s.tr != nil {
 		s.tr.Record(trace.KFault, at, int32(w), int32(ji), -1, 0, 0, int64(k))
 	}
+	if s.met != nil {
+		s.met.Faults.Inc(0)
+	}
 }
 
 // inject is the multi-program dispatch injection (see state.inject).
@@ -264,6 +271,9 @@ func (s *mstate) clearModelState(ji int, at int64) {
 		s.bufferedN -= len(j.aready)
 		j.aready = j.aready[:0]
 		j.acomp = j.acomp[:0]
+		if s.met != nil {
+			s.met.ReadyOccupancy.Set(int64(s.bufferedN))
+		}
 	case Adaptive:
 		s.mNoteStarve(at)
 		for w := range s.mab {
@@ -296,6 +306,9 @@ func (s *mstate) failJob(ji int, at int64, proc int, err error, retryable bool) 
 		j.retriesLeft--
 		j.attempts++
 		s.retries++
+		if s.met != nil {
+			s.met.Retries.Inc(0)
+		}
 		restart := at + backoffDelay(j.spec.Backoff, j.attempts)
 		sched, nerr := core.New(j.spec.Prog, j.opt)
 		if nerr != nil {
@@ -321,6 +334,13 @@ func (s *mstate) failJob(ji int, at int64, proc int, err error, retryable bool) 
 	}
 	j.err = err
 	j.done = true
+	if s.met != nil {
+		s.met.JobsDone.Inc(0)
+		s.met.ActiveJobs.Add(-1)
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.met.DeadlineMisses.Inc(0)
+		}
+	}
 	s.liveCount--
 	if j.deficit > 0 {
 		s.creditCount--

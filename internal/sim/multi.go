@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/executive"
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -317,11 +318,15 @@ func RunMultiContext(ctx context.Context, jobs []JobSpec, cfg Config) (*MultiRes
 			m.Jobs = append(m.Jobs, j.spec.Name)
 		}
 	}
+	s.met = cfg.Metrics
 	if cfg.Mgmt == Async {
 		s.masyncInit(cfg)
 	}
 	if cfg.Mgmt == Adaptive {
 		s.madaptiveInit(cfg, totalCost)
+		if s.met != nil {
+			s.met.BatchSize.Set(int64(s.batchN))
+		}
 	}
 	if cfg.Faults != nil {
 		s.plan = fault.New(*cfg.Faults)
@@ -339,6 +344,7 @@ func RunMultiContext(ctx context.Context, jobs []JobSpec, cfg Config) (*MultiRes
 		if s.tr != nil {
 			s.tr.Record(trace.KAbort, s.frontier(), -1, -1, -1, 0, 0, 0)
 		}
+		s.finishMetrics()
 		s.obs.final(s.snapshot(s.frontier()))
 		return nil, err
 	}
@@ -346,6 +352,7 @@ func RunMultiContext(ctx context.Context, jobs []JobSpec, cfg Config) (*MultiRes
 	if s.tr != nil {
 		s.tr.Record(trace.KFinish, res.Makespan, -1, -1, -1, 0, 0, 0)
 	}
+	s.finishMetrics()
 	s.obs.final(s.snapshot(res.Makespan))
 	return res, nil
 }
@@ -357,7 +364,8 @@ type mstate struct {
 	workers int
 	procs   int
 	obs     *observer
-	tr      *trace.Ring // flight recorder (nil = tracing off)
+	tr      *trace.Ring    // flight recorder (nil = tracing off)
+	met     *telemetry.Set // metric set (nil = metrics off)
 
 	queue      mqueue
 	seq        int64
@@ -678,6 +686,16 @@ func (s *mstate) noteJobDone(j *mjob) {
 		return
 	}
 	j.done = true
+	if s.met != nil {
+		s.met.JobsDone.Inc(0)
+		s.met.ActiveJobs.Add(-1)
+		// A deadlined job reaching here beat its deadline (a miss is
+		// aborted AT the deadline and never arrives); the margin is the
+		// budget it had left. Callers update j.makespan before calling.
+		if j.spec.Deadline > 0 {
+			s.met.DeadlineMargin.Observe(j.spec.Deadline - j.makespan)
+		}
+	}
 	s.liveCount--
 	if j.deficit > 0 {
 		s.creditCount--
@@ -752,6 +770,13 @@ func (s *mstate) run(maxOps int64) error {
 		s.syncReady(j)
 		if s.tr != nil {
 			s.tr.Record(trace.KStart, c0, -1, int32(ji), -1, 0, 0, fin-c0)
+		}
+		if s.met != nil {
+			// Every job is admitted at t=0 — the virtual machine has no
+			// admission queue — so queue wait observes zero per job.
+			s.met.JobsSubmitted.Inc(0)
+			s.met.ActiveJobs.Add(1)
+			s.met.QueueWait.Observe(0)
 		}
 	}
 	s.rebalance()
@@ -859,6 +884,9 @@ func (s *mstate) run(maxOps int64) error {
 				s.tr.Record(trace.KComplete, it.at, int32(it.proc), int32(it.job),
 					int32(it.task.Phase), uint32(it.task.Run.Lo), uint32(it.task.Run.Hi), it.dur)
 			}
+			if it.isDone && s.met != nil {
+				s.met.Completions.Inc(it.proc)
+			}
 			switch {
 			case !it.isDone:
 				switch s.model {
@@ -955,6 +983,9 @@ func (s *mstate) serveAsk(req mitem) {
 			if ji != home {
 				s.noteDeficit(j, -int64(task.Run.Len()))
 			}
+			if s.met != nil {
+				s.met.DispatchWait.Observe(fin - req.at)
+			}
 			s.dispatch(req.proc, ji, ji != home, task, fin)
 			return
 		}
@@ -982,6 +1013,12 @@ func (s *mstate) dispatch(worker, ji int, backfill bool, task core.Task, at int6
 		if backfill {
 			s.tr.Record(trace.KBackfill, at, int32(worker), int32(ji),
 				int32(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), dur)
+		}
+	}
+	if s.met != nil {
+		s.met.Dispatches.Inc(worker)
+		if backfill {
+			s.met.Backfill.Inc(worker)
 		}
 	}
 	end := at + dur
@@ -1133,4 +1170,21 @@ func (s *mstate) result() *MultiResult {
 		res.Utilization = float64(s.computeUnits) / (float64(s.procs) * float64(makespan))
 	}
 	return res
+}
+
+// finishMetrics flushes the run's accumulated time-split totals into the
+// metric set on any outcome — once, at the end, so the hot serve path
+// stays metric-free (the single-program engine does the same).
+func (s *mstate) finishMetrics() {
+	if s.met == nil {
+		return
+	}
+	s.met.ComputeTime.Add(0, s.computeUnits)
+	s.met.MgmtTime.Add(0, s.mgmtUnits)
+	s.met.IdleTime.Add(0, s.idleUnits)
+	var backfill int64
+	for _, j := range s.jobs {
+		backfill += j.backfill
+	}
+	s.met.BackfillTime.Add(0, backfill)
 }

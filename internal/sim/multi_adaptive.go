@@ -120,6 +120,10 @@ func (s *mstate) mMaybeRetune(now int64) {
 		if s.tr != nil {
 			s.tr.Record(trace.KRetune, now, -1, -1, -1, 0, 0, int64(cap))
 		}
+		if s.met != nil {
+			s.met.Retunes.Inc(0)
+			s.met.BatchSize.Set(int64(cap))
+		}
 	}
 	s.lastObsAt = now
 	s.lastObsAcq = s.acquireUnits
@@ -178,6 +182,9 @@ func (s *mstate) madaptiveAsk(req mitem) {
 		sh.next++
 		s.mNoteStarve(req.at)
 		s.hoardNow--
+		if s.met != nil {
+			s.met.DispatchWait.Observe(0)
+		}
 		s.dispatch(req.proc, sh.job, sh.job != s.homes[req.proc], task, req.at)
 		return
 	}
@@ -228,6 +235,9 @@ func (s *mstate) madaptiveAsk(req mitem) {
 		sh.tasks, sh.buf, sh.next = ts, ts[:0], 1
 		s.mNoteStarve(at)
 		s.hoardNow += len(ts) - 1
+		if s.met != nil {
+			s.met.DispatchWait.Observe(at - req.at)
+		}
 		s.dispatch(req.proc, ji, ji != home, ts[0], at)
 		return
 	}

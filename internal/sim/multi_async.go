@@ -80,6 +80,9 @@ func (s *mstate) masyncTopUp(j *mjob, now int64) bool {
 	}
 	j.abuf = ts[:0]
 	s.bufferedN += len(ts)
+	if s.met != nil && len(ts) > 0 {
+		s.met.ReadyOccupancy.Set(int64(s.bufferedN))
+	}
 	return len(ts) > 0
 }
 
@@ -179,6 +182,10 @@ func (s *mstate) masyncAsk(req mitem) {
 		}
 		if ji != home {
 			s.noteDeficit(j, -int64(sl.task.Run.Len()))
+		}
+		if s.met != nil {
+			s.met.ReadyOccupancy.Set(int64(s.bufferedN))
+			s.met.DispatchWait.Observe(dat - req.at)
 		}
 		s.dispatch(req.proc, ji, ji != home, sl.task, dat)
 		// Top the buffer back up behind the pop so the next ask finds it

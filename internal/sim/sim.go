@@ -53,6 +53,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/granule"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -149,6 +150,14 @@ type Config struct {
 	// the loop's deterministic serve order (equal-tick ordering contract:
 	// see internal/sim/trace.go). Both Run and RunMulti honor it.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, records the standard telemetry.Set at the
+	// same chokepoints the flight recorder traces — dispatches,
+	// completions, ask-to-dispatch latency, faults, retries, retunes,
+	// buffer occupancy — with every duration in virtual units. Recording
+	// happens on the single event-loop goroutine in processing order, so
+	// identical inputs yield bit-identical metric dumps (the determinism
+	// goldens pin this). Both Run and RunMulti honor it.
+	Metrics *telemetry.Set
 	// Faults is the seeded fault-injection campaign (nil = off). A fresh
 	// fault.Plan is compiled per run — Plans are stateful — and consulted
 	// at the same chokepoints the real backends use, so identical Specs
@@ -328,6 +337,7 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 	if cfg.Trace != nil {
 		s.tr = bindTrace(cfg.Trace, cfg.Mgmt, workers, prog)
 	}
+	s.met = cfg.Metrics
 	if cfg.Faults != nil {
 		s.plan = fault.New(*cfg.Faults)
 	}
@@ -363,6 +373,9 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 			s.epochLen = 1
 		}
 	}
+	if s.met != nil && cfg.Mgmt == Adaptive {
+		s.met.BatchSize.Set(int64(s.batchN))
+	}
 
 	if err := s.run(maxOps); err != nil {
 		// The observer contract promises a closing Final snapshot on
@@ -372,6 +385,7 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 		if s.tr != nil {
 			s.tr.Record(trace.KAbort, s.frontier(), -1, 0, -1, 0, 0, 0)
 		}
+		s.finishMetrics()
 		s.obs.final(s.snapshot(s.frontier()))
 		return nil, err
 	}
@@ -379,6 +393,7 @@ func RunContext(ctx context.Context, prog *core.Program, opt core.Options, cfg C
 	if s.tr != nil {
 		s.tr.Record(trace.KFinish, res.Makespan, -1, 0, -1, 0, 0, 0)
 	}
+	s.finishMetrics()
 	s.obs.final(s.snapshot(res.Makespan))
 	return res, nil
 }
@@ -393,7 +408,8 @@ type state struct {
 	tl      *metrics.Timeline
 	gantt   *metrics.Gantt
 	obs     *observer
-	tr      *trace.Ring // flight recorder (nil = tracing off)
+	tr      *trace.Ring    // flight recorder (nil = tracing off)
+	met     *telemetry.Set // metric set (nil = metrics off)
 
 	reqs       reqRing // FIFO management queue
 	events     eventHeap
@@ -606,6 +622,13 @@ func (s *state) run(maxOps int64) error {
 	if s.tr != nil {
 		s.tr.Record(trace.KStart, 0, -1, 0, -1, 0, 0, int64(startCost))
 	}
+	if s.met != nil {
+		// One program, admitted immediately at t=0: the job-lifecycle
+		// members exist in every backend's dump, zero-waited here.
+		s.met.JobsSubmitted.Inc(0)
+		s.met.ActiveJobs.Add(1)
+		s.met.QueueWait.Observe(0)
+	}
 	for w := 0; w < s.workers; w++ {
 		s.reqs.push(request{at: s.serverFree, proc: w})
 	}
@@ -731,6 +754,9 @@ func (s *state) serveRequest(req request) {
 		s.park(req.proc, fin)
 		return
 	}
+	if s.met != nil {
+		s.met.DispatchWait.Observe(fin - req.at)
+	}
 	s.dispatch(req.proc, task, fin)
 }
 
@@ -756,6 +782,9 @@ func (s *state) adaptiveAsk(req request) {
 		ab.next++
 		s.noteStarve(req.at)
 		s.hoardNow--
+		if s.met != nil {
+			s.met.DispatchWait.Observe(0)
+		}
 		s.dispatch(req.proc, task, req.at)
 		return
 	}
@@ -792,6 +821,9 @@ func (s *state) adaptiveAsk(req request) {
 		ab.tasks, ab.buf, ab.next = ts, ts[:0], 1
 		s.noteStarve(fin)
 		s.hoardNow += len(ts) - 1
+		if s.met != nil {
+			s.met.DispatchWait.Observe(fin - req.at)
+		}
 		s.dispatch(req.proc, ts[0], fin)
 		return
 	}
@@ -850,6 +882,10 @@ func (s *state) maybeRetune(now int64) {
 		if s.tr != nil {
 			s.tr.Record(trace.KRetune, now, -1, 0, -1, 0, 0, int64(cap))
 		}
+		if s.met != nil {
+			s.met.Retunes.Inc(0)
+			s.met.BatchSize.Set(int64(cap))
+		}
 	}
 	s.lastObsAt = now
 	s.lastObsAcq = s.acquireUnits
@@ -866,6 +902,9 @@ func (s *state) dispatch(worker int, task core.Task, at int64) {
 	if s.tr != nil {
 		s.tr.Record(trace.KDispatch, at, int32(worker), 0,
 			int32(task.Phase), uint32(task.Run.Lo), uint32(task.Run.Hi), dur)
+	}
+	if s.met != nil {
+		s.met.Dispatches.Inc(worker)
 	}
 	end := at + dur
 	s.computeUnits += dur
@@ -900,6 +939,9 @@ func (s *state) completeTask(req request) {
 	if s.tr != nil {
 		s.tr.Record(trace.KComplete, req.at, int32(req.proc), 0,
 			int32(req.task.Phase), uint32(req.task.Run.Lo), uint32(req.task.Run.Hi), req.dur)
+	}
+	if s.met != nil {
+		s.met.Completions.Inc(req.proc)
 	}
 	if s.model == Adaptive {
 		s.adaptiveComplete(req)
@@ -1006,4 +1048,19 @@ func (s *state) result() *Result {
 		res.MgmtRatio = float64(s.computeUnits) / float64(s.mgmtUnits)
 	}
 	return res
+}
+
+// finishMetrics closes out the metric set on any outcome: the job leaves
+// the active gauge, and the time-split totals — accumulated as plain
+// event-loop counters so the hot serve path stays metric-free — are
+// flushed into their counters in one deterministic step.
+func (s *state) finishMetrics() {
+	if s.met == nil {
+		return
+	}
+	s.met.JobsDone.Inc(0)
+	s.met.ActiveJobs.Add(-1)
+	s.met.ComputeTime.Add(0, s.computeUnits)
+	s.met.MgmtTime.Add(0, s.mgmtUnits)
+	s.met.IdleTime.Add(0, s.idleUnits)
 }

@@ -1,0 +1,76 @@
+package telemetry
+
+// Dump is a registry's deterministic point-in-time export: every
+// registered metric, sorted by name, with histogram buckets in index
+// order and zero-count buckets elided. Two registries fed identical
+// recordings marshal to identical JSON — the property the virtual-time
+// metrics goldens pin — so Dump doubles as the structured form behind
+// rundown's Report.Metrics.
+type Dump struct {
+	// TimeUnit labels every duration-valued metric: "ns" on real
+	// backends, "virtual" on the simulator.
+	TimeUnit string `json:"time_unit"`
+	// Metrics lists every registered metric sorted by name.
+	Metrics []MetricDump `json:"metrics"`
+}
+
+// MetricDump is one metric's exported state.
+type MetricDump struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Help string `json:"help,omitempty"`
+	// Value is the counter sum or gauge reading (counters, gauges).
+	Value int64 `json:"value,omitempty"`
+	// Count/Sum/Min/Max summarize a histogram's observations.
+	Count int64 `json:"count,omitempty"`
+	Sum   int64 `json:"sum,omitempty"`
+	Min   int64 `json:"min,omitempty"`
+	Max   int64 `json:"max,omitempty"`
+	// Buckets are the histogram's non-zero buckets in ascending bound
+	// order; Upper is the bucket's inclusive upper bound.
+	Buckets []BucketDump `json:"buckets,omitempty"`
+}
+
+// BucketDump is one non-empty histogram bucket.
+type BucketDump struct {
+	Upper int64 `json:"upper"`
+	Count int64 `json:"count"`
+}
+
+// Dump exports the registry. Values are read lock-free, so a dump taken
+// during a live run is a consistent-enough snapshot (like any metrics
+// scrape); a dump taken after the run quiesces is exact.
+func (r *Registry) Dump() *Dump {
+	d := &Dump{TimeUnit: r.timeUnit}
+	r.visit(
+		func(c *Counter) {
+			d.Metrics = append(d.Metrics, MetricDump{
+				Name: c.name, Kind: KindCounter.String(), Help: c.help, Value: c.Value(),
+			})
+		},
+		func(g *Gauge) {
+			d.Metrics = append(d.Metrics, MetricDump{
+				Name: g.name, Kind: KindGauge.String(), Help: g.help, Value: g.Value(),
+			})
+		},
+		func(h *Histogram) {
+			d.Metrics = append(d.Metrics, MetricDump{
+				Name: h.name, Kind: KindHistogram.String(), Help: h.help,
+				Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+				Buckets: h.snapshotBuckets(nil),
+			})
+		},
+	)
+	return d
+}
+
+// Get returns the dumped metric by name (nil when absent) — the
+// convenience tests and report consumers use instead of scanning.
+func (d *Dump) Get(name string) *MetricDump {
+	for i := range d.Metrics {
+		if d.Metrics[i].Name == name {
+			return &d.Metrics[i]
+		}
+	}
+	return nil
+}

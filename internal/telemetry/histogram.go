@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Log-linear histogram layout (HDR-style). Values 0..subCount-1 land in
+// exact unit buckets; above that, each power-of-two octave splits into
+// subCount linear sub-buckets, so the relative error of any recorded
+// value is bounded by 1/subCount (~6%) while the whole int63 range fits
+// in a fixed array. Bucket boundaries are pure functions of the index —
+// no configuration — so two histograms filled with the same values are
+// bit-identical, which is what the virtual-time determinism goldens
+// pin.
+const (
+	subBits  = 4
+	subCount = 1 << subBits // 16 sub-buckets per octave
+
+	// numBuckets covers every non-negative int64: the top value has
+	// bits.Len64 == 63, giving octave index 63-subBits, and each octave
+	// past the first contributes subCount buckets.
+	numBuckets = (64 - subBits) * subCount
+)
+
+// bucketIndex maps a non-negative value to its bucket. Negative values
+// clamp to bucket 0 (durations cannot be negative; a clamped margin is
+// recorded by the caller as a miss instead).
+func bucketIndex(v int64) int {
+	if v < subCount {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	msb := bits.Len64(uint64(v)) - 1 // >= subBits
+	shift := msb - subBits
+	sub := int(v>>uint(shift)) & (subCount - 1)
+	return (shift+1)*subCount + sub
+}
+
+// bucketUpper is the inclusive upper bound of bucket i — the largest
+// value that maps to it.
+func bucketUpper(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	shift := i/subCount - 1
+	sub := int64(i % subCount)
+	base := (int64(subCount) + sub) << uint(shift)
+	return base + (int64(1)<<uint(shift) - 1)
+}
+
+// Histogram is a fixed-bucket log-linear distribution of non-negative
+// values (durations, occupancies, margins). Observe is one atomic add
+// per bucket plus count/sum maintenance — no locks, no allocation —
+// and is safe from any number of goroutines. The bucket array is a
+// fixed ~7.5KB allocated once at registration.
+type Histogram struct {
+	name    string
+	help    string
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid when count > 0
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	// Min/max maintenance: racy CAS loops, exact under the simulator's
+	// single recording goroutine, best-effort within a snapshot under
+	// concurrent recording (like any live metrics read).
+	for {
+		cur := h.min.Load()
+		if h.count.Load() > 1 && cur <= v {
+			break
+		}
+		if h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= v && h.count.Load() > 1 {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count reports how many values were observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Min and Max report the observed extremes (0 when nothing was
+// observed).
+func (h *Histogram) Min() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the buckets,
+// returning the upper bound of the bucket holding the target rank —
+// within one sub-bucket (~6%) of the true value. Returns 0 when
+// nothing was observed.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total-1)) + 1
+	var seen int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		seen += n
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// snapshotBuckets appends the non-zero buckets in index order.
+func (h *Histogram) snapshotBuckets(dst []BucketDump) []BucketDump {
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			dst = append(dst, BucketDump{Upper: bucketUpper(i), Count: n})
+		}
+	}
+	return dst
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/executive"
+	"repro/internal/telemetry"
 )
 
 // Job is the handle for one submitted program. It is created by
@@ -53,6 +54,13 @@ type Job struct {
 	end       time.Time // guarded by pool.mu until done is closed
 	err       error     // guarded by pool.mu until done is closed
 	done      chan struct{}
+
+	// activatedOnce marks the first activation and queueWaitNS the
+	// submit-to-activation wait it measured (for a job retired while
+	// still queued, the whole life). Both written under pool.mu before
+	// done closes; read after Wait.
+	activatedOnce bool
+	queueWaitNS   int64
 }
 
 // driver returns the job's current attempt's manager.
@@ -96,10 +104,25 @@ func (j *Job) Wait() (*executive.Report, error) {
 	if rep.Mgmt > 0 {
 		rep.MgmtRatio = float64(rep.Compute) / float64(rep.Mgmt)
 	}
-	if rep.Wall > 0 {
-		rep.Utilization = float64(rep.Compute) / (float64(j.pool.cfg.Workers) * float64(rep.Wall))
-	}
+	rep.Utilization, _ = telemetry.Shares(
+		int64(rep.Compute), int64(rep.Mgmt), j.pool.cfg.Workers, int64(rep.Wall))
 	return rep, j.err
+}
+
+// QueueWait reports how long the job waited behind admission control
+// between Submit and its first activation — zero when it started
+// immediately, its whole lifetime when it was retired before ever
+// running. Valid after Wait.
+func (j *Job) QueueWait() time.Duration { return time.Duration(j.queueWaitNS) }
+
+// DeadlineMargin reports how much of the job's deadline budget was left
+// when it finished (negative when it was retired past the deadline) and
+// whether the job had a deadline at all. Valid after Wait.
+func (j *Job) DeadlineMargin() (time.Duration, bool) {
+	if j.cfg.Deadline <= 0 {
+		return 0, false
+	}
+	return j.cfg.Deadline - j.end.Sub(j.submitted), true
 }
 
 // BackfillTasks reports how many of the job's tasks were executed by

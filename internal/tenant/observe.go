@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/executive"
+	"repro/internal/telemetry"
 )
 
 // This file is the pool's observability surface: a pool built with
@@ -58,12 +59,29 @@ func (p *Pool) snapshot() Snapshot {
 		sn.Compute += time.Duration(j.compute.Load())
 		sn.Mgmt += j.driver().Mgmt() + time.Duration(j.mgmtPrior.Load())
 	}
-	if sn.Elapsed > 0 {
-		capacity := float64(p.cfg.Workers) * float64(sn.Elapsed)
-		sn.Utilization = float64(sn.Compute) / capacity
-		sn.OverheadShare = float64(sn.Mgmt) / capacity
-	}
+	sn.Utilization, sn.OverheadShare = telemetry.Shares(
+		int64(sn.Compute), int64(sn.Mgmt), p.cfg.Workers, int64(sn.Elapsed))
+	// Each sample also mirrors the management total into the metric set,
+	// so a Prometheus scrape between samples sees fresh time shares.
+	p.noteMgmt(int64(sn.Mgmt))
 	return sn
+}
+
+// noteMgmt mirrors the pool's summed per-job management time into the
+// metric set as a counter delta. Management accrues inside the per-job
+// managers (which know nothing of the pool's set), so the pool syncs the
+// total at its observation points: every sampler tick and Close. The
+// sampler goroutine and Close may race; metMu serializes the seen mark.
+func (p *Pool) noteMgmt(total int64) {
+	if p.met == nil {
+		return
+	}
+	p.metMu.Lock()
+	if d := total - p.mgmtSeen; d > 0 {
+		p.met.MgmtTime.Add(0, d)
+		p.mgmtSeen = total
+	}
+	p.metMu.Unlock()
 }
 
 // startObserver spawns the sampling goroutine (the executive's shared
@@ -87,6 +105,7 @@ func (p *Pool) stopObserver(r *Report) {
 	if !p.obsFinal.CompareAndSwap(false, true) {
 		return
 	}
+	_, overhead := telemetry.Shares(int64(r.Compute), int64(r.Mgmt), r.Workers, int64(r.Wall))
 	p.cfg.Observer(Snapshot{
 		Elapsed:       r.Wall,
 		Jobs:          r.Jobs,
@@ -97,14 +116,7 @@ func (p *Pool) stopObserver(r *Report) {
 		Mgmt:          r.Mgmt,
 		Idle:          r.Idle,
 		Utilization:   r.Utilization,
-		OverheadShare: overheadShare(r),
+		OverheadShare: overhead,
 		Final:         true,
 	})
-}
-
-func overheadShare(r *Report) float64 {
-	if r.Wall <= 0 {
-		return 0
-	}
-	return float64(r.Mgmt) / (float64(r.Workers) * float64(r.Wall))
 }

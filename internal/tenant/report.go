@@ -3,6 +3,8 @@ package tenant
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Report aggregates a pool's lifetime measurements (NewPool to Close).
@@ -72,8 +74,7 @@ func (p *Pool) report() *Report {
 	if r.Compute > 0 {
 		r.BackfillShare = float64(r.BackfillCompute) / float64(r.Compute)
 	}
-	if r.Wall > 0 {
-		r.Utilization = float64(r.Compute) / (float64(r.Workers) * float64(r.Wall))
-	}
+	r.Utilization, _ = telemetry.Shares(
+		int64(r.Compute), int64(r.Mgmt), r.Workers, int64(r.Wall))
 	return r
 }

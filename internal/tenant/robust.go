@@ -101,10 +101,14 @@ type taskFaults struct {
 	err    error // injected failure (GrainError)
 }
 
-// noteFault flight-records one injected fault firing against job ji.
+// noteFault flight-records and counts one injected fault firing against
+// job ji.
 func (p *Pool) noteFault(w, ji int, k fault.Kind) {
 	if rec := p.cfg.Trace; rec != nil {
 		rec.Ring(w).Record(trace.KFault, rec.Now(), int32(w), int32(ji), -1, 0, 0, int64(k))
+	}
+	if p.met != nil {
+		p.met.Faults.Inc(w)
 	}
 }
 
@@ -196,6 +200,9 @@ func (p *Pool) failJob(j *Job, m executive.PoolDriver, err error, retryable bool
 	j.retriesLeft--
 	attempt := int(j.attempts.Add(1))
 	p.retries.Add(1)
+	if p.met != nil {
+		p.met.Retries.Inc(0)
+	}
 	p.retryWait++
 	j.retrying.Store(true)
 	// Fold the dead attempt's management time into the job's total before
@@ -206,6 +213,9 @@ func (p *Pool) failJob(j *Job, m executive.PoolDriver, err error, retryable bool
 	for i, a := range p.active {
 		if a == j {
 			p.active = append(p.active[:i], p.active[i+1:]...)
+			if p.met != nil {
+				p.met.ActiveJobs.Set(int64(len(p.active)))
+			}
 			p.rebalanceLocked()
 			break
 		}
@@ -230,6 +240,7 @@ func (p *Pool) reactivate(j *Job) {
 				Workers: p.cfg.Workers, Manager: p.cfg.Manager,
 				DequeCap: p.cfg.DequeCap, Batch: p.cfg.Batch,
 				ReadyCap: p.cfg.ReadyCap, LowWater: p.cfg.LowWater,
+				Metrics: p.cfg.Metrics,
 			})
 		}
 		if err != nil {

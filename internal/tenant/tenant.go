@@ -22,7 +22,11 @@
 package tenant
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +35,7 @@ import (
 	"repro/internal/executive"
 	"repro/internal/fault"
 	"repro/internal/granule"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -98,6 +103,13 @@ type Config struct {
 	// goroutines at the matching chokepoints (Rule.After is wall-clock
 	// nanoseconds since pool start; delays are bounded by fault.Sleep).
 	Faults *fault.Spec
+	// Metrics, when non-nil, is the telemetry set the pool records into:
+	// per-worker dispatch/completion/backfill counters, the queue-wait
+	// and deadline-margin histograms, job lifecycle counters, and —
+	// through the per-job managers — steal counters and ready-buffer
+	// occupancy. All durations are wall-clock nanoseconds. The
+	// metrics-off fast path is one nil check per event.
+	Metrics *telemetry.Set
 }
 
 // JobConfig describes one submitted job.
@@ -179,6 +191,13 @@ type Pool struct {
 	backfillCompute atomic.Int64
 	retries         atomic.Int64
 	maxBackfillTask atomic.Int64
+
+	// met is Config.Metrics (nil = metrics off). metMu/mgmtSeen serialize
+	// the management-time mirror between the sampler goroutine and Close
+	// (see noteMgmt).
+	met      *telemetry.Set
+	metMu    sync.Mutex
+	mgmtSeen int64
 }
 
 // NewPool starts cfg.Workers worker goroutines and returns the pool,
@@ -194,6 +213,7 @@ func NewPool(cfg Config) (*Pool, error) {
 		cfg:   cfg,
 		homes: make([]*Job, cfg.Workers),
 		start: time.Now(),
+		met:   cfg.Metrics,
 	}
 	p.cond = sync.NewCond(&p.mu)
 	if rec := cfg.Trace; rec != nil {
@@ -223,7 +243,14 @@ func NewPool(cfg Config) (*Pool, error) {
 	}
 	p.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
-		go p.worker(w)
+		go func(w int) {
+			// The pprof label ties profile samples to the worker index the
+			// metric shards and trace rings use; the worker adds a job
+			// label per job switch when metrics are on.
+			pprof.Do(context.Background(),
+				pprof.Labels("rundown_worker", strconv.Itoa(w)),
+				func(ctx context.Context) { p.worker(ctx, w) })
+		}(w)
 	}
 	return p, nil
 }
@@ -252,6 +279,7 @@ func (p *Pool) Submit(prog *core.Program, opt core.Options, jc JobConfig) (*Job,
 		Workers: p.cfg.Workers, Manager: p.cfg.Manager,
 		DequeCap: p.cfg.DequeCap, Batch: p.cfg.Batch,
 		ReadyCap: p.cfg.ReadyCap, LowWater: p.cfg.LowWater,
+		Metrics: p.cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -308,6 +336,9 @@ func (p *Pool) Submit(prog *core.Program, opt core.Options, jc JobConfig) (*Job,
 	}
 	p.mu.Unlock()
 
+	if p.met != nil {
+		p.met.JobsSubmitted.Inc(0)
+	}
 	p.progress()
 	return j, nil
 }
@@ -318,9 +349,21 @@ func (p *Pool) activateLocked(j *Job) {
 	if rec := p.cfg.Trace; rec != nil {
 		rec.Emit(trace.KStart, rec.Now(), -1, int32(j.idx), -1, 0, 0, 0)
 	}
+	if !j.activatedOnce {
+		// First activation (a retry reactivates but never re-queues): the
+		// submit-to-start gap is the admission-control queue wait.
+		j.activatedOnce = true
+		j.queueWaitNS = int64(time.Since(j.submitted))
+		if p.met != nil {
+			p.met.QueueWait.Observe(j.queueWaitNS)
+		}
+	}
 	j.driver().Start()
 	j.lastTouch.Store(time.Now().UnixNano())
 	p.active = append(p.active, j)
+	if p.met != nil {
+		p.met.ActiveJobs.Set(int64(len(p.active)))
+	}
 	p.rebalanceLocked()
 }
 
@@ -351,6 +394,7 @@ func (p *Pool) Close() (*Report, error) {
 			}
 		}
 		p.closeRep = p.report()
+		p.noteMgmt(int64(p.closeRep.Mgmt))
 		p.stopObserver(p.closeRep)
 	})
 	return p.closeRep, p.closeErr
@@ -400,10 +444,13 @@ func (p *Pool) Abort(err error) {
 
 // worker is the shared goroutine body: serve the home job while it has
 // work, backfill foreign jobs during the home job's rundown, park when
-// nothing is dispatchable anywhere.
-func (p *Pool) worker(w int) {
+// nothing is dispatchable anywhere. ctx carries the goroutine's pprof
+// worker label; a job label is layered on per job switch when metrics
+// are on.
+func (p *Pool) worker(ctx context.Context, w int) {
 	defer p.wg.Done()
 	var cache homeCache
+	var labeled *Job // job currently named in this goroutine's pprof labels
 	// The previous task's job AND the driver it was taken from: after a
 	// retry swaps a fresh manager into the job, this worker's batched
 	// completions still belong to the old (aborted) attempt and must be
@@ -414,6 +461,11 @@ func (p *Pool) worker(w int) {
 		g0 := p.gen.Load()
 		j, m, task, backfill, ok := p.sweep(w, &cache)
 		if ok {
+			if p.met != nil && j != labeled {
+				pprof.SetGoroutineLabels(pprof.WithLabels(ctx,
+					pprof.Labels("rundown_job", j.cfg.Name)))
+				labeled = j
+			}
 			if lastMgr != nil && lastMgr != m {
 				// The previous job's completions must not linger in this
 				// worker's batch while it works elsewhere: a job's final
@@ -444,6 +496,9 @@ func (p *Pool) worker(w int) {
 // job, not the pool; a failed attempt with retries left restarts.
 func (p *Pool) runTask(w int, j *Job, m executive.PoolDriver, task core.Task, backfill bool) {
 	j.lastTouch.Store(time.Now().UnixNano())
+	if p.met != nil {
+		p.met.Dispatches.Inc(w)
+	}
 	var ring *trace.Ring
 	if rec := p.cfg.Trace; rec != nil {
 		ring = rec.Ring(w)
@@ -476,11 +531,19 @@ func (p *Pool) runTask(w int, j *Job, m executive.PoolDriver, task core.Task, ba
 	}
 	j.compute.Add(int64(dur))
 	j.tasks.Add(1)
+	if p.met != nil {
+		p.met.ComputeTime.Add(w, int64(dur))
+		p.met.Completions.Inc(w)
+	}
 	if backfill {
 		j.backfillTasks.Add(1)
 		j.backfillCompute.Add(int64(dur))
 		p.backfillTasks.Add(1)
 		p.backfillCompute.Add(int64(dur))
+		if p.met != nil {
+			p.met.Backfill.Inc(w)
+			p.met.BackfillTime.Add(w, int64(dur))
+		}
 		n := int64(task.Run.Len())
 		for {
 			cur := p.maxBackfillTask.Load()
@@ -603,6 +666,9 @@ func (p *Pool) park(w int, g0 uint64) bool {
 	p.nWaiting.Add(-1)
 	d := time.Since(i0)
 	p.idleNS.Add(int64(d))
+	if p.met != nil {
+		p.met.IdleTime.Add(w, int64(d))
+	}
 	if rec := p.cfg.Trace; rec != nil {
 		rec.Ring(w).Record(trace.KUnpark, rec.Now(), int32(w), -1, -1, 0, 0, int64(d))
 	}
@@ -662,6 +728,20 @@ func (p *Pool) finishJobLocked(j *Job, err error) {
 		next := p.waitq[0]
 		p.waitq = p.waitq[1:]
 		p.activateLocked(next)
+	}
+	if !j.activatedOnce {
+		// Retired while still queued (deadline, pool abort): the whole
+		// life was queue wait.
+		j.queueWaitNS = int64(j.end.Sub(j.submitted))
+	}
+	if p.met != nil {
+		p.met.JobsDone.Inc(0)
+		p.met.ActiveJobs.Set(int64(len(p.active)))
+		if errors.Is(err, context.DeadlineExceeded) {
+			p.met.DeadlineMisses.Inc(0)
+		} else if err == nil && j.cfg.Deadline > 0 {
+			p.met.DeadlineMargin.Observe(int64(j.cfg.Deadline - j.end.Sub(j.submitted)))
+		}
 	}
 	p.rebalanceLocked()
 	close(j.done)

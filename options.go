@@ -9,6 +9,7 @@ import (
 	"repro/internal/executive"
 	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tenant"
 	"repro/internal/trace"
 )
@@ -43,6 +44,9 @@ type runnerConfig struct {
 
 	traceOn bool
 	traceW  io.Writer // nil = capture in Report.Trace only
+
+	metricsOn  bool
+	metricsReg *telemetry.Registry // caller-owned; nil = fresh per run
 
 	faults       *fault.Spec
 	deadline     time.Duration // default per-job deadline (Job.Deadline overrides)
@@ -210,6 +214,40 @@ func WithTrace(w io.Writer) Option {
 	}
 }
 
+// WithMetrics turns on unified telemetry: every run records the
+// standard rundown metric set — dispatch/completion/steal counters,
+// compute/management/idle time splits, dispatch-wait and queue-wait
+// latency histograms, job lifecycle gauges — at the same scheduling
+// chokepoints the flight recorder instruments, on every backend, and
+// attaches the deterministic sorted dump to Report.Metrics. Virtual
+// runs record in virtual units from the event loop, so identical runs
+// produce bit-identical dumps; real backends record wall-clock
+// nanoseconds. Recording is amortized zero-alloc (per-worker sharded
+// counters), so metrics-on runs price within noise of metrics-off.
+func WithMetrics() Option {
+	return func(c *runnerConfig) error {
+		c.metricsOn = true
+		return nil
+	}
+}
+
+// WithMetricsRegistry is WithMetrics recording into a caller-owned
+// registry instead of a fresh per-run one — the form a long-lived
+// service uses to mount reg.Handler() (Prometheus text) or
+// reg.Publish (expvar) once and watch successive runs stream through
+// the same live endpoint. Counters accumulate across runs on a shared
+// registry; Report.Metrics still carries each run's closing dump.
+func WithMetricsRegistry(reg *MetricsRegistry) Option {
+	return func(c *runnerConfig) error {
+		if reg == nil {
+			return fmt.Errorf("rundown: WithMetricsRegistry needs a non-nil registry")
+		}
+		c.metricsOn = true
+		c.metricsReg = reg
+		return nil
+	}
+}
+
 // WithFaults arms deterministic fault injection: the campaign's rules
 // strike at the same logical chokepoints on every backend — priced in
 // virtual time, bounded wall-clock effects on real goroutines — so
@@ -322,6 +360,30 @@ func (c *runnerConfig) finishTrace(rec *trace.Recorder, rep *Report) error {
 		}
 	}
 	return nil
+}
+
+// newMetrics builds one run's metric set (nil when metrics are off). A
+// metric set is per-run like a recorder unless the caller supplied a
+// registry; unit labels a fresh registry's time base ("ns" on real
+// backends, "virtual" on the simulator — a caller-owned registry keeps
+// the unit it was built with).
+func (c *runnerConfig) newMetrics(unit string) *telemetry.Set {
+	if !c.metricsOn {
+		return nil
+	}
+	reg := c.metricsReg
+	if reg == nil {
+		reg = telemetry.NewRegistry(c.workers, unit)
+	}
+	return telemetry.NewSet(reg)
+}
+
+// finishMetrics attaches a finished run's metric dump to rep.
+func (c *runnerConfig) finishMetrics(met *telemetry.Set, rep *Report) {
+	if met == nil || rep == nil {
+		return
+	}
+	rep.Metrics = met.Registry.Dump()
 }
 
 // withExecObserver passes a native executive observer through unadapted;

@@ -88,6 +88,19 @@ type JobReport struct {
 	// Attempts counts scheduler instantiations: 1 plus the retries the
 	// job took (0 on backends without retry support).
 	Attempts int
+	// QueueWait is how long the job waited behind admission control
+	// between submission and its first activation — zero when it was
+	// admitted immediately, the job's whole lifetime when it was retired
+	// without ever running. Pool-backed runs measure it on the wall
+	// clock; virtual jobs all activate at submission and report zero.
+	QueueWait time.Duration
+	// DeadlineMargin is the deadline budget left when the job finished
+	// (negative when it was retired past its deadline); HasDeadline
+	// reports whether the job had a deadline at all — the margin is
+	// meaningless without one. Virtual RunAll jobs measure it in
+	// nanosecond-equivalent virtual units.
+	DeadlineMargin time.Duration
+	HasDeadline    bool
 }
 
 // Report is the unified result of a Runner.Run or Runner.RunAll: one
@@ -137,6 +150,12 @@ type Report struct {
 	// only; nil otherwise). Virtual traces are deterministic; real-backend
 	// traces carry wall-clock timestamps.
 	Trace *Trace
+	// Metrics is the run's closing telemetry dump (WithMetrics runs
+	// only; nil otherwise): the full rundown metric set — counters,
+	// gauges, latency histograms — sorted by name. Virtual dumps are
+	// bit-identical across identical runs; real-backend dumps are
+	// structurally identical but carry measured times.
+	Metrics *MetricsDump
 }
 
 func (r *Report) String() string {

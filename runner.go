@@ -3,6 +3,7 @@ package rundown
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/executive"
 	"repro/internal/sim"
@@ -96,7 +97,11 @@ func (r *Runner) StartPool() (*Pool, error) {
 	if r.cfg.virtual {
 		return nil, fmt.Errorf("rundown: a virtual-time Runner cannot start a goroutine pool (use RunAll)")
 	}
-	return tenant.NewPool(r.cfg.poolConfig())
+	cfg := r.cfg.poolConfig()
+	// A started pool has no Report to dump into; metrics callers read the
+	// live registry instead (WithMetricsRegistry plus Handler/Publish).
+	cfg.Metrics = r.cfg.newMetrics("ns")
+	return tenant.NewPool(cfg)
 }
 
 // jobName labels job i of a RunAll.
@@ -129,8 +134,10 @@ func (b *execBackend) Run(ctx context.Context, job Job) (*Report, error) {
 		defer cancel()
 	}
 	rec := b.c.newRecorder()
+	met := b.c.newMetrics("ns")
 	cfg := b.c.execConfig()
 	cfg.Trace = rec
+	cfg.Metrics = met
 	rep, err := executive.RunContext(ctx, job.Prog, b.c.jobOpt(job), cfg)
 	if err != nil {
 		// Every failure names the job it killed, and cancellation or
@@ -147,6 +154,7 @@ func (b *execBackend) Run(ctx context.Context, job Job) (*Report, error) {
 		MgmtRatio:   rep.MgmtRatio,
 		Exec:        rep,
 	}
+	b.c.finishMetrics(met, out)
 	if terr := b.c.finishTrace(rec, out); terr != nil {
 		return out, terr
 	}
@@ -195,8 +203,10 @@ func (b *poolBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error) {
 		return failEarly(fmt.Errorf("rundown: run canceled: %w", err))
 	}
 	rec := b.c.newRecorder()
+	met := b.c.newMetrics("ns")
 	pcfg := b.c.poolConfig()
 	pcfg.Trace = rec
+	pcfg.Metrics = met
 	pool, err := tenant.NewPool(pcfg)
 	if err != nil {
 		return failEarly(err)
@@ -245,10 +255,13 @@ func (b *poolBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error) {
 	var firstErr error
 	for i, h := range handles {
 		jr, jerr := h.Wait()
-		rep.Jobs = append(rep.Jobs, JobReport{
+		jrep := JobReport{
 			Name: jobName(jobs[i], i), Err: jerr, Exec: jr, Backfill: h.BackfillTasks(),
-			Attempts: h.Attempts(),
-		})
+			Attempts:  h.Attempts(),
+			QueueWait: h.QueueWait(),
+		}
+		jrep.DeadlineMargin, jrep.HasDeadline = h.DeadlineMargin()
+		rep.Jobs = append(rep.Jobs, jrep)
 		if jerr != nil && firstErr == nil {
 			firstErr = fmt.Errorf("rundown: job %q: %w", jobName(jobs[i], i), jerr)
 		}
@@ -271,6 +284,7 @@ func (b *poolBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error) {
 	if firstErr == nil {
 		firstErr = closeErr
 	}
+	b.c.finishMetrics(met, rep)
 	if terr := b.c.finishTrace(rec, rep); terr != nil && firstErr == nil {
 		firstErr = terr
 	}
@@ -286,8 +300,10 @@ func (b *virtualBackend) Kind() BackendKind { return VirtualBackend }
 
 func (b *virtualBackend) Run(ctx context.Context, job Job) (*Report, error) {
 	rec := b.c.newRecorder()
+	met := b.c.newMetrics("virtual")
 	cfg := b.c.simConfig()
 	cfg.Trace = rec
+	cfg.Metrics = met
 	res, err := sim.RunContext(ctx, job.Prog, b.c.jobOpt(job), cfg)
 	if err != nil {
 		return nil, err
@@ -303,6 +319,7 @@ func (b *virtualBackend) Run(ctx context.Context, job Job) (*Report, error) {
 		MgmtRatio:   res.MgmtRatio,
 		Sim:         res,
 	}
+	b.c.finishMetrics(met, out)
 	if terr := b.c.finishTrace(rec, out); terr != nil {
 		return out, terr
 	}
@@ -311,8 +328,10 @@ func (b *virtualBackend) Run(ctx context.Context, job Job) (*Report, error) {
 
 func (b *virtualBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error) {
 	rec := b.c.newRecorder()
+	met := b.c.newMetrics("virtual")
 	cfg := b.c.simConfig()
 	cfg.Trace = rec
+	cfg.Metrics = met
 	specs := make([]sim.JobSpec, len(jobs))
 	for i, job := range jobs {
 		specs[i] = sim.JobSpec{
@@ -344,10 +363,18 @@ func (b *virtualBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error
 	for i := range res.Jobs {
 		j := &res.Jobs[i]
 		rep.Tasks += j.Sched.Dispatches
-		rep.Jobs = append(rep.Jobs, JobReport{
+		jrep := JobReport{
 			Name: j.Name, Err: j.Err, Sim: j, Backfill: j.BackfillUnits,
 			Attempts: j.Attempts,
-		})
+		}
+		// Virtual jobs all activate at submission (QueueWait 0); a
+		// deadlined job's margin is its budget minus its makespan, on the
+		// one-unit-per-nanosecond clock the Deadline spec uses.
+		if d := specs[i].Deadline; d > 0 {
+			jrep.DeadlineMargin = time.Duration(d - j.Makespan)
+			jrep.HasDeadline = true
+		}
+		rep.Jobs = append(rep.Jobs, jrep)
 		if j.Err != nil && firstErr == nil {
 			// Same contract as the pool backend: per-job failures land in
 			// Jobs, the first one (in submit order) is also the returned
@@ -358,6 +385,7 @@ func (b *virtualBackend) RunAll(ctx context.Context, jobs []Job) (*Report, error
 	if res.MgmtUnits > 0 {
 		rep.MgmtRatio = float64(res.ComputeUnits) / float64(res.MgmtUnits)
 	}
+	b.c.finishMetrics(met, rep)
 	if terr := b.c.finishTrace(rec, rep); terr != nil && firstErr == nil {
 		firstErr = terr
 	}

@@ -247,7 +247,22 @@ type (
 	// ReplayResult reports a deterministic trace replay (ReplayTrace):
 	// the replayed makespan and the conservation checks.
 	ReplayResult = sim.ReplayResult
+	// TraceRecorder is a caller-owned flight recorder for long-lived
+	// pools (WithTraceRecorder): Take returns the merged trace so far,
+	// safe to call while the pool records.
+	TraceRecorder = trace.Recorder
 )
+
+// NewTraceRecorder builds a caller-owned flight recorder sized for
+// `workers` worker rings, for WithTraceRecorder + StartPool. Take the
+// merged trace at any time; Trace.FilterJob carves out one job's
+// schedule by its PoolJob.Index.
+func NewTraceRecorder(workers int) *TraceRecorder {
+	if workers < 1 {
+		workers = 1
+	}
+	return trace.NewRecorder(trace.Meta{}, workers)
+}
 
 // Unified telemetry (WithMetrics).
 type (
@@ -344,6 +359,11 @@ func ParseExecManager(s string) (ExecManager, error) { return executive.ParseMan
 // ExecManagerNames lists the accepted ParseExecManager names.
 func ExecManagerNames() []string { return executive.ManagerNames() }
 
+// ParseMappingKind resolves an enablement-mapping name ("null",
+// "universal", "identity", "forward-indirect", "reverse-indirect",
+// "seam", plus the short and upper-case spellings PAX sources use).
+func ParseMappingKind(s string) (MappingKind, error) { return enable.ParseKind(s) }
+
 // ParseMgmtModel parses a simulation management-model name
 // ("steals-worker", "dedicated", "sharded", "adaptive" or "async"),
 // case-insensitively; the error enumerates the valid names.
@@ -421,6 +441,15 @@ type (
 	// (PoolConfig.Observer); Runner observers receive the unified
 	// Snapshot instead.
 	PoolSnapshot = tenant.Snapshot
+	// AdmitFunc is a caller-defined admission predicate (WithAdmitFunc):
+	// consulted by Submit under the pool lock, a non-nil return rejects
+	// the job. The error is wrapped with the job name, so sentinel and
+	// errors.As targets survive to the submitter.
+	AdmitFunc = tenant.AdmitFunc
+	// AdmissionView is the consistent pool-load snapshot an AdmitFunc
+	// receives: active/queued job counts and the measured backfill
+	// interference bounds.
+	AdmissionView = tenant.AdmissionView
 )
 
 // NewPool starts a multi-tenant worker pool. Jobs submitted to it run
@@ -512,6 +541,10 @@ func FaultScenario(seed uint64, n, jobs, phases, granules, workers int) FaultSpe
 func ParseFaultFlag(s string) (seed uint64, rules int, err error) {
 	return fault.ParseFlag(s)
 }
+
+// ParseFaultKind resolves a fault kind's string name ("grain-panic",
+// "worker-wedge", …) — the same names FaultKind marshals to in JSON.
+func ParseFaultKind(s string) (FaultKind, error) { return fault.ParseKind(s) }
 
 // Tenancy sentinels. Test with errors.Is; Submit wraps both with the
 // offending job's name.

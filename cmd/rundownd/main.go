@@ -1,0 +1,117 @@
+// Command rundownd is rundown-as-a-service: a long-lived HTTP daemon
+// owning one hot multi-tenant worker pool. Jobs arrive as declarative
+// JSON specs over POST /v1/jobs and share the pool under the
+// overlap-first dispatch policy; everything about them is observable
+// over HTTP while they run.
+//
+// Endpoints:
+//
+//	POST /v1/jobs              submit a job spec; 202 + job ID
+//	GET  /v1/jobs              list all jobs
+//	GET  /v1/jobs/{id}         job status (+ final report once done)
+//	POST /v1/jobs/{id}/abort   abort a running job
+//	GET  /v1/jobs/{id}/events  SSE: job snapshots, one terminal "final"
+//	GET  /v1/jobs/{id}/trace   the job's flight-recorder trace (binary;
+//	                           rundownsim -replay consumes it)
+//	GET  /v1/events            SSE: whole-pool snapshots
+//	GET  /v1/status            live pool sample
+//	GET  /metrics              Prometheus text format
+//	GET  /healthz              liveness (+ draining flag)
+//	GET  /debug/pprof/         Go profiling
+//
+// Latency classes: a job submitted with "class": "latency" and
+// "tolerance_pct": X is admitted only when the measured backfill
+// interference projects a slowdown under X%; otherwise the submit is
+// refused with HTTP 429 and a structured reason.
+//
+// SIGTERM (or Ctrl-C) drains gracefully: running jobs finish, SSE
+// streams receive their terminal events, then the process exits 0.
+// -drain-timeout bounds the wait; past it, remaining jobs are aborted.
+//
+// Example:
+//
+//	rundownd -listen 127.0.0.1:8080 -workers 8 -manager sharded -max-active 2 -queue
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliflags"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		workers      = flag.Int("workers", 0, "pool worker count (0 = GOMAXPROCS)")
+		maxActive    = flag.Int("max-active", 0, "admission high-water mark: at most this many jobs active (0 = unbounded)")
+		queue        = flag.Bool("queue", false, "park over-limit submits instead of refusing them")
+		preempt      = flag.Int("preempt-bound", 0, "cap backfill task grain at this many granules (0 = uncapped)")
+		stall        = flag.Duration("stall-timeout", 0, "wedged-job watchdog threshold (0 = 5s default, negative disables)")
+		sample       = flag.Duration("sample-period", 0, "SSE snapshot cadence (0 = 250ms default)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on SIGTERM; past it remaining jobs are aborted")
+	)
+	mgr := cliflags.Register(flag.CommandLine, "serial", "management layer: "+cliflags.ManagerNames())
+	flag.Parse()
+
+	manager, err := mgr.Kind()
+	if err != nil {
+		fail("%v", err)
+	}
+	s, err := service.New(service.Config{
+		Workers:      *workers,
+		Manager:      manager,
+		MaxActive:    *maxActive,
+		Queue:        *queue,
+		PreemptBound: *preempt,
+		StallTimeout: *stall,
+		SamplePeriod: *sample,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("rundownd: listening on %s (workers=%d manager=%v)", *listen, *workers, manager)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("rundownd: signal received, draining (bound %v)", *drainTimeout)
+	case err := <-errCh:
+		fail("%v", err)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain the pool. In-flight
+	// SSE streams are cut by srv.Shutdown's context once the drain ends.
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- srv.Shutdown(drainCtx) }()
+	if err := s.Shutdown(drainCtx); err != nil {
+		log.Printf("rundownd: drain finished with job errors: %v", err)
+	}
+	if err := <-shutdownErr; err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("rundownd: http shutdown: %v", err)
+	}
+	log.Printf("rundownd: drained, exiting")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rundownd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -39,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	rundown "repro"
@@ -49,40 +50,41 @@ import (
 
 func main() {
 	var (
-		mapping   = flag.String("mapping", "identity", "mapping kind: null|universal|identity|forward|reverse|seam")
-		phases    = flag.Int("phases", 3, "number of phases in the chain")
-		granules  = flag.Int("granules", 4096, "granules per phase")
-		procs     = flag.Int("procs", 32, "processor count")
-		grain     = flag.Int("grain", 0, "granules per task (0 = 2 tasks/processor default)")
-		overlap   = flag.Bool("overlap", false, "enable phase overlap")
-		elevate   = flag.Bool("elevate", true, "elevate enabling granules for indirect mappings")
-		released  = flag.Bool("released-ahead", false, "release successor work ahead of current work (PAX conflict priority)")
-		presplit  = flag.Bool("presplit", false, "pre-split descriptions at activation")
-		inline    = flag.Bool("inline-maps", false, "build composite maps inline (the paper's warned-about strategy)")
-		dedicated = flag.Bool("dedicated", false, "dedicated executive processor (default: steals a worker)")
-		costLo    = flag.Int64("cost-lo", 100, "minimum granule cost")
-		costHi    = flag.Int64("cost-hi", 400, "maximum granule cost")
-		seed      = flag.Uint64("seed", 1986, "workload seed")
-		jobs      = flag.Int("jobs", 1, "number of identical-shape jobs sharing the machine (>= 2 selects the multi-tenant pool)")
-		casper    = flag.Bool("casper", false, "run the CASPER 22-phase census profile instead of a chain")
-		cycles    = flag.Int("cycles", 1, "CASPER profile cycles")
-		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart (small runs only)")
-		curve     = flag.Bool("curve", true, "print a utilization sparkline")
-		observe   = flag.Bool("observe", false, "stream live utilization/overhead snapshots to stderr while the run progresses")
-		faultsIn  = flag.String("faults", "", "deterministic fault campaign: seed=N[,rules=K] (same seed, same faults, every backend)")
-		retry     = flag.Int("retry", 0, "per-job retry budget for faulted attempts (multi-job runs)")
+		mapping    = flag.String("mapping", "identity", "mapping kind: null|universal|identity|forward|reverse|seam")
+		phases     = flag.Int("phases", 3, "number of phases in the chain")
+		granules   = flag.Int("granules", 4096, "granules per phase")
+		procs      = flag.Int("procs", 32, "processor count")
+		grain      = flag.Int("grain", 0, "granules per task (0 = 2 tasks/processor default)")
+		overlap    = flag.Bool("overlap", false, "enable phase overlap")
+		elevate    = flag.Bool("elevate", true, "elevate enabling granules for indirect mappings")
+		released   = flag.Bool("released-ahead", false, "release successor work ahead of current work (PAX conflict priority)")
+		presplit   = flag.Bool("presplit", false, "pre-split descriptions at activation")
+		inline     = flag.Bool("inline-maps", false, "build composite maps inline (the paper's warned-about strategy)")
+		dedicated  = flag.Bool("dedicated", false, "dedicated executive processor (default: steals a worker)")
+		costLo     = flag.Int64("cost-lo", 100, "minimum granule cost")
+		costHi     = flag.Int64("cost-hi", 400, "maximum granule cost")
+		seed       = flag.Uint64("seed", 1986, "workload seed")
+		jobs       = flag.Int("jobs", 1, "number of identical-shape jobs sharing the machine (>= 2 selects the multi-tenant pool)")
+		casper     = flag.Bool("casper", false, "run the CASPER 22-phase census profile instead of a chain")
+		cycles     = flag.Int("cycles", 1, "CASPER profile cycles")
+		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart (small runs only)")
+		curve      = flag.Bool("curve", true, "print a utilization sparkline")
+		observe    = flag.Bool("observe", false, "stream live utilization/overhead snapshots to stderr while the run progresses")
+		faultsIn   = flag.String("faults", "", "deterministic fault campaign: seed=N[,rules=K] (same seed, same faults, every backend)")
+		retry      = flag.Int("retry", 0, "per-job retry budget for faulted attempts (multi-job runs)")
 		metricsOut = flag.Bool("metrics", false, "record unified telemetry and print the run's metric dump")
 		metricsAt  = flag.String("metrics-listen", "", "serve the metrics registry in Prometheus text format at this address (implies -metrics; the endpoint stays live after the run until Ctrl-C)")
 		traceOut   = flag.String("trace", "", "record the run's flight-recorder trace to this file")
-		replayIn  = flag.String("replay", "", "replay a recorded trace file against the configured workload and exit")
-		tracediff = flag.Bool("tracediff", false, "diff the two trace files given as positional arguments and exit")
+		replayIn   = flag.String("replay", "", "replay a recorded trace file against the configured workload and exit")
+		tracediff  = flag.Bool("tracediff", false, "diff the two trace files given as positional arguments and exit")
 	)
 	exec := cliflags.Register(flag.CommandLine, "serial",
 		"management layer: "+cliflags.ManagerNames()+" (serial prices per -dedicated)")
 	flag.Parse()
 
-	// Ctrl-C cancels the run cooperatively through the Runner's context.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C or SIGTERM cancels the run cooperatively through the
+	// Runner's context (and gracefully drains -metrics-listen).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if *tracediff {
@@ -177,9 +179,15 @@ func main() {
 		go func() { _ = srv.Serve(ln) }()
 		fmt.Fprintf(os.Stderr, "rundownsim: serving metrics at http://%s/metrics\n", ln.Addr())
 		waitMetrics = func() {
-			fmt.Fprintln(os.Stderr, "rundownsim: metrics endpoint live; Ctrl-C to exit")
+			fmt.Fprintln(os.Stderr, "rundownsim: metrics endpoint live; Ctrl-C or SIGTERM to exit")
 			<-ctx.Done()
-			_ = srv.Close()
+			// Graceful drain: let an in-flight scrape finish before the
+			// listener dies, bounded so a stuck client cannot hold exit.
+			shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(shCtx); err != nil {
+				_ = srv.Close()
+			}
 		}
 	} else if *metricsOut {
 		execOpts = append(execOpts, rundown.WithMetrics())

@@ -5,27 +5,29 @@ package core
 // costs into virtual time on the management server; the ratio of total
 // granule cost to total management cost is the paper's computation-to-
 // management ratio (observed "in the neighborhood of 200" for PAX/CASPER).
+// The json tags pin the wire form inside the service daemon's job
+// reports.
 type Stats struct {
-	Dispatches    int64 // tasks handed to workers
-	Splits        int64 // description split operations
-	Merges        int64 // completion merges
-	Completions   int64 // task completions processed
-	EnableTouches int64 // enablement counters touched
-	TableBuilds   int64 // composite-map/table constructions
-	TableEntries  int64 // composite-map entries generated
-	Releases      int64 // successor descriptions released to the queue
-	Elevations    int64 // descriptions manipulated for priority elevation
-	DeferredItems int64 // successor-splitting management tasks queued
-	CatchUps      int64 // late-table catch-up completions processed
+	Dispatches    int64 `json:"dispatches"`     // tasks handed to workers
+	Splits        int64 `json:"splits"`         // description split operations
+	Merges        int64 `json:"merges"`         // completion merges
+	Completions   int64 `json:"completions"`    // task completions processed
+	EnableTouches int64 `json:"enable_touches"` // enablement counters touched
+	TableBuilds   int64 `json:"table_builds"`   // composite-map/table constructions
+	TableEntries  int64 `json:"table_entries"`  // composite-map entries generated
+	Releases      int64 `json:"releases"`       // successor descriptions released to the queue
+	Elevations    int64 `json:"elevations"`     // descriptions manipulated for priority elevation
+	DeferredItems int64 `json:"deferred_items"` // successor-splitting management tasks queued
+	CatchUps      int64 `json:"catch_ups"`      // late-table catch-up completions processed
 
 	// Cost charged to the management resource, by source.
-	DispatchCost Cost
-	SplitCost    Cost
-	CompleteCost Cost
-	TableCost    Cost
-	ElevateCost  Cost
-	DeferredCost Cost
-	SerialCost   Cost
+	DispatchCost Cost `json:"dispatch_cost"`
+	SplitCost    Cost `json:"split_cost"`
+	CompleteCost Cost `json:"complete_cost"`
+	TableCost    Cost `json:"table_cost"`
+	ElevateCost  Cost `json:"elevate_cost"`
+	DeferredCost Cost `json:"deferred_cost"`
+	SerialCost   Cost `json:"serial_cost"`
 }
 
 // MgmtCost sums every management cost category (excluding serial actions,

@@ -113,25 +113,25 @@ type Config struct {
 // Report aggregates a run's measurements.
 type Report struct {
 	// Manager identifies the management layer that produced the run.
-	Manager ManagerKind
+	Manager ManagerKind `json:"manager"`
 	// Wall is the elapsed wall-clock time of the run.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// Compute is the summed time workers spent executing granule work.
-	Compute time.Duration
+	Compute time.Duration `json:"compute_ns"`
 	// Mgmt is the summed time spent inside manager-serialized scheduler
 	// calls (dispatch, completion processing, deferred management).
-	Mgmt time.Duration
+	Mgmt time.Duration `json:"mgmt_ns"`
 	// Idle is the summed time workers spent parked waiting for work.
-	Idle time.Duration
+	Idle time.Duration `json:"idle_ns"`
 	// Tasks is the number of tasks executed.
-	Tasks int64
+	Tasks int64 `json:"tasks"`
 	// MgmtRatio is Compute/Mgmt — the paper's computation-to-management
 	// ratio (0 when Mgmt is 0).
-	MgmtRatio float64
+	MgmtRatio float64 `json:"mgmt_ratio"`
 	// Utilization is Compute / (Workers * Wall).
-	Utilization float64
+	Utilization float64 `json:"utilization"`
 	// Sched holds the scheduler's operation counts.
-	Sched core.Stats
+	Sched core.Stats `json:"sched"`
 }
 
 func (r *Report) String() string {

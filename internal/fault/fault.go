@@ -91,31 +91,35 @@ func (k Kind) String() string {
 }
 
 // Rule is one injection: what to break, where, how hard, how often.
+// The json tags pin the wire schema the service daemon accepts; Kind
+// marshals as its string name. Job, Phase and Worker use -1 for "any",
+// so they are never omitted (0 is a valid scope).
 type Rule struct {
-	Kind Kind
+	Kind Kind `json:"kind"`
 	// Job and Phase scope grain and management faults (-1 = any). Grain
 	// faults additionally require Granule to fall inside the task's
 	// range, so the rule keys on logical work, not task carving.
-	Job, Phase int
-	Granule    uint32
+	Job     int    `json:"job"`
+	Phase   int    `json:"phase"`
+	Granule uint32 `json:"granule"`
 	// Worker scopes worker faults (-1 = any worker).
-	Worker int
+	Worker int `json:"worker"`
 	// After is the earliest firing time: virtual units in the simulator,
 	// nanoseconds since run start on real backends. Zero fires from the
 	// outset. DropWakeup rules ignore After — they strike the next
 	// wakeup, whenever it comes.
-	After int64
+	After int64 `json:"after,omitempty"`
 	// Delay is the stall/wedge/management-delay length in virtual units
 	// (real backends scale with Sleep).
-	Delay int64
+	Delay int64 `json:"delay,omitempty"`
 	// Factor is the GrainSlow/WorkerSlow stretch (clamped to
 	// [2, MaxFactor] — grain and worker stretches compound on one
 	// dispatch, and an unbounded factor could overflow a virtual
 	// duration).
-	Factor int64
+	Factor int64 `json:"factor,omitempty"`
 	// Count is the firing budget; <= 0 means once, except WorkerSlow,
 	// where it means unlimited.
-	Count int
+	Count int `json:"count,omitempty"`
 }
 
 // Spec is a complete, immutable injection campaign: compile with New for
@@ -123,9 +127,9 @@ type Rule struct {
 type Spec struct {
 	// Seed labels the campaign (Scenario derives the Rules from it); it
 	// has no effect on an explicit Rules list.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// Rules are the injections, consulted in order.
-	Rules []Rule
+	Rules []Rule `json:"rules"`
 }
 
 // prule is a compiled rule with its remaining firing budget.
@@ -138,13 +142,27 @@ type prule struct {
 // safe for concurrent use; a nil *Plan is inert (every query misses), so
 // backends hold a possibly-nil Plan and pay one branch when injection is
 // off.
+//
+// The rule set is copy-on-write: queries load an immutable snapshot with
+// one atomic read, and Extend (the dynamic-plan path) swaps in a fresh
+// slice under extendMu — so a long-lived plan in a service daemon can
+// grow while workers consult it.
 type Plan struct {
-	rules    []prule
+	rules    atomic.Pointer[[]*prule]
 	fired    [kindCount]atomic.Int64
 	injected atomic.Int64
 
-	release chan struct{}
-	once    sync.Once
+	extendMu sync.Mutex
+	release  chan struct{}
+	once     sync.Once
+}
+
+// ruleSet is the query-side snapshot of the rules.
+func (p *Plan) ruleSet() []*prule {
+	if v := p.rules.Load(); v != nil {
+		return *v
+	}
+	return nil
 }
 
 // MaxFactor caps a slow-fault stretch. GrainSlow and WorkerSlow factors
@@ -164,42 +182,78 @@ func New(spec Spec) *Plan {
 	if len(spec.Rules) == 0 {
 		return nil
 	}
-	p := &Plan{
-		rules:   make([]prule, len(spec.Rules)),
-		release: make(chan struct{}),
-	}
+	p := &Plan{release: make(chan struct{})}
+	rs := make([]*prule, len(spec.Rules))
 	for i, r := range spec.Rules {
-		if r.Kind == GrainSlow || r.Kind == WorkerSlow {
-			if r.Factor < 2 {
-				r.Factor = 2
-			}
-			if r.Factor > MaxFactor {
-				r.Factor = MaxFactor
-			}
-		}
-		left := int64(r.Count)
-		if r.Count <= 0 {
-			if r.Kind == WorkerSlow {
-				left = unbounded
-			} else {
-				r.Count = 1
-				left = 1
-			}
-		}
-		p.rules[i].Rule = r
-		p.rules[i].left.Store(left)
+		rs[i] = compileRule(r)
 	}
+	p.rules.Store(&rs)
 	return p
 }
 
-// consume takes one firing from rule i, recording the injection. It
+// NewDynamic compiles spec like New but always returns a non-nil Plan —
+// even an empty one — that accepts further rules via Extend: the
+// service daemon's staging hook, where a fault campaign arrives with a
+// job submitted to an already-running pool.
+func NewDynamic(spec Spec) *Plan {
+	if p := New(spec); p != nil {
+		return p
+	}
+	p := &Plan{release: make(chan struct{})}
+	rs := []*prule{}
+	p.rules.Store(&rs)
+	return p
+}
+
+// Extend appends compiled rules to the live plan. Queries in flight keep
+// their snapshot; dispatches after Extend returns see the new rules.
+func (p *Plan) Extend(rules []Rule) {
+	if len(rules) == 0 {
+		return
+	}
+	p.extendMu.Lock()
+	old := p.ruleSet()
+	rs := make([]*prule, 0, len(old)+len(rules))
+	rs = append(rs, old...)
+	for _, r := range rules {
+		rs = append(rs, compileRule(r))
+	}
+	p.rules.Store(&rs)
+	p.extendMu.Unlock()
+}
+
+// compileRule clamps and budgets one rule.
+func compileRule(r Rule) *prule {
+	if r.Kind == GrainSlow || r.Kind == WorkerSlow {
+		if r.Factor < 2 {
+			r.Factor = 2
+		}
+		if r.Factor > MaxFactor {
+			r.Factor = MaxFactor
+		}
+	}
+	left := int64(r.Count)
+	if r.Count <= 0 {
+		if r.Kind == WorkerSlow {
+			left = unbounded
+		} else {
+			r.Count = 1
+			left = 1
+		}
+	}
+	pr := &prule{Rule: r}
+	pr.left.Store(left)
+	return pr
+}
+
+// consume takes one firing from rule r, recording the injection. It
 // reports false when the budget is exhausted (concurrent callers race
 // the decrement; losers see a negative residue and never fire).
-func (p *Plan) consume(i int) bool {
-	if p.rules[i].left.Add(-1) < 0 {
+func (p *Plan) consume(r *prule) bool {
+	if r.left.Add(-1) < 0 {
 		return false
 	}
-	p.fired[p.rules[i].Kind].Add(1)
+	p.fired[r.Kind].Add(1)
 	p.injected.Add(1)
 	return true
 }
@@ -211,8 +265,7 @@ func (p *Plan) Grain(job, phase int, lo, hi uint32, at int64) (Kind, int64, int6
 	if p == nil {
 		return 0, 0, 0
 	}
-	for i := range p.rules {
-		r := &p.rules[i]
+	for _, r := range p.ruleSet() {
 		switch r.Kind {
 		case GrainPanic, GrainError, GrainStall, GrainSlow:
 		default:
@@ -230,7 +283,7 @@ func (p *Plan) Grain(job, phase int, lo, hi uint32, at int64) (Kind, int64, int6
 		if at < r.After {
 			continue
 		}
-		if !p.consume(i) {
+		if !p.consume(r) {
 			continue
 		}
 		return r.Kind, r.Delay, r.Factor
@@ -244,8 +297,7 @@ func (p *Plan) Worker(w int, at int64, k Kind) (int64, int64, bool) {
 	if p == nil {
 		return 0, 0, false
 	}
-	for i := range p.rules {
-		r := &p.rules[i]
+	for _, r := range p.ruleSet() {
 		if r.Kind != k {
 			continue
 		}
@@ -255,7 +307,7 @@ func (p *Plan) Worker(w int, at int64, k Kind) (int64, int64, bool) {
 		if at < r.After {
 			continue
 		}
-		if !p.consume(i) {
+		if !p.consume(r) {
 			continue
 		}
 		return r.Delay, r.Factor, true
@@ -269,8 +321,7 @@ func (p *Plan) Mgmt(job int, at int64) (int64, bool) {
 	if p == nil {
 		return 0, false
 	}
-	for i := range p.rules {
-		r := &p.rules[i]
+	for _, r := range p.ruleSet() {
 		if r.Kind != MgmtDelay {
 			continue
 		}
@@ -280,7 +331,7 @@ func (p *Plan) Mgmt(job int, at int64) (int64, bool) {
 		if at < r.After {
 			continue
 		}
-		if !p.consume(i) {
+		if !p.consume(r) {
 			continue
 		}
 		return r.Delay, true
@@ -293,8 +344,8 @@ func (p *Plan) DropWakeup() bool {
 	if p == nil {
 		return false
 	}
-	for i := range p.rules {
-		if p.rules[i].Kind == DropWakeup && p.consume(i) {
+	for _, r := range p.ruleSet() {
+		if r.Kind == DropWakeup && p.consume(r) {
 			return true
 		}
 	}

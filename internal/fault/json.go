@@ -1,0 +1,52 @@
+package fault
+
+// JSON codec for Kind: a Spec on the service daemon's wire carries fault
+// kinds by their stable string names ("grain-panic", "worker-wedge", …),
+// not by the enum's numeric values, so reordering the constants can
+// never silently change a stored campaign.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ParseKind resolves a kind's string name (the Kind.String form).
+func ParseKind(s string) (Kind, error) {
+	for k, n := range kindNames {
+		if n != "" && n == s {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown fault kind %q", s)
+}
+
+// MarshalJSON encodes the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	if int(k) >= len(kindNames) || kindNames[k] == "" {
+		return nil, fmt.Errorf("fault: cannot marshal unknown kind %d", uint8(k))
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a kind from its string name (or, leniently, the
+// numeric enum value).
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		kk, err := ParseKind(s)
+		if err != nil {
+			return err
+		}
+		*k = kk
+		return nil
+	}
+	var n uint8
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("fault: kind must be a name or enum value: %w", err)
+	}
+	if int(n) >= int(kindCount) || n == 0 {
+		return fmt.Errorf("fault: unknown fault kind %d", n)
+	}
+	*k = Kind(n)
+	return nil
+}

@@ -1,0 +1,118 @@
+package service
+
+// Latency-class admission: before a "latency" job joins the shared
+// pool, the daemon projects how much co-tenancy would slow its tasks
+// down, from quantities the pool already measures — the p99
+// ask-to-dispatch wait (rundown_dispatch_wait), the average compute
+// time per completed task, the admission-queue depth, and the largest
+// non-preemptible backfill grain any worker has held
+// (Report.MaxBackfillTask). The projection is deliberately
+// conservative and deterministic at the extremes: a non-empty
+// admission queue always projects 100% (the job would wait behind
+// whole other jobs, not just grains), and a quiet pool with no
+// measured wait projects 0%.
+
+import (
+	"fmt"
+
+	rundown "repro"
+	"repro/internal/telemetry"
+)
+
+// AdmissionError is the structured refusal a latency-class submit gets
+// when the projected slowdown exceeds its tolerance. It travels as the
+// HTTP 429 response body and survives errors.As through the pool's
+// submit wrapping.
+type AdmissionError struct {
+	// Class and TolerancePct echo the refused job's request.
+	Class        string  `json:"class"`
+	TolerancePct float64 `json:"tolerance_pct"`
+	// ProjectedPct is the slowdown projection that exceeded it.
+	ProjectedPct float64 `json:"projected_pct"`
+	// The measurements behind the projection.
+	DispatchWaitP99 int64 `json:"dispatch_wait_p99_ns"`
+	AvgTaskNanos    int64 `json:"avg_task_ns"`
+	MaxBackfillTask int64 `json:"max_backfill_task"`
+	QueuedJobs      int   `json:"queued_jobs"`
+	ActiveJobs      int   `json:"active_jobs"`
+	// Reason states which term drove the projection.
+	Reason string `json:"reason"`
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("latency admission refused: projected slowdown %.1f%% exceeds tolerance %.1f%% (%s)",
+		e.ProjectedPct, e.TolerancePct, e.Reason)
+}
+
+// measureFunc supplies the telemetry half of the projection: the p99
+// dispatch wait and the mean compute time per completed task, both in
+// nanoseconds. A field on Server so tests can pin measurements.
+type measureFunc func() (wait99, avgTask int64)
+
+// registryMeasure reads the projection inputs from the shared metric
+// registry — the same counters and histograms the pool maintains for
+// /metrics (telemetry registration is idempotent by name, so this Set
+// aliases the pool's).
+func registryMeasure(reg *telemetry.Registry) measureFunc {
+	set := telemetry.NewSet(reg)
+	return func() (wait99, avgTask int64) {
+		wait99 = set.DispatchWait.Quantile(0.99)
+		if n := set.Completions.Value(); n > 0 {
+			avgTask = set.ComputeTime.Value() / n
+		}
+		return wait99, avgTask
+	}
+}
+
+// projectSlowdown estimates, in percent, how much slower a
+// latency-class task would run on the pool as currently loaded,
+// relative to an unloaded pool:
+//
+//   - queued jobs waiting behind admission control project 100%
+//     outright — the new job would queue behind whole jobs;
+//   - a pool with no completed tasks yet has no measured interference
+//     and projects 0% (quiet-start admits);
+//   - otherwise each task is projected to pay the measured p99
+//     dispatch wait, plus one full average task when an active
+//     co-tenant holds non-preemptible backfill grains (a worker
+//     serving a foreign grain cannot be preempted mid-task):
+//     100 * (wait99 + block) / avgTask.
+func projectSlowdown(wait99, avgTask int64, v rundown.AdmissionView) (pct float64, reason string) {
+	if v.Queued > 0 {
+		return 100, fmt.Sprintf("%d jobs already queued behind admission control", v.Queued)
+	}
+	if avgTask <= 0 {
+		return 0, "no completed tasks measured yet"
+	}
+	var block int64
+	reason = "p99 dispatch wait vs mean task time"
+	if v.Active > 0 && v.MaxBackfillTask > 0 {
+		block = avgTask
+		reason = fmt.Sprintf("active co-tenant holds non-preemptible backfill grains (max %d granules)", v.MaxBackfillTask)
+	}
+	return 100 * float64(wait99+block) / float64(avgTask), reason
+}
+
+// admit is the AdmitFunc the daemon installs on its pool. Classes other
+// than "latency" pass through to the pool's own high-water admission.
+func (s *Server) admit(jc rundown.PoolJobConfig, v rundown.AdmissionView) error {
+	if jc.Class != ClassLatency {
+		return nil
+	}
+	wait99, avgTask := s.measure()
+	pct, reason := projectSlowdown(wait99, avgTask, v)
+	if pct <= jc.Tolerance {
+		return nil
+	}
+	return &AdmissionError{
+		Class:           jc.Class,
+		TolerancePct:    jc.Tolerance,
+		ProjectedPct:    pct,
+		DispatchWaitP99: wait99,
+		AvgTaskNanos:    avgTask,
+		MaxBackfillTask: v.MaxBackfillTask,
+		QueuedJobs:      v.Queued,
+		ActiveJobs:      v.Active,
+		Reason:          reason,
+	}
+}

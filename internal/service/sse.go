@@ -1,0 +1,180 @@
+package service
+
+// Server-sent events plumbing. Each job has a topic; the pool stream is
+// one more. The contract mirrors the Observer one (exactly one Final
+// snapshot per run): every topic delivers at most one terminal event,
+// after which every subscriber's channel closes — and a subscriber
+// arriving after the terminal receives exactly that terminal, then EOF.
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// event is one SSE frame: the event name ("snapshot" or "final") and
+// its JSON data line.
+type event struct {
+	name string
+	data []byte
+}
+
+// subBuffer bounds a subscriber's channel. A subscriber that falls this
+// far behind is disconnected (its channel closed) rather than allowed
+// to stall the publisher.
+const subBuffer = 128
+
+type topic struct {
+	subs     map[chan event]struct{}
+	terminal *event
+	done     bool
+}
+
+// hub fans events out to SSE subscribers by topic.
+type hub struct {
+	mu     sync.Mutex
+	topics map[string]*topic
+	closed bool
+}
+
+func newHub() *hub {
+	return &hub{topics: make(map[string]*topic)}
+}
+
+func (h *hub) topicLocked(id string) *topic {
+	t := h.topics[id]
+	if t == nil {
+		t = &topic{subs: make(map[chan event]struct{})}
+		h.topics[id] = t
+	}
+	return t
+}
+
+// publish sends a non-terminal event to the topic's subscribers.
+// Publishing never blocks: a subscriber with a full buffer is dropped.
+// Events published after the topic finished are discarded.
+func (h *hub) publish(id string, ev event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	t := h.topicLocked(id)
+	if t.done {
+		return
+	}
+	h.sendLocked(t, ev)
+}
+
+// finish delivers the topic's single terminal event and closes every
+// subscriber. Idempotent: only the first terminal per topic counts.
+// Late subscribers receive the stored terminal and EOF.
+func (h *hub) finish(id string, ev event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	t := h.topicLocked(id)
+	if t.done {
+		return
+	}
+	t.done = true
+	t.terminal = &ev
+	h.sendLocked(t, ev)
+	for ch := range t.subs {
+		close(ch)
+	}
+	t.subs = make(map[chan event]struct{})
+}
+
+// sendLocked delivers ev to every subscriber, dropping any whose buffer
+// is full. Caller holds h.mu.
+func (h *hub) sendLocked(t *topic, ev event) {
+	for ch := range t.subs {
+		select {
+		case ch <- ev:
+		default:
+			close(ch)
+			delete(t.subs, ch)
+		}
+	}
+}
+
+// subscribe attaches to a topic. The returned cancel is safe to call
+// whether or not the channel has closed. A subscription to a finished
+// topic yields the terminal event, then a closed channel.
+func (h *hub) subscribe(id string) (<-chan event, func()) {
+	ch := make(chan event, subBuffer)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	t := h.topicLocked(id)
+	if t.done {
+		h.mu.Unlock()
+		if t.terminal != nil {
+			ch <- *t.terminal
+		}
+		close(ch)
+		return ch, func() {}
+	}
+	t.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	cancel := func() {
+		h.mu.Lock()
+		if _, ok := t.subs[ch]; ok {
+			delete(t.subs, ch)
+			close(ch)
+		}
+		h.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// closeAll disconnects every subscriber on every topic (daemon
+// shutdown, after the terminal events went out).
+func (h *hub) closeAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for _, t := range h.topics {
+		for ch := range t.subs {
+			close(ch)
+		}
+		t.subs = make(map[chan event]struct{})
+	}
+}
+
+// serveSSE streams a topic to one HTTP client until the topic finishes,
+// the client disconnects, or the hub closes.
+func (h *hub) serveSSE(w http.ResponseWriter, r *http.Request, id string) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch, cancel := h.subscribe(id)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+			fl.Flush()
+		}
+	}
+}

@@ -106,3 +106,45 @@ func NewSet(r *Registry) *Set {
 		DeadlineMargin: r.Histogram("rundown_deadline_margin", "budget left at completion of deadlined jobs"),
 	}
 }
+
+// ClassCounters is the per-service-class admission slice of the
+// taxonomy: rundown_class_<class>_{jobs,rejected,done}_total.
+type ClassCounters struct {
+	Submitted *Counter
+	Rejected  *Counter
+	Done      *Counter
+}
+
+// Class registers (idempotently) and returns the counters for one
+// service class. Unlike the fixed members above, class series appear in
+// a dump only once a classified job has touched the pool — the
+// zero-class golden shape is untouched. The class name is sanitized
+// into the metric name (lowercased; anything outside [a-z0-9_] becomes
+// '_').
+func (s *Set) Class(class string) ClassCounters {
+	n := sanitizeClass(class)
+	return ClassCounters{
+		Submitted: s.Registry.Counter("rundown_class_"+n+"_jobs_total", "jobs submitted in class "+class),
+		Rejected:  s.Registry.Counter("rundown_class_"+n+"_rejected_total", "jobs rejected by admission in class "+class),
+		Done:      s.Registry.Counter("rundown_class_"+n+"_done_total", "jobs finished in class "+class),
+	}
+}
+
+// sanitizeClass maps an arbitrary class label into a metric-name-safe
+// token.
+func sanitizeClass(class string) string {
+	b := []byte(class)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+		case c >= 'A' && c <= 'Z':
+			b[i] = c - 'A' + 'a'
+		default:
+			b[i] = '_'
+		}
+	}
+	if len(b) == 0 {
+		return "unclassified"
+	}
+	return string(b)
+}

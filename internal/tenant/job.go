@@ -58,9 +58,11 @@ type Job struct {
 	// activatedOnce marks the first activation and queueWaitNS the
 	// submit-to-activation wait it measured (for a job retired while
 	// still queued, the whole life). Both written under pool.mu before
-	// done closes; read after Wait.
+	// done closes; read after Wait. started mirrors activatedOnce for
+	// lock-free progress polling (service SSE snapshots).
 	activatedOnce bool
 	queueWaitNS   int64
+	started       atomic.Bool
 }
 
 // driver returns the job's current attempt's manager.
@@ -74,6 +76,26 @@ func (j *Job) Attempts() int { return int(j.attempts.Load()) }
 
 // Name returns the job's label.
 func (j *Job) Name() string { return j.cfg.Name }
+
+// Index is the job's pool-assigned index in submit order — the Job
+// column of the pool's flight-recorder records, so a caller can carve
+// this job's schedule out of a pool trace with Trace.FilterJob.
+func (j *Job) Index() int { return j.idx }
+
+// Class returns the job's service class ("" = unclassified).
+func (j *Job) Class() string { return j.cfg.Class }
+
+// Started reports whether the job has been activated at least once —
+// false while it waits behind admission control. Safe to poll.
+func (j *Job) Started() bool { return j.started.Load() }
+
+// Finished reports whether the job has been retired. Safe to poll;
+// Done is the blocking form.
+func (j *Job) Finished() bool { return j.finished.Load() }
+
+// Tasks reports how many tasks the job has completed so far. Safe to
+// poll while the job runs (monotonic, eventually consistent).
+func (j *Job) Tasks() int64 { return j.tasks.Load() }
 
 // Done returns a channel closed when the job finishes (successfully or
 // not).

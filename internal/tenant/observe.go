@@ -15,30 +15,35 @@ import (
 // not perturb dispatch.
 
 // Snapshot is one observation of a live pool. All values are cumulative
-// since NewPool.
+// since NewPool. The json tags pin the service daemon's pool-status and
+// SSE wire form.
 type Snapshot struct {
 	// Elapsed is the wall-clock time since the pool started.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 	// Jobs is the number of jobs submitted so far; ActiveJobs how many
-	// are still incomplete.
-	Jobs       int
-	ActiveJobs int
+	// are still incomplete; Queued how many wait behind admission
+	// control.
+	Jobs       int `json:"jobs"`
+	ActiveJobs int `json:"active_jobs"`
+	Queued     int `json:"queued"`
 	// Tasks counts executed tasks across all jobs; BackfillTasks the
-	// subset run by workers homed on another job.
-	Tasks         int64
-	BackfillTasks int64
+	// subset run by workers homed on another job; MaxBackfillTask the
+	// largest backfill grain any worker has held (granules).
+	Tasks           int64 `json:"tasks"`
+	BackfillTasks   int64 `json:"backfill_tasks"`
+	MaxBackfillTask int64 `json:"max_backfill_task"`
 	// Compute, Mgmt and Idle are the summed execution, management, and
 	// pool-parked durations so far.
-	Compute time.Duration
-	Mgmt    time.Duration
-	Idle    time.Duration
+	Compute time.Duration `json:"compute_ns"`
+	Mgmt    time.Duration `json:"mgmt_ns"`
+	Idle    time.Duration `json:"idle_ns"`
 	// Utilization is Compute / (Workers * Elapsed) so far; OverheadShare
 	// the same ratio for Mgmt.
-	Utilization   float64
-	OverheadShare float64
+	Utilization   float64 `json:"utilization"`
+	OverheadShare float64 `json:"overhead_share"`
 	// Final marks the closing snapshot Close emits after the workers
 	// have joined.
-	Final bool
+	Final bool `json:"final"`
 }
 
 // snapshot builds a live observation of the pool.
@@ -46,13 +51,16 @@ func (p *Pool) snapshot() Snapshot {
 	p.mu.Lock()
 	jobs := append([]*Job(nil), p.jobs...)
 	active := len(p.active)
+	queued := len(p.waitq)
 	p.mu.Unlock()
 	sn := Snapshot{
-		Elapsed:       time.Since(p.start),
-		Jobs:          len(jobs),
-		ActiveJobs:    active,
-		BackfillTasks: p.backfillTasks.Load(),
-		Idle:          time.Duration(p.idleNS.Load()),
+		Elapsed:         time.Since(p.start),
+		Jobs:            len(jobs),
+		ActiveJobs:      active,
+		Queued:          queued,
+		BackfillTasks:   p.backfillTasks.Load(),
+		MaxBackfillTask: p.maxBackfillTask.Load(),
+		Idle:            time.Duration(p.idleNS.Load()),
 	}
 	for _, j := range jobs {
 		sn.Tasks += j.tasks.Load()
@@ -107,16 +115,17 @@ func (p *Pool) stopObserver(r *Report) {
 	}
 	_, overhead := telemetry.Shares(int64(r.Compute), int64(r.Mgmt), r.Workers, int64(r.Wall))
 	p.cfg.Observer(Snapshot{
-		Elapsed:       r.Wall,
-		Jobs:          r.Jobs,
-		ActiveJobs:    0,
-		Tasks:         r.Tasks,
-		BackfillTasks: r.BackfillTasks,
-		Compute:       r.Compute,
-		Mgmt:          r.Mgmt,
-		Idle:          r.Idle,
-		Utilization:   r.Utilization,
-		OverheadShare: overhead,
-		Final:         true,
+		Elapsed:         r.Wall,
+		Jobs:            r.Jobs,
+		ActiveJobs:      0,
+		Tasks:           r.Tasks,
+		BackfillTasks:   r.BackfillTasks,
+		MaxBackfillTask: r.MaxBackfillTask,
+		Compute:         r.Compute,
+		Mgmt:            r.Mgmt,
+		Idle:            r.Idle,
+		Utilization:     r.Utilization,
+		OverheadShare:   overhead,
+		Final:           true,
 	})
 }

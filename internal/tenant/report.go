@@ -11,39 +11,39 @@ import (
 // Per-job measurements come from Job.Wait.
 type Report struct {
 	// Workers is the pool's worker count.
-	Workers int
+	Workers int `json:"workers"`
 	// Jobs is the number of jobs submitted over the pool's lifetime.
-	Jobs int
+	Jobs int `json:"jobs"`
 	// Stalled is the number of jobs failed by the pool stall detector.
-	Stalled int
+	Stalled int `json:"stalled,omitempty"`
 	// Wall is the pool's lifetime.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// Compute is the summed granule execution time across all jobs.
-	Compute time.Duration
+	Compute time.Duration `json:"compute_ns"`
 	// Mgmt is the summed manager-serialized management time across jobs.
-	Mgmt time.Duration
+	Mgmt time.Duration `json:"mgmt_ns"`
 	// Idle is the summed parked worker time.
-	Idle time.Duration
+	Idle time.Duration `json:"idle_ns"`
 	// Tasks counts executed tasks across all jobs.
-	Tasks int64
+	Tasks int64 `json:"tasks"`
 	// BackfillTasks counts tasks executed by a worker homed on another
 	// job — the cross-tenancy work that filled rundowns.
-	BackfillTasks int64
+	BackfillTasks int64 `json:"backfill_tasks"`
 	// BackfillCompute is the summed execution time of those tasks.
-	BackfillCompute time.Duration
+	BackfillCompute time.Duration `json:"backfill_compute_ns"`
 	// BackfillShare is BackfillCompute / Compute (0 when Compute is 0).
-	BackfillShare float64
+	BackfillShare float64 `json:"backfill_share"`
 	// MaxBackfillTask is the largest backfill task observed, in granules —
 	// the measured enforcement of Config.PreemptBound (0 when no task was
 	// backfilled).
-	MaxBackfillTask int64
+	MaxBackfillTask int64 `json:"max_backfill_task"`
 	// Utilization is Compute / (Workers * Wall).
-	Utilization float64
+	Utilization float64 `json:"utilization"`
 	// Faults is the number of injected faults that fired (0 without a
 	// fault campaign).
-	Faults int64
+	Faults int64 `json:"faults,omitempty"`
 	// Retries counts job attempt restarts across the pool's lifetime.
-	Retries int64
+	Retries int64 `json:"retries,omitempty"`
 }
 
 func (r *Report) String() string {

@@ -276,21 +276,26 @@ func (p *Pool) reactivate(j *Job) {
 
 // deadlineFire aborts job j — and only j — when its deadline timer
 // fires: the error wraps context.DeadlineExceeded and never retries.
-// A job still queued behind admission control (or backing off between
-// attempts) is retired directly; a running job is aborted through its
-// manager, which refuses if the state machine already completed — a job
-// that beat its deadline keeps its results.
+func (p *Pool) deadlineFire(j *Job) {
+	p.killJob(j, fmt.Errorf("tenant: job %q exceeded its deadline of %v: %w",
+		j.cfg.Name, j.cfg.Deadline, context.DeadlineExceeded))
+}
+
+// killJob fails one job with err without retrying it — the shared body
+// of the deadline timer and the explicit Job.Abort. A job still queued
+// behind admission control (or backing off between attempts) is retired
+// directly; a running job is aborted through its manager, which refuses
+// if the state machine already completed — a job that beat the abort
+// keeps its results.
 //
 // The whole thing loops because the abort races concurrent attempt
 // failures: if a retry swaps in a fresh driver between the driver()
 // capture and the Abort, the abort lands on the dead attempt and failJob
-// drops it as stale — and the one-shot timer has already fired, so
-// without re-firing here the new attempt would outlive its deadline
-// unbounded. Each pass either retires the job or observes an attempt
-// swap, so the loop is bounded by the retry budget.
-func (p *Pool) deadlineFire(j *Job) {
-	err := fmt.Errorf("tenant: job %q exceeded its deadline of %v: %w",
-		j.cfg.Name, j.cfg.Deadline, context.DeadlineExceeded)
+// drops it as stale — and the caller fires only once, so without
+// re-firing here the new attempt would outlive the abort unbounded.
+// Each pass either retires the job or observes an attempt swap, so the
+// loop is bounded by the retry budget.
+func (p *Pool) killJob(j *Job, err error) {
 	for {
 		p.mu.Lock()
 		if j.finished.Load() {

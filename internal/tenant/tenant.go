@@ -86,6 +86,19 @@ type Config struct {
 	// Queue makes a saturated Submit enqueue the job instead of rejecting
 	// it. Ignored without MaxActive.
 	Queue bool
+	// Admit, when non-nil, is consulted by Submit before the MaxActive
+	// check, under the pool lock, with a consistent view of the pool's
+	// load. A non-nil return rejects the job: Submit wraps the error with
+	// the job name, so a caller-defined sentinel (or errors.As target)
+	// survives to the submitter. The predicate must be fast and must not
+	// call back into the pool.
+	Admit AdmitFunc
+	// DynamicFaults pre-arms an empty fault plan (and the stall watchdog)
+	// so rules can be injected into the live pool via InjectFaults — the
+	// staging path for a service daemon, where a fault campaign arrives
+	// with a job submitted to an already-running pool. Ignored when Faults
+	// already arms a plan.
+	DynamicFaults bool
 	// PreemptBound caps every job's task grain at this many granules: the
 	// largest non-preemptible unit any worker can hold, bounding how long
 	// a job emerging from rundown waits behind an in-flight foreign grain
@@ -134,6 +147,15 @@ type JobConfig struct {
 	// Backoff is the base delay before the first retry; each further
 	// retry doubles it, capped at 64× (0 = retry immediately).
 	Backoff time.Duration
+	// Class is the job's service class label ("" = unclassified). The pool
+	// attaches no semantics beyond exposing it to Config.Admit and
+	// recording per-class submitted/rejected/done counters in the metric
+	// set; the service layer defines classes like "latency" on top.
+	Class string
+	// Tolerance is the class-specific admission tolerance (for the
+	// "latency" class, the projected slowdown budget in percent). Opaque
+	// to the pool; carried to Config.Admit.
+	Tolerance float64
 }
 
 // Pool is a shared worker pool running several jobs concurrently. Workers
@@ -231,6 +253,9 @@ func NewPool(cfg Config) (*Pool, error) {
 	if cfg.Faults != nil {
 		p.plan = fault.New(*cfg.Faults)
 	}
+	if p.plan == nil && cfg.DynamicFaults {
+		p.plan = fault.NewDynamic(fault.Spec{})
+	}
 	timeout := cfg.StallTimeout
 	if timeout == 0 && p.plan != nil {
 		timeout = defaultStallTimeout
@@ -312,8 +337,16 @@ func (p *Pool) Submit(prog *core.Program, opt core.Options, jc JobConfig) (*Job,
 	if j.cfg.Name == "" {
 		j.cfg.Name = fmt.Sprintf("job%d", j.idx)
 	}
+	if p.cfg.Admit != nil {
+		if err := p.cfg.Admit(j.cfg, p.admissionViewLocked()); err != nil {
+			p.mu.Unlock()
+			p.classInc(j.cfg.Class, classRejected)
+			return nil, fmt.Errorf("tenant: submit %q: %w", j.cfg.Name, err)
+		}
+	}
 	if p.cfg.MaxActive > 0 && len(p.active) >= p.cfg.MaxActive && !p.cfg.Queue {
 		p.mu.Unlock()
+		p.classInc(j.cfg.Class, classRejected)
 		return nil, fmt.Errorf("tenant: submit %q: %d jobs active: %w",
 			j.cfg.Name, p.cfg.MaxActive, ErrPoolSaturated)
 	}
@@ -339,6 +372,7 @@ func (p *Pool) Submit(prog *core.Program, opt core.Options, jc JobConfig) (*Job,
 	if p.met != nil {
 		p.met.JobsSubmitted.Inc(0)
 	}
+	p.classInc(jc.Class, classSubmitted)
 	p.progress()
 	return j, nil
 }
@@ -353,6 +387,7 @@ func (p *Pool) activateLocked(j *Job) {
 		// First activation (a retry reactivates but never re-queues): the
 		// submit-to-start gap is the admission-control queue wait.
 		j.activatedOnce = true
+		j.started.Store(true)
 		j.queueWaitNS = int64(time.Since(j.submitted))
 		if p.met != nil {
 			p.met.QueueWait.Observe(j.queueWaitNS)
@@ -741,6 +776,9 @@ func (p *Pool) finishJobLocked(j *Job, err error) {
 			p.met.DeadlineMisses.Inc(0)
 		} else if err == nil && j.cfg.Deadline > 0 {
 			p.met.DeadlineMargin.Observe(int64(j.cfg.Deadline - j.end.Sub(j.submitted)))
+		}
+		if j.cfg.Class != "" {
+			p.met.Class(j.cfg.Class).Done.Inc(0)
 		}
 	}
 	p.rebalanceLocked()

@@ -183,34 +183,49 @@ type Meta struct {
 // across runs and are compared structurally instead).
 func (m *Meta) Virtual() bool { return m.TimeUnit == UnitVirtual }
 
-// Ring is one worker's private event buffer. Only the owning worker may
-// call Record; the Recorder merges rings after the workers quiesce.
-// Append amortizes to zero allocations: the backing array doubles like
-// any slice but is retained by Reset, so steady-state recording never
-// allocates (pinned by an AllocsPerRun gate).
+// Ring is one worker's private event buffer. Only the owning worker
+// calls Record; the Recorder merges rings in Take. Append amortizes to
+// zero allocations: the backing array doubles like any slice but is
+// retained by Reset, so steady-state recording never allocates (pinned
+// by an AllocsPerRun gate). The per-ring mutex exists for live
+// snapshots (Take on a long-lived pool's recorder, see cmd/rundownd):
+// it is private to the ring, so the only contention a worker ever sees
+// is an in-progress snapshot copy.
 type Ring struct {
 	rec *Recorder
+	mu  sync.Mutex
 	ev  []Event
 	// pad keeps two adjacent Rings out of one cache line: each worker
 	// bumps its own slice header on every Record, and cross-line sharing
 	// would put that store on the neighbor's hot path.
-	_ [64 - 8 - 24]byte
+	_ [64 - 8 - 8 - 24]byte
 }
 
 // Record appends one event stamped with the next global sequence number.
 func (g *Ring) Record(k Kind, at int64, proc, job, phase int32, lo, hi uint32, arg int64) {
-	g.ev = append(g.ev, Event{
+	e := Event{
 		Seq: g.rec.seq.Add(1), Time: at, Kind: k,
 		Proc: proc, Job: job, Phase: phase, Lo: lo, Hi: hi, Arg: arg,
-	})
+	}
+	g.mu.Lock()
+	g.ev = append(g.ev, e)
+	g.mu.Unlock()
 }
 
 // Len reports the number of events recorded so far.
-func (g *Ring) Len() int { return len(g.ev) }
+func (g *Ring) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.ev)
+}
 
 // Reset drops the recorded events but keeps the backing array, so a
 // reused ring records without allocating.
-func (g *Ring) Reset() { g.ev = g.ev[:0] }
+func (g *Ring) Reset() {
+	g.mu.Lock()
+	g.ev = g.ev[:0]
+	g.mu.Unlock()
+}
 
 // Recorder owns the per-worker rings and the global sequence counter for
 // one recorded run. Create one per run with NewRecorder, hand Ring(w) to
@@ -271,17 +286,17 @@ func (r *Recorder) Emit(k Kind, at int64, proc, job, phase int32, lo, hi uint32,
 func (r *Recorder) Meta() *Meta { return &r.meta }
 
 // Take merges every ring and the aux channel into one Trace ordered by
-// (Time, Seq). It must only be called after all recording goroutines
-// have quiesced (the run joined its workers); it does not consume the
-// rings, so a second Take returns the same trace.
+// (Time, Seq). It does not consume the rings, so a second Take returns
+// a superset of the first. Safe while recording continues (each ring is
+// copied under its own lock): a live Take is a consistent prefix of
+// every ring, though events racing the call may land on either side of
+// the snapshot.
 func (r *Recorder) Take() *Trace {
-	n := len(r.aux)
+	var ev []Event
 	for _, g := range r.rings {
-		n += len(g.ev)
-	}
-	ev := make([]Event, 0, n)
-	for _, g := range r.rings {
+		g.mu.Lock()
 		ev = append(ev, g.ev...)
+		g.mu.Unlock()
 	}
 	r.mu.Lock()
 	ev = append(ev, r.aux...)

@@ -49,6 +49,7 @@ type runnerConfig struct {
 	metricsReg *telemetry.Registry // caller-owned; nil = fresh per run
 
 	faults       *fault.Spec
+	liveFaults   bool
 	deadline     time.Duration // default per-job deadline (Job.Deadline overrides)
 	retry        int           // default per-job retry budget (Job.Retry overrides)
 	backoff      time.Duration // default retry backoff base (Job.Backoff overrides)
@@ -56,6 +57,12 @@ type runnerConfig struct {
 	queue        bool
 	stallTimeout time.Duration
 	preemptBound int
+	admit        tenant.AdmitFunc
+
+	// traceRec is a caller-owned long-lived recorder for StartPool (a
+	// service daemon's per-job trace downloads); per-run tracing uses
+	// newRecorder instead.
+	traceRec *trace.Recorder
 
 	// Native-observer passthroughs for the legacy wrappers (Execute,
 	// NewPool), which accept backend-native snapshot callbacks in their
@@ -335,6 +342,52 @@ func WithStallTimeout(d time.Duration) Option {
 	}
 }
 
+// WithAdmitFunc installs a caller-defined admission predicate on
+// pool-backed runs: Submit consults fn under the pool lock — before the
+// WithAdmission high-water check — with the job's config and a
+// consistent load view, and a non-nil return rejects the job with an
+// error wrapping fn's error. The service daemon's latency classes are
+// built on this hook; see AdmitFunc.
+func WithAdmitFunc(fn AdmitFunc) Option {
+	return func(c *runnerConfig) error {
+		if fn == nil {
+			return fmt.Errorf("rundown: WithAdmitFunc needs a non-nil predicate")
+		}
+		c.admit = fn
+		return nil
+	}
+}
+
+// WithLiveFaults pre-arms an extensible fault plan (and the pool stall
+// watchdog) on pool-backed runs, so fault rules can be injected into
+// the live pool with Pool.InjectFaults — the staging path a service
+// daemon uses to scope a campaign to one submitted job. WithFaults
+// already arms an extensible plan; this option exists for pools that
+// start quiet.
+func WithLiveFaults() Option {
+	return func(c *runnerConfig) error {
+		c.liveFaults = true
+		return nil
+	}
+}
+
+// WithTraceRecorder attaches a caller-owned flight recorder to
+// StartPool pools: the pool records its scheduling decisions into rec
+// for its whole lifetime, and the caller can Take() merged snapshots
+// while the pool runs (race-safe; a live Take may miss the newest
+// events). This is the service daemon's per-job trace-download path —
+// unlike WithTrace, whose recorder is per-run and harvested into
+// Report.Trace automatically. Run/RunAll ignore it.
+func WithTraceRecorder(rec *TraceRecorder) Option {
+	return func(c *runnerConfig) error {
+		if rec == nil {
+			return fmt.Errorf("rundown: WithTraceRecorder needs a non-nil recorder")
+		}
+		c.traceRec = rec
+		return nil
+	}
+}
+
 // newRecorder builds a fresh flight recorder for one run (nil when
 // tracing is off). A recorder is per-run, never per-Runner: two Runs of
 // the same Runner must not interleave their events.
@@ -499,17 +552,19 @@ func (c *runnerConfig) execConfig() executive.Config {
 // poolConfig builds the tenant pool configuration for shared runs.
 func (c *runnerConfig) poolConfig() tenant.Config {
 	cfg := tenant.Config{
-		Workers:      c.workers,
-		Manager:      c.manager,
-		DequeCap:     c.dequeCap,
-		Batch:        c.batch,
-		ReadyCap:     c.readyCap,
-		LowWater:     c.lowWater,
-		Faults:       c.faults,
-		MaxActive:    c.maxActive,
-		Queue:        c.queue,
-		StallTimeout: c.stallTimeout,
-		PreemptBound: c.preemptBound,
+		Workers:       c.workers,
+		Manager:       c.manager,
+		DequeCap:      c.dequeCap,
+		Batch:         c.batch,
+		ReadyCap:      c.readyCap,
+		LowWater:      c.lowWater,
+		Faults:        c.faults,
+		DynamicFaults: c.liveFaults,
+		MaxActive:     c.maxActive,
+		Queue:         c.queue,
+		StallTimeout:  c.stallTimeout,
+		PreemptBound:  c.preemptBound,
+		Admit:         c.admit,
 	}
 	if c.rawPoolObs != nil {
 		cfg.Observer = c.rawPoolObs

@@ -71,7 +71,11 @@ type Job struct {
 	Backoff time.Duration
 }
 
-// JobReport is one job's outcome within a RunAll.
+// JobReport is one job's outcome within a RunAll. Its JSON form is part
+// of the service daemon's pinned wire schema (see json.go): Err
+// flattens to an "error" string, durations are integer nanoseconds
+// with _ns-suffixed keys, and absent backend detail reports are
+// omitted.
 type JobReport struct {
 	// Name is the job's label.
 	Name string
@@ -106,56 +110,61 @@ type JobReport struct {
 // Report is the unified result of a Runner.Run or Runner.RunAll: one
 // headline block that reads the same across backends, plus the
 // backend-specific detail reports embedded for callers that need them.
+// The json tags pin the service daemon's wire schema: Backend, Manager
+// and Model marshal as their string names, durations as integer
+// nanoseconds (_ns keys), and the flight-recorder trace is excluded —
+// traces travel in their own versioned binary format (the service's
+// /trace endpoint), never inline in a report.
 type Report struct {
 	// Backend identifies the machine that produced the run.
-	Backend BackendKind
+	Backend BackendKind `json:"backend"`
 	// Manager is the executive manager that ran the job (real backends).
-	Manager ExecManager
+	Manager ExecManager `json:"manager"`
 	// Model is the management resource model (virtual backend).
-	Model MgmtModel
+	Model MgmtModel `json:"model"`
 	// Workers is the worker count (real) or processor count P (virtual).
-	Workers int
+	Workers int `json:"workers"`
 	// Tasks is the number of tasks dispatched.
-	Tasks int64
+	Tasks int64 `json:"tasks"`
 	// Wall is the elapsed wall-clock time (real backends; zero on the
 	// virtual backend).
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// Makespan is the virtual completion time (virtual backend; zero on
 	// real backends).
-	Makespan int64
+	Makespan int64 `json:"makespan,omitempty"`
 	// Utilization is compute / (Workers * elapsed), in the backend's own
 	// time base.
-	Utilization float64
+	Utilization float64 `json:"utilization"`
 	// MgmtRatio is the paper's computation-to-management ratio (0 when no
 	// management time was recorded).
-	MgmtRatio float64
+	MgmtRatio float64 `json:"mgmt_ratio"`
 	// Faults counts injected fault firings (WithFaults runs; 0 otherwise).
-	Faults int64
+	Faults int64 `json:"faults,omitempty"`
 	// Retries counts job attempt restarts across the run.
-	Retries int64
+	Retries int64 `json:"retries,omitempty"`
 
 	// Sim is the single-program virtual result (VirtualBackend Run).
-	Sim *SimResult
+	Sim *SimResult `json:"sim,omitempty"`
 	// SimMulti is the multi-program virtual result (VirtualBackend
 	// RunAll).
-	SimMulti *MultiSimResult
+	SimMulti *MultiSimResult `json:"sim_multi,omitempty"`
 	// Exec is the goroutine execution report (ExecBackend Run, and each
 	// pool job's report also appears in Jobs).
-	Exec *ExecReport
+	Exec *ExecReport `json:"exec,omitempty"`
 	// Pool is the pool-lifetime report (pool-backed runs).
-	Pool *PoolReport
+	Pool *PoolReport `json:"pool,omitempty"`
 	// Jobs holds per-job reports for RunAll, in submission order.
-	Jobs []JobReport
+	Jobs []JobReport `json:"jobs,omitempty"`
 	// Trace is the run's merged flight-recorder trace (WithTrace runs
 	// only; nil otherwise). Virtual traces are deterministic; real-backend
 	// traces carry wall-clock timestamps.
-	Trace *Trace
+	Trace *Trace `json:"-"`
 	// Metrics is the run's closing telemetry dump (WithMetrics runs
 	// only; nil otherwise): the full rundown metric set — counters,
 	// gauges, latency histograms — sorted by name. Virtual dumps are
 	// bit-identical across identical runs; real-backend dumps are
 	// structurally identical but carry measured times.
-	Metrics *MetricsDump
+	Metrics *MetricsDump `json:"metrics,omitempty"`
 }
 
 func (r *Report) String() string {
@@ -171,34 +180,35 @@ func (r *Report) String() string {
 // Runner's Observer. Real backends sample it on a wall clock
 // (WithObservePeriod); the virtual backend emits it at deterministic
 // virtual-time marks (WithObserveEvery), so observed simulations remain
-// reproducible. All counters are cumulative since the run started.
+// reproducible. All counters are cumulative since the run started. The
+// json tags pin the service daemon's SSE event schema.
 type Snapshot struct {
 	// Backend identifies the emitting machine.
-	Backend BackendKind
+	Backend BackendKind `json:"backend"`
 	// Final marks the closing snapshot, emitted once on every outcome:
 	// with the finished run's totals on success, with the counters
 	// accumulated so far on failure or cancellation.
-	Final bool
+	Final bool `json:"final"`
 	// Elapsed is wall-clock time since the run started (real backends).
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 	// VirtualTime is the simulation frontier (virtual backend).
-	VirtualTime int64
+	VirtualTime int64 `json:"virtual_time,omitempty"`
 	// Tasks is the number of tasks executed so far.
-	Tasks int64
+	Tasks int64 `json:"tasks"`
 	// Jobs is the number of still-unfinished jobs (1 for single-job
 	// runs until they finish).
-	Jobs int
+	Jobs int `json:"jobs"`
 	// BackfillTasks counts cross-job tasks so far (pool runs).
-	BackfillTasks int64
+	BackfillTasks int64 `json:"backfill_tasks"`
 	// Utilization is compute / (Workers * elapsed) so far.
-	Utilization float64
+	Utilization float64 `json:"utilization"`
 	// OverheadShare is management / (Workers * elapsed) so far — live
 	// work inflation, the quantity the paper's rundown analysis is
 	// about.
-	OverheadShare float64
+	OverheadShare float64 `json:"overhead_share"`
 	// Batch is the adaptive controller's current refill batch (virtual
 	// Adaptive model; zero elsewhere).
-	Batch int
+	Batch int `json:"batch,omitempty"`
 }
 
 // Observer receives Snapshots from a running job. The callback must be

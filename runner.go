@@ -101,6 +101,9 @@ func (r *Runner) StartPool() (*Pool, error) {
 	// A started pool has no Report to dump into; metrics callers read the
 	// live registry instead (WithMetricsRegistry plus Handler/Publish).
 	cfg.Metrics = r.cfg.newMetrics("ns")
+	// Likewise it has no Report to attach a trace to: a caller-owned
+	// recorder (WithTraceRecorder) is the live-pool tracing surface.
+	cfg.Trace = r.cfg.traceRec
 	return tenant.NewPool(cfg)
 }
 
